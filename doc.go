@@ -1,0 +1,18 @@
+// Package pelta reproduces "Mitigating Adversarial Attacks in Federated
+// Learning with Trusted Execution Environments" (Queyrut, Schiavoni, Felber,
+// ICDCS 2023). The public surface lives in the internal packages:
+//
+//   - internal/core     — the Pelta shielding scheme (Algorithm 1)
+//   - internal/tee      — the TrustZone-style enclave simulation
+//   - internal/models   — ViT / ResNet-v2 / BiT defenders
+//   - internal/attack   — FGSM, PGD, MIM, APGD, C&W, SAGA, BPDA upsampling
+//   - internal/fl       — FedAvg server, clients, compromised client
+//   - internal/ensemble — random-selection ensemble defense
+//   - internal/eval     — Tables I/III/IV and Figs. 3/4 harnesses
+//
+// bench_test.go regenerates every table and figure; cmd/peltabench is the
+// command-line entry point, and examples/ holds runnable scenarios.
+package pelta
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"

@@ -1,0 +1,53 @@
+// Enclave-resident training (§VI, second case): the defender fine-tunes a
+// Pelta-shielded model while the shielded parameters' gradients accumulate
+// inside the TEE and cross the world boundary only every few batches.
+//
+//	go run ./examples/enclavetraining
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pelta/internal/core"
+	"pelta/internal/dataset"
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "enclavetraining:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := dataset.SynthCIFAR10(16, 17)
+	cfg.Classes = 6
+	cfg.TrainN, cfg.ValN = 400, 150
+	train, val := dataset.Generate(cfg)
+
+	for _, syncEvery := range []int{1, 4, 16} {
+		// Fresh model per setting for a fair comparison.
+		m := models.NewViT(models.SmallViT("ViT-tee", cfg.Classes, 16, 4), tensor.NewRNG(1))
+		sm, err := core.NewShieldedModel(m, 0)
+		if err != nil {
+			return err
+		}
+		trainer, err := core.NewEnclaveTrainer(sm, 2e-3, syncEvery)
+		if err != nil {
+			return err
+		}
+		if _, err := trainer.TrainEpochs(train.X, train.Y, 7, 32, 1); err != nil {
+			return err
+		}
+		met := trainer.Enclave().Metrics()
+		fmt.Printf("sync every %2d batches: val accuracy %5.1f%%, %3d hidden exports, %5d world switches, %v modelled overhead\n",
+			syncEvery, 100*models.Accuracy(m, val.X, val.Y),
+			trainer.Exports, met.WorldSwitches, met.SimulatedOverhead)
+	}
+	fmt.Println("\nLarger sync intervals batch the hidden-gradient traffic (fewer exports,")
+	fmt.Println("fewer switches) without touching accuracy — the §VI tuning knob.")
+	return nil
+}

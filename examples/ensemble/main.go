@@ -1,0 +1,45 @@
+// Ensemble defense vs SAGA (Table IV, §V-A2): a ViT and a BiT under the
+// random-selection policy, attacked by the Self-Attention Gradient Attack
+// in all four shielding settings.
+//
+//	go run ./examples/ensemble
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pelta/internal/dataset"
+	"pelta/internal/eval"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ensemble:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := eval.QuickBlockConfig(dataset.SynthCIFAR10(16, 9))
+	cfg.Dataset.Classes = 6
+	fmt.Println("training the ViT + BiT ensemble pair...")
+	blk, err := eval.BuildBlock(cfg)
+	if err != nil {
+		return err
+	}
+	set := eval.DefaultAttackSet()
+	set.Steps = 10
+	fmt.Println("running SAGA under the four shielding settings (this is Table IV)...")
+	tbl, err := eval.RunTable4(blk.ViT, blk.BiT, blk.Val, 24, set)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(tbl.Render())
+	fmt.Println()
+	fmt.Println("Reading the grid: the unshielded pair collapses; shielding one member")
+	fmt.Println("leaves its counterpart exposed (SAGA redirects onto the clear loss);")
+	fmt.Println("shielding both restores astuteness to near the random-noise baseline.")
+	return nil
+}

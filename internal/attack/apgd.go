@@ -1,0 +1,185 @@
+package attack
+
+import (
+	"math"
+
+	"pelta/internal/tensor"
+)
+
+// APGD is Auto-PGD [61]: PGD with an adaptive step-size schedule, a
+// momentum term, and restarts from the best point found so far. The step is
+// halved at checkpoints when fewer than ρ of the steps since the previous
+// checkpoint increased the objective, or when both the step size and the
+// best loss stagnated.
+type APGD struct {
+	Eps      float32
+	Steps    int
+	Rho      float64 // checkpoint success-ratio threshold (0.75 in Table II)
+	Restarts int     // random restarts (N_restarts = 1 in Table II)
+	Seed     int64
+}
+
+var _ Attack = (*APGD)(nil)
+
+// Name implements Attack.
+func (a *APGD) Name() string { return "APGD" }
+
+// momentum coefficient of the x-update (α in Croce & Hein).
+const apgdAlpha = 0.75
+
+// Perturb implements Attack.
+func (a *APGD) Perturb(o Oracle, x *tensor.Tensor, y []int) (*tensor.Tensor, error) {
+	if err := checkBatch(x, y); err != nil {
+		return nil, err
+	}
+	restarts := a.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	best := x.Clone()
+	bestLoss := make([]float64, len(y))
+	for i := range bestLoss {
+		bestLoss[i] = math.Inf(-1)
+	}
+	for r := 0; r < restarts; r++ {
+		xr, lossR, err := a.run(o, x, y, a.Seed+int64(r))
+		if err != nil {
+			return nil, err
+		}
+		for i := range y {
+			if lossR[i] > bestLoss[i] {
+				bestLoss[i] = lossR[i]
+				best.Slice(i).CopyFrom(xr.Slice(i))
+			}
+		}
+	}
+	return best, nil
+}
+
+// checkpoints returns the Croce-Hein checkpoint iteration indices.
+func (a *APGD) checkpoints() []int {
+	var ws []int
+	p0, p1 := 0.0, 0.22
+	ws = append(ws, 0, int(math.Ceil(p1*float64(a.Steps))))
+	for ws[len(ws)-1] < a.Steps {
+		pNext := p1 + math.Max(p1-p0-0.03, 0.06)
+		p0, p1 = p1, pNext
+		w := int(math.Ceil(p1 * float64(a.Steps)))
+		if w <= ws[len(ws)-1] {
+			w = ws[len(ws)-1] + 1
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+func (a *APGD) run(o Oracle, x0 *tensor.Tensor, y []int, seed int64) (*tensor.Tensor, []float64, error) {
+	b := len(y)
+	n := x0.Len() / b
+	rng := tensor.NewRNG(seed)
+
+	// Random start inside the ball.
+	x := x0.Clone()
+	tensor.AddIn(x, rng.Uniform(-float64(a.Eps), float64(a.Eps), x0.Shape()...))
+	projectLinf(x, x0, a.Eps)
+	xPrev := x.Clone()
+
+	loss, err := perSampleCE(o, x, y)
+	if err != nil {
+		return nil, nil, err
+	}
+	xBest := x.Clone()
+	lossBest := append([]float64(nil), loss...)
+
+	eta := make([]float32, b)
+	for i := range eta {
+		eta[i] = 2 * a.Eps
+	}
+	improved := make([]int, b)                          // improving steps since last checkpoint
+	lossBestPrev := append([]float64(nil), lossBest...) // best at last checkpoint
+	etaPrev := append([]float32(nil), eta...)
+
+	cps := a.checkpoints()
+	nextCP := 1
+
+	for k := 0; k < a.Steps; k++ {
+		grad, _, err := o.GradCE(x, y)
+		if err != nil {
+			return nil, nil, err
+		}
+		// z = P(x + η·sign(grad)); x⁺ = P(x + α(z−x) + (1−α)(x−x_prev))
+		z := x.Clone()
+		gd, zd := grad.Data(), z.Data()
+		for i := range zd {
+			s := eta[i/n]
+			switch {
+			case gd[i] > 0:
+				zd[i] += s
+			case gd[i] < 0:
+				zd[i] -= s
+			}
+		}
+		projectLinf(z, x0, a.Eps)
+		xNew := tensor.New(x.Shape()...)
+		xd, xpd, xnd := x.Data(), xPrev.Data(), xNew.Data()
+		for i := range xnd {
+			xnd[i] = xd[i] + apgdAlpha*(zd[i]-xd[i]) + (1-apgdAlpha)*(xd[i]-xpd[i])
+		}
+		projectLinf(xNew, x0, a.Eps)
+		xPrev = x
+		x = xNew
+
+		newLoss, err := perSampleCE(o, x, y)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := range y {
+			if newLoss[i] > loss[i] {
+				improved[i]++
+			}
+			if newLoss[i] > lossBest[i] {
+				lossBest[i] = newLoss[i]
+				xBest.Slice(i).CopyFrom(x.Slice(i))
+			}
+		}
+		loss = newLoss
+
+		if nextCP < len(cps) && k+1 == cps[nextCP] {
+			span := cps[nextCP] - cps[nextCP-1]
+			for i := range y {
+				cond1 := float64(improved[i]) < a.Rho*float64(span)
+				cond2 := etaPrev[i] == eta[i] && lossBestPrev[i] == lossBest[i]
+				if cond1 || cond2 {
+					eta[i] /= 2
+					// Restart this sample from its best point.
+					x.Slice(i).CopyFrom(xBest.Slice(i))
+					xPrev.Slice(i).CopyFrom(xBest.Slice(i))
+				}
+				improved[i] = 0
+				etaPrev[i] = eta[i]
+				lossBestPrev[i] = lossBest[i]
+			}
+			nextCP++
+		}
+	}
+	return xBest, lossBest, nil
+}
+
+// perSampleCE computes each sample's cross-entropy from the oracle's clear
+// logits (always attacker-computable, shielded or not).
+func perSampleCE(o Oracle, x *tensor.Tensor, y []int) ([]float64, error) {
+	logits, err := o.Logits(x)
+	if err != nil {
+		return nil, err
+	}
+	probs := tensor.SoftmaxRows(logits)
+	out := make([]float64, len(y))
+	for i, yi := range y {
+		p := float64(probs.At(i, yi))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		out[i] = -math.Log(p)
+	}
+	return out, nil
+}

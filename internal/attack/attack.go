@@ -1,0 +1,76 @@
+package attack
+
+import (
+	"fmt"
+
+	"pelta/internal/tensor"
+)
+
+// Attack perturbs correctly classified samples into adversarial candidates.
+// Implementations follow the non-targeted versions described in §V-B.
+type Attack interface {
+	// Name returns the attack label used in the tables.
+	Name() string
+	// Perturb returns adversarial examples for a batch x [B,C,H,W] with
+	// true labels y, staying inside the attack's norm ball around x and
+	// inside the pixel box [0,1].
+	Perturb(o Oracle, x *tensor.Tensor, y []int) (*tensor.Tensor, error)
+}
+
+// projectLinf clips xadv into the ε-ball around x0 (l∞) and into [0,1] —
+// the P operator of Fig. 3.
+func projectLinf(xadv, x0 *tensor.Tensor, eps float32) {
+	a, o := xadv.Data(), x0.Data()
+	for i := range a {
+		lo, hi := o[i]-eps, o[i]+eps
+		if a[i] < lo {
+			a[i] = lo
+		}
+		if a[i] > hi {
+			a[i] = hi
+		}
+		if a[i] < 0 {
+			a[i] = 0
+		}
+		if a[i] > 1 {
+			a[i] = 1
+		}
+	}
+}
+
+// addSignStep performs x += step·sign(g) in place.
+func addSignStep(x *tensor.Tensor, g *tensor.Tensor, step float32) {
+	xd, gd := x.Data(), g.Data()
+	for i := range xd {
+		switch {
+		case gd[i] > 0:
+			xd[i] += step
+		case gd[i] < 0:
+			xd[i] -= step
+		}
+	}
+}
+
+// checkBatch validates attack inputs.
+func checkBatch(x *tensor.Tensor, y []int) error {
+	if x.Rank() != 4 {
+		return fmt.Errorf("attack: batch must be [B,C,H,W], got %v", x.Shape())
+	}
+	if x.Dim(0) != len(y) {
+		return fmt.Errorf("attack: %d samples but %d labels", x.Dim(0), len(y))
+	}
+	return nil
+}
+
+// SuccessMask reports which samples an oracle now misclassifies.
+func SuccessMask(o Oracle, xadv *tensor.Tensor, y []int) ([]bool, error) {
+	pred, err := PredictOracle(o, xadv)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(y))
+	for i := range y {
+		out[i] = pred[i] != y[i]
+	}
+	return out, nil
+}

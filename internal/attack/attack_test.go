@@ -1,0 +1,315 @@
+package attack
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"pelta/internal/core"
+	"pelta/internal/dataset"
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+// trainedViT caches one trained small ViT and its evaluation data across
+// tests (training costs a couple of seconds).
+var (
+	setupOnce sync.Once
+	vitModel  *models.ViT
+	evalX     *tensor.Tensor
+	evalY     []int
+)
+
+func setup(t *testing.T) (*models.ViT, *tensor.Tensor, []int) {
+	t.Helper()
+	setupOnce.Do(func() {
+		cfg := dataset.SynthCIFAR10(16, 21)
+		cfg.Classes = 6
+		cfg.TrainN, cfg.ValN = 300, 120
+		train, val := dataset.Generate(cfg)
+		vitModel = models.NewViT(models.SmallViT("vit-attack", 6, 16, 4), tensor.NewRNG(2))
+		models.Train(vitModel, train.X, train.Y, models.TrainConfig{Epochs: 6, BatchSize: 32, LR: 2e-3, Seed: 3})
+		// Keep only correctly classified validation samples (astuteness
+		// protocol, §V-C).
+		pred := models.Predict(vitModel, val.X)
+		var idx []int
+		for i := range pred {
+			if pred[i] == val.Y[i] && len(idx) < 24 {
+				idx = append(idx, i)
+			}
+		}
+		sub := val.Subset(idx)
+		evalX, evalY = sub.X, sub.Y
+	})
+	if len(evalY) < 12 {
+		t.Fatalf("defender too weak: only %d correctly classified samples", len(evalY))
+	}
+	return vitModel, evalX, evalY
+}
+
+func robustAccuracy(t *testing.T, o Oracle, xadv *tensor.Tensor, y []int) float64 {
+	t.Helper()
+	mask, err := SuccessMask(o, xadv, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for _, s := range mask {
+		if !s {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(y))
+}
+
+func TestPGDBreaksClearModel(t *testing.T) {
+	m, x, y := setup(t)
+	o := &ClearOracle{M: m}
+	pgd := &PGD{Eps: 0.1, Step: 0.0125, Steps: 20}
+	xadv, err := pgd.Perturb(o, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra := robustAccuracy(t, o, xadv, y); ra > 0.3 {
+		t.Fatalf("PGD vs clear model: robust accuracy %.2f, want near-total break", ra)
+	}
+	// Perturbation respects the ε-ball and pixel box.
+	diff := tensor.Sub(xadv, x)
+	if linf := tensor.NormLInf(diff); linf > 0.1+1e-5 {
+		t.Fatalf("l∞ = %v exceeds ε", linf)
+	}
+	for _, v := range xadv.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v outside box", v)
+		}
+	}
+}
+
+func TestFGSMWeakerThanPGD(t *testing.T) {
+	m, x, y := setup(t)
+	o := &ClearOracle{M: m}
+	fgsm := &FGSM{Eps: 0.1}
+	xf, err := fgsm.Perturb(o, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgd := &PGD{Eps: 0.1, Step: 0.0125, Steps: 20}
+	xp, err := pgd.Perturb(o, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raF := robustAccuracy(t, o, xf, y)
+	raP := robustAccuracy(t, o, xp, y)
+	if raP > raF+1e-9 {
+		t.Fatalf("PGD (%.2f) should be at least as strong as FGSM (%.2f)", raP, raF)
+	}
+}
+
+func TestMIMBreaksClearModel(t *testing.T) {
+	m, x, y := setup(t)
+	o := &ClearOracle{M: m}
+	mim := &MIM{Eps: 0.1, Step: 0.0125, Steps: 20, Mu: 1}
+	xadv, err := mim.Perturb(o, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra := robustAccuracy(t, o, xadv, y); ra > 0.3 {
+		t.Fatalf("MIM robust accuracy %.2f, want near-total break", ra)
+	}
+}
+
+func TestAPGDBreaksClearModel(t *testing.T) {
+	m, x, y := setup(t)
+	o := &ClearOracle{M: m}
+	apgd := &APGD{Eps: 0.1, Steps: 15, Rho: 0.75, Restarts: 1, Seed: 5}
+	xadv, err := apgd.Perturb(o, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra := robustAccuracy(t, o, xadv, y); ra > 0.3 {
+		t.Fatalf("APGD robust accuracy %.2f, want near-total break", ra)
+	}
+	diff := tensor.Sub(xadv, x)
+	if linf := tensor.NormLInf(diff); linf > 0.1+1e-5 {
+		t.Fatalf("APGD left the ε-ball: %v", linf)
+	}
+}
+
+func TestAPGDCheckpointsIncrease(t *testing.T) {
+	a := &APGD{Steps: 100}
+	cps := a.checkpoints()
+	if cps[0] != 0 || cps[1] != 22 {
+		t.Fatalf("first checkpoints = %v", cps[:2])
+	}
+	for i := 1; i < len(cps); i++ {
+		if cps[i] <= cps[i-1] {
+			t.Fatalf("checkpoints not increasing: %v", cps)
+		}
+	}
+}
+
+func TestCWBreaksClearModel(t *testing.T) {
+	m, x, y := setup(t)
+	o := &ClearOracle{M: m}
+	cw := &CW{Confidence: 0, Step: 0.01, Steps: 30, C: 0.05}
+	xadv, err := cw.Perturb(o, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra := robustAccuracy(t, o, xadv, y); ra > 0.4 {
+		t.Fatalf("C&W robust accuracy %.2f, want strong break", ra)
+	}
+	for _, v := range xadv.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("tanh parametrization must keep pixels in box, got %v", v)
+		}
+	}
+}
+
+func TestRandomUniformBarelyHurts(t *testing.T) {
+	m, x, y := setup(t)
+	o := &ClearOracle{M: m}
+	r := &RandomUniform{Eps: 0.1, Seed: 9}
+	xadv, err := r.Perturb(o, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra := robustAccuracy(t, o, xadv, y); ra < 0.7 {
+		t.Fatalf("random noise robust accuracy %.2f, should stay high", ra)
+	}
+}
+
+func TestShieldedOracleBlocksPGD(t *testing.T) {
+	m, x, y := setup(t)
+	clear := &ClearOracle{M: m}
+	sm, err := core.NewShieldedModel(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shielded, err := NewShieldedOracle(sm, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgd := &PGD{Eps: 0.1, Step: 0.0125, Steps: 20}
+	xClear, err := pgd.Perturb(clear, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xShield, err := pgd.Perturb(shielded, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raClear := robustAccuracy(t, clear, xClear, y)
+	raShield := robustAccuracy(t, clear, xShield, y)
+	// The headline result: shielding restores astuteness.
+	if raShield < raClear+0.3 {
+		t.Fatalf("shielded robust accuracy %.2f vs clear %.2f — shield ineffective", raShield, raClear)
+	}
+	if raShield < 0.6 {
+		t.Fatalf("shielded robust accuracy %.2f, want near-clean levels", raShield)
+	}
+}
+
+func TestShieldedOracleNeverSeesInputGradient(t *testing.T) {
+	m, x, y := setup(t)
+	sm, err := core.NewShieldedModel(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewShieldedOracle(sm, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := x.Slice(0).Reshape(1, 3, 16, 16)
+	surrogate, _, err := o.GradCE(sub, y[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueGrad, _, err := (&ClearOracle{M: m}).GradCE(sub, y[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The surrogate must be input-shaped but essentially uncorrelated with
+	// the true gradient direction (cosine similarity ≈ 0).
+	if !surrogate.SameShape(trueGrad) {
+		t.Fatalf("surrogate shape %v vs %v", surrogate.Shape(), trueGrad.Shape())
+	}
+	cos := tensor.Dot(surrogate, trueGrad) / (tensor.NormL2(surrogate)*tensor.NormL2(trueGrad) + 1e-12)
+	if math.Abs(cos) > 0.5 {
+		t.Fatalf("surrogate gradient suspiciously aligned with ∇xL: cos=%.3f", cos)
+	}
+}
+
+func TestUpsamplerShapes(t *testing.T) {
+	tests := []struct {
+		name     string
+		adjShape []int
+		input    []int
+	}{
+		{"vit-tokens", []int{2, 17, 48}, []int{3, 16, 16}},
+		{"conv-same", []int{2, 8, 16, 16}, []int{3, 16, 16}},
+		{"conv-padded", []int{2, 8, 18, 18}, []int{3, 16, 16}},
+		{"conv-strided", []int{2, 8, 8, 8}, []int{3, 16, 16}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			up, err := NewUpsampler(tt.adjShape, tt.input, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			adj := tensor.NewRNG(2).Normal(0, 1, tt.adjShape...)
+			out, err := up.Apply(adj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := append([]int{tt.adjShape[0]}, tt.input...)
+			for i, d := range out.Shape() {
+				if d != want[i] {
+					t.Fatalf("out shape = %v, want %v", out.Shape(), want)
+				}
+			}
+			if tensor.NormL2(out) == 0 {
+				t.Fatal("upsampled gradient is zero")
+			}
+		})
+	}
+}
+
+func TestUpsamplerRejectsBadShapes(t *testing.T) {
+	if _, err := NewUpsampler([]int{2, 7, 48}, []int{3, 16, 16}, 1); err == nil {
+		t.Fatal("non-square token grid must fail")
+	}
+	if _, err := NewUpsampler([]int{2, 3}, []int{3, 16, 16}, 1); err == nil {
+		t.Fatal("rank-2 adjoint must fail")
+	}
+}
+
+func TestCWMarginSaturationGradCW(t *testing.T) {
+	m, x, y := setup(t)
+	o := &ClearOracle{M: m}
+	grad, obj, err := o.GradCW(x, y, x, 0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grad.Len() != x.Len() {
+		t.Fatalf("grad len %d", grad.Len())
+	}
+	// At x == x0 the l2 term is zero, so obj equals the margin sum, which
+	// is positive for correctly classified samples.
+	if obj <= 0 {
+		t.Fatalf("objective = %v, want positive margins at clean samples", obj)
+	}
+}
+
+func TestAttackInputValidation(t *testing.T) {
+	m, _, _ := setup(t)
+	o := &ClearOracle{M: m}
+	bad := tensor.New(2, 3, 16) // rank 3
+	if _, err := (&FGSM{Eps: 0.01}).Perturb(o, bad, []int{0, 1}); err == nil {
+		t.Fatal("rank-3 batch must fail")
+	}
+	good := tensor.New(2, 3, 16, 16)
+	if _, err := (&PGD{Eps: 0.01, Steps: 1, Step: 0.01}).Perturb(o, good, []int{0}); err == nil {
+		t.Fatal("label-count mismatch must fail")
+	}
+}

@@ -1,0 +1,138 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"pelta/internal/tensor"
+)
+
+// Upsampler maps the adjoint δ_{L+1} of the last clear layer back to the
+// input shape with a transposed convolution whose kernel is initialized
+// random-uniform (§V-B). It is the BPDA-style last resort of an attacker
+// facing Pelta: a geometric transformation of the under-factored gradient,
+// with no guarantee of pointing along ∇xL.
+type Upsampler struct {
+	srcShape []int // adjoint shape without batch: [T,D] or [C,h,w]
+	dstC     int
+	dstH     int
+	dstW     int
+
+	kernel *tensor.Tensor // [C_src, dstC, k, k]
+	stride int
+	// vit marks a token-shaped adjoint ([B,T,D]) that must be re-arranged
+	// into a patch grid before upsampling.
+	vit  bool
+	grid int // √(T−1) for vit adjoints
+}
+
+// NewUpsampler builds an upsampler from the adjoint shape (including batch
+// dim) to input shape [C,H,W].
+func NewUpsampler(adjointShape, inputShape []int, seed int64) (*Upsampler, error) {
+	if len(inputShape) != 3 {
+		return nil, fmt.Errorf("attack: input shape %v must be [C,H,W]", inputShape)
+	}
+	u := &Upsampler{dstC: inputShape[0], dstH: inputShape[1], dstW: inputShape[2]}
+	rng := tensor.NewRNG(seed)
+	switch len(adjointShape) {
+	case 3: // [B, T, D] — ViT boundary z0
+		t, d := adjointShape[1], adjointShape[2]
+		grid := int(math.Round(math.Sqrt(float64(t - 1))))
+		if grid*grid != t-1 {
+			return nil, fmt.Errorf("attack: token count %d is not a square grid + class token", t)
+		}
+		u.vit = true
+		u.grid = grid
+		u.srcShape = []int{t, d}
+		u.stride = u.dstH / grid
+		if u.stride < 1 {
+			u.stride = 1
+		}
+		k := u.stride
+		bound := 1 / math.Sqrt(float64(d*k*k))
+		u.kernel = rng.Uniform(-bound, bound, d, u.dstC, k, k)
+	case 4: // [B, C, h, w] — convolutional boundary
+		c, h := adjointShape[1], adjointShape[2]
+		u.srcShape = adjointShape[1:]
+		u.stride = u.dstH / h
+		if u.stride < 1 {
+			u.stride = 1
+		}
+		k := u.stride
+		if k < 3 {
+			k = 3
+		}
+		bound := 1 / math.Sqrt(float64(c*k*k))
+		u.kernel = rng.Uniform(-bound, bound, c, u.dstC, k, k)
+	default:
+		return nil, fmt.Errorf("attack: unsupported adjoint shape %v", adjointShape)
+	}
+	return u, nil
+}
+
+// Apply upsamples a batched adjoint to [B, C, H, W].
+func (u *Upsampler) Apply(adj *tensor.Tensor) (*tensor.Tensor, error) {
+	var x4 *tensor.Tensor
+	switch {
+	case u.vit:
+		if adj.Rank() != 3 {
+			return nil, fmt.Errorf("attack: expected [B,T,D] adjoint, got %v", adj.Shape())
+		}
+		x4 = u.tokensToGrid(adj)
+	default:
+		if adj.Rank() != 4 {
+			return nil, fmt.Errorf("attack: expected [B,C,h,w] adjoint, got %v", adj.Shape())
+		}
+		x4 = adj
+	}
+	up := tensor.ConvTranspose2d(x4, u.kernel, u.stride, 0)
+	return fitSpatial(up, u.dstH, u.dstW), nil
+}
+
+// tokensToGrid drops the class token and lays the patch tokens out as a
+// [B, D, grid, grid] feature map.
+func (u *Upsampler) tokensToGrid(adj *tensor.Tensor) *tensor.Tensor {
+	b, t, d := adj.Dim(0), adj.Dim(1), adj.Dim(2)
+	out := tensor.New(b, d, u.grid, u.grid)
+	for i := 0; i < b; i++ {
+		src := adj.Slice(i) // [T, D]
+		dst := out.Slice(i) // [D, g, g]
+		for tok := 1; tok < t; tok++ {
+			py, px := (tok-1)/u.grid, (tok-1)%u.grid
+			for ch := 0; ch < d; ch++ {
+				dst.Data()[ch*u.grid*u.grid+py*u.grid+px] = src.Data()[tok*d+ch]
+			}
+		}
+	}
+	return out
+}
+
+// fitSpatial center-crops or zero-pads the spatial dims to (H, W).
+func fitSpatial(x *tensor.Tensor, H, W int) *tensor.Tensor {
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h == H && w == W {
+		return x
+	}
+	out := tensor.New(b, c, H, W)
+	dy := (h - H) / 2
+	dx := (w - W) / 2
+	for i := 0; i < b; i++ {
+		src, dst := x.Slice(i), out.Slice(i)
+		for ch := 0; ch < c; ch++ {
+			for y := 0; y < H; y++ {
+				sy := y + dy
+				if sy < 0 || sy >= h {
+					continue
+				}
+				for xx := 0; xx < W; xx++ {
+					sx := xx + dx
+					if sx < 0 || sx >= w {
+						continue
+					}
+					dst.Data()[ch*H*W+y*W+xx] = src.Data()[ch*h*w+sy*w+sx]
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package attack
+
+import (
+	"math"
+
+	"pelta/internal/tensor"
+)
+
+// CW is the Carlini & Wagner l2 attack [62]: it minimizes
+// margin_κ(x', y) + c·‖x'−x0‖² over the tanh-space variable w with
+// x' = ½(tanh(w)+1), so the pixel box constraint holds by construction.
+// The inner optimizer is Adam, as in the original attack.
+type CW struct {
+	Confidence float32 // κ (50 in Table II)
+	Step       float32 // optimizer learning rate (ε_step in Table II)
+	Steps      int
+	C          float32 // regularization trade-off constant
+}
+
+var _ Attack = (*CW)(nil)
+
+// Name implements Attack.
+func (a *CW) Name() string { return "C&W" }
+
+// Perturb implements Attack. For every sample the best successful
+// adversarial candidate (smallest objective while misclassified) is
+// returned; samples never misclassified return the final iterate.
+func (a *CW) Perturb(o Oracle, x *tensor.Tensor, y []int) (*tensor.Tensor, error) {
+	if err := checkBatch(x, y); err != nil {
+		return nil, err
+	}
+	c := a.C
+	if c == 0 {
+		c = 0.1
+	}
+	n := x.Len()
+	b := len(y)
+
+	// w = atanh(2x−1), with pixels pulled slightly inside (0,1).
+	w := tensor.New(x.Shape()...)
+	for i, v := range x.Data() {
+		t := 2*float64(v) - 1
+		if t > 0.999999 {
+			t = 0.999999
+		}
+		if t < -0.999999 {
+			t = -0.999999
+		}
+		w.Data()[i] = float32(math.Atanh(t))
+	}
+
+	// Adam state over w.
+	m := make([]float64, n)
+	v2 := make([]float64, n)
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+	xAdv := tensor.New(x.Shape()...)
+	best := x.Clone()
+	bestObj := make([]float64, b)
+	found := make([]bool, b)
+	for i := range bestObj {
+		bestObj[i] = math.Inf(1)
+	}
+
+	toPixels := func() {
+		for i, wv := range w.Data() {
+			xAdv.Data()[i] = float32(0.5 * (math.Tanh(float64(wv)) + 1))
+		}
+	}
+
+	for k := 1; k <= a.Steps; k++ {
+		toPixels()
+		grad, _, err := o.GradCW(xAdv, y, x, a.Confidence, c)
+		if err != nil {
+			return nil, err
+		}
+		// Track per-sample success/objective on the current iterate.
+		pred, err := PredictOracle(o, xAdv)
+		if err != nil {
+			return nil, err
+		}
+		sample := n / b
+		for i := range y {
+			if pred[i] != y[i] {
+				diff := tensor.Sub(xAdv.Slice(i), x.Slice(i))
+				obj := tensor.Dot(diff, diff)
+				if obj < bestObj[i] {
+					bestObj[i] = obj
+					found[i] = true
+					best.Slice(i).CopyFrom(xAdv.Slice(i))
+				}
+			}
+			_ = sample
+		}
+		// Chain rule through the tanh reparametrization:
+		// dw = dx' · ½(1−tanh²(w)).
+		gd, wd := grad.Data(), w.Data()
+		for i := range gd {
+			t := math.Tanh(float64(wd[i]))
+			g := float64(gd[i]) * 0.5 * (1 - t*t)
+			m[i] = beta1*m[i] + (1-beta1)*g
+			v2[i] = beta2*v2[i] + (1-beta2)*g*g
+			mh := m[i] / (1 - math.Pow(beta1, float64(k)))
+			vh := v2[i] / (1 - math.Pow(beta2, float64(k)))
+			wd[i] -= a.Step * float32(mh/(math.Sqrt(vh)+eps))
+		}
+	}
+	toPixels()
+	for i := range y {
+		if !found[i] {
+			best.Slice(i).CopyFrom(xAdv.Slice(i))
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,159 @@
+package attack
+
+import (
+	"math"
+
+	"pelta/internal/tensor"
+)
+
+// FGSM is the Fast Gradient Sign Method [17]: a single ε-step along the
+// sign of ∇xL.
+type FGSM struct {
+	Eps float32
+	// Targeted interprets y as target classes and descends their loss
+	// (the targeted variant; the paper evaluates the non-targeted one).
+	Targeted bool
+}
+
+var _ Attack = (*FGSM)(nil)
+
+// Name implements Attack.
+func (a *FGSM) Name() string { return "FGSM" }
+
+// Perturb implements Attack: x_adv = clip(x0 ± ε·sign(∇xL(x0, y))).
+func (a *FGSM) Perturb(o Oracle, x *tensor.Tensor, y []int) (*tensor.Tensor, error) {
+	if err := checkBatch(x, y); err != nil {
+		return nil, err
+	}
+	grad, _, err := o.GradCE(x, y)
+	if err != nil {
+		return nil, err
+	}
+	step := a.Eps
+	if a.Targeted {
+		step = -step
+	}
+	xadv := x.Clone()
+	addSignStep(xadv, grad, step)
+	projectLinf(xadv, x, a.Eps)
+	return xadv, nil
+}
+
+// PGD is Projected Gradient Descent [59]: the multi-step FGSM variant with
+// projection back into the ε-ball after every step.
+type PGD struct {
+	Eps       float32
+	Step      float32
+	Steps     int
+	RandStart bool
+	Seed      int64
+	// Targeted interprets y as target classes and descends their loss.
+	Targeted bool
+}
+
+var _ Attack = (*PGD)(nil)
+
+// Name implements Attack.
+func (a *PGD) Name() string { return "PGD" }
+
+// Perturb implements Attack.
+func (a *PGD) Perturb(o Oracle, x *tensor.Tensor, y []int) (*tensor.Tensor, error) {
+	if err := checkBatch(x, y); err != nil {
+		return nil, err
+	}
+	xadv := x.Clone()
+	if a.RandStart {
+		rng := tensor.NewRNG(a.Seed)
+		noise := rng.Uniform(-float64(a.Eps), float64(a.Eps), x.Shape()...)
+		tensor.AddIn(xadv, noise)
+		projectLinf(xadv, x, a.Eps)
+	}
+	step := a.Step
+	if a.Targeted {
+		step = -step
+	}
+	for i := 0; i < a.Steps; i++ {
+		grad, _, err := o.GradCE(xadv, y)
+		if err != nil {
+			return nil, err
+		}
+		addSignStep(xadv, grad, step)
+		projectLinf(xadv, x, a.Eps)
+	}
+	return xadv, nil
+}
+
+// MIM is the Momentum Iterative Method [60]: gradient steps with an
+// l1-normalized velocity term g_µ accumulated across iterations.
+type MIM struct {
+	Eps   float32
+	Step  float32
+	Steps int
+	Mu    float32
+}
+
+var _ Attack = (*MIM)(nil)
+
+// Name implements Attack.
+func (a *MIM) Name() string { return "MIM" }
+
+// Perturb implements Attack.
+func (a *MIM) Perturb(o Oracle, x *tensor.Tensor, y []int) (*tensor.Tensor, error) {
+	if err := checkBatch(x, y); err != nil {
+		return nil, err
+	}
+	xadv := x.Clone()
+	velocity := tensor.New(x.Shape()...)
+	b := x.Dim(0)
+	sample := x.Len() / b
+	for i := 0; i < a.Steps; i++ {
+		grad, _, err := o.GradCE(xadv, y)
+		if err != nil {
+			return nil, err
+		}
+		// Per-sample l1 normalization before the momentum update.
+		gd, vd := grad.Data(), velocity.Data()
+		for s := 0; s < b; s++ {
+			seg := gd[s*sample : (s+1)*sample]
+			var l1 float64
+			for _, v := range seg {
+				l1 += math.Abs(float64(v))
+			}
+			if l1 < 1e-12 {
+				l1 = 1e-12
+			}
+			inv := float32(1 / l1)
+			for j, v := range seg {
+				vd[s*sample+j] = a.Mu*vd[s*sample+j] + v*inv
+			}
+		}
+		addSignStep(xadv, velocity, a.Step)
+		projectLinf(xadv, x, a.Eps)
+	}
+	return xadv, nil
+}
+
+// RandomUniform is the baseline of Table IV: a single uniform perturbation
+// on the surface of the l∞ ε-ball, no gradient information at all.
+type RandomUniform struct {
+	Eps  float32
+	Seed int64
+}
+
+var _ Attack = (*RandomUniform)(nil)
+
+// Name implements Attack.
+func (a *RandomUniform) Name() string { return "Random" }
+
+// Perturb implements Attack.
+func (a *RandomUniform) Perturb(_ Oracle, x *tensor.Tensor, y []int) (*tensor.Tensor, error) {
+	if err := checkBatch(x, y); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(a.Seed)
+	xadv := x.Clone()
+	noise := rng.Uniform(-float64(a.Eps), float64(a.Eps), x.Shape()...)
+	tensor.AddIn(xadv, noise)
+	projectLinf(xadv, x, a.Eps)
+	return xadv, nil
+}

@@ -1,0 +1,184 @@
+// Package attack implements the six white-box evasion attacks of the
+// paper's evaluation — FGSM, PGD, MIM, APGD, C&W and SAGA — plus the
+// random-uniform baseline, against both clear models (full white-box) and
+// Pelta-shielded models (restricted white-box).
+//
+// Attacks consume a gradient Oracle. The clear oracle returns the true
+// ∇xL; the shielded oracle can only observe the adjoint δ_{L+1} of the
+// shallowest clear layer and substitutes a BPDA-style transposed-convolution
+// upsampling for the masked shallow backward (§IV-C, §V-B).
+package attack
+
+import (
+	"fmt"
+
+	"pelta/internal/autograd"
+	"pelta/internal/core"
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+// Oracle answers the gradient queries of an attacker probing its local
+// model copy.
+type Oracle interface {
+	// Name identifies the defender.
+	Name() string
+	// InputShape returns [C,H,W].
+	InputShape() []int
+	// Classes returns the label-space size.
+	Classes() int
+	// Logits runs inference on a batch.
+	Logits(x *tensor.Tensor) (*tensor.Tensor, error)
+	// GradCE returns the gradient w.r.t. x of the summed cross-entropy
+	// loss and the loss value (the objective of FGSM/PGD/MIM/APGD/SAGA).
+	GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, float64, error)
+	// GradCW returns the gradient of the summed C&W objective
+	// margin_κ(x,y) + c·‖x−x0‖² and its value.
+	GradCW(x *tensor.Tensor, y []int, x0 *tensor.Tensor, kappa, c float32) (*tensor.Tensor, float64, error)
+}
+
+// ClearOracle exposes a non-shielded model: the plain white-box of §III.
+type ClearOracle struct {
+	M models.Model
+}
+
+var _ Oracle = (*ClearOracle)(nil)
+
+// Name implements Oracle.
+func (o *ClearOracle) Name() string { return o.M.Name() }
+
+// InputShape implements Oracle.
+func (o *ClearOracle) InputShape() []int { return o.M.InputShape() }
+
+// Classes implements Oracle.
+func (o *ClearOracle) Classes() int { return o.M.Classes() }
+
+// Logits implements Oracle.
+func (o *ClearOracle) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return models.Logits(o.M, x), nil
+}
+
+// GradCE implements Oracle.
+func (o *ClearOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, float64, error) {
+	g := autograd.NewGraph()
+	in := g.Input(x, "x")
+	_, logits := o.M.Forward(g, in)
+	loss, _ := g.CrossEntropy(logits, y, autograd.ReduceSum)
+	g.Backward(loss)
+	defer clearParamGrads(o.M)
+	return in.Grad.Clone(), float64(loss.Data.Data()[0]), nil
+}
+
+// GradCW implements Oracle.
+func (o *ClearOracle) GradCW(x *tensor.Tensor, y []int, x0 *tensor.Tensor, kappa, c float32) (*tensor.Tensor, float64, error) {
+	g := autograd.NewGraph()
+	in := g.Input(x, "x")
+	_, logits := o.M.Forward(g, in)
+	obj := g.Add(g.CWMargin(logits, y, kappa), g.Scale(g.SqDistSum(in, x0), c))
+	g.Backward(obj)
+	defer clearParamGrads(o.M)
+	return in.Grad.Clone(), float64(obj.Data.Data()[0]), nil
+}
+
+// clearParamGrads discards gradients an attack pass accumulated into the
+// model's persistent parameters: probing must not perturb the defender's
+// optimizer state.
+func clearParamGrads(m models.Model) {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// ShieldedOracle exposes a Pelta-shielded model: gradient queries return the
+// upsampled adjoint, never ∇xL. This is the restricted white-box the paper
+// evaluates in the right-hand columns of Table III.
+type ShieldedOracle struct {
+	SM *core.ShieldedModel
+	up *Upsampler
+}
+
+var _ Oracle = (*ShieldedOracle)(nil)
+
+// NewShieldedOracle builds the attacker's view of sm. seed initializes the
+// random-uniform upsampling kernel (§V-B: the attacker has no priors on the
+// shielded parameters).
+func NewShieldedOracle(sm *core.ShieldedModel, seed int64) (*ShieldedOracle, error) {
+	o := &ShieldedOracle{SM: sm}
+	// Discover the adjoint shape with a probe pass on a zero sample.
+	shape := append([]int{1}, sm.InputShape()...)
+	res, err := sm.Query(tensor.New(shape...), core.CrossEntropyLoss([]int{0}))
+	if err != nil {
+		return nil, fmt.Errorf("attack: probing adjoint shape: %w", err)
+	}
+	if res.Adjoint == nil {
+		return nil, fmt.Errorf("attack: shielded model returned no adjoint")
+	}
+	up, err := NewUpsampler(res.Adjoint.Shape(), sm.InputShape(), seed)
+	if err != nil {
+		return nil, fmt.Errorf("attack: building upsampler for %s: %w", sm.Name(), err)
+	}
+	o.up = up
+	return o, nil
+}
+
+// Name implements Oracle.
+func (o *ShieldedOracle) Name() string { return o.SM.Name() + "+Pelta" }
+
+// InputShape implements Oracle.
+func (o *ShieldedOracle) InputShape() []int { return o.SM.InputShape() }
+
+// Classes implements Oracle.
+func (o *ShieldedOracle) Classes() int { return o.SM.Classes() }
+
+// Logits implements Oracle.
+func (o *ShieldedOracle) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
+	res, err := o.SM.Query(x, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.Logits, nil
+}
+
+// GradCE implements Oracle: the true shallow backward is masked, so the
+// surrogate gradient is the transposed-convolution upsampling of δ_{L+1}.
+func (o *ShieldedOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, float64, error) {
+	res, err := o.SM.Query(x, core.CrossEntropyLoss(y))
+	if err != nil {
+		return nil, 0, err
+	}
+	grad, err := o.up.Apply(res.Adjoint)
+	if err != nil {
+		return nil, 0, err
+	}
+	return grad, res.Loss, nil
+}
+
+// GradCW implements Oracle. The ‖x−x0‖² term involves only the attacker's
+// own tensors, so its gradient 2c(x−x0) is exact; the margin term goes
+// through the upsampled adjoint.
+func (o *ShieldedOracle) GradCW(x *tensor.Tensor, y []int, x0 *tensor.Tensor, kappa, c float32) (*tensor.Tensor, float64, error) {
+	margin := func(g *autograd.Graph, logits *autograd.Value) *autograd.Value {
+		return g.CWMargin(logits, y, kappa)
+	}
+	res, err := o.SM.Query(x, margin)
+	if err != nil {
+		return nil, 0, err
+	}
+	grad, err := o.up.Apply(res.Adjoint)
+	if err != nil {
+		return nil, 0, err
+	}
+	diff := tensor.Sub(x, x0)
+	tensor.AddScaledIn(grad, 2*c, diff)
+	obj := res.Loss + float64(c)*tensor.Dot(diff, diff)
+	return grad, obj, nil
+}
+
+// PredictOracle returns argmax predictions through any oracle.
+func PredictOracle(o Oracle, x *tensor.Tensor) ([]int, error) {
+	logits, err := o.Logits(x)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.ArgmaxRows(logits), nil
+}

@@ -1,0 +1,148 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"pelta/internal/autograd"
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+// RolloutProvider computes the self-attention map term of SAGA (Eq. 4):
+// the per-layer sum over heads of (0.5·W^(att) + 0.5·I), multiplied across
+// the n_l encoder blocks, reduced to per-patch importances via the class
+// token row and upsampled to the input geometry. The attention maps live in
+// the clear (deep) segment of the network, so the attacker can compute the
+// rollout even when the ViT's shallow layers are Pelta-shielded.
+type RolloutProvider interface {
+	AttentionRollout(x *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// ViTRollout reads attention maps from a ViT defender.
+type ViTRollout struct {
+	V *models.ViT
+}
+
+var _ RolloutProvider = (*ViTRollout)(nil)
+
+// AttentionRollout implements RolloutProvider, returning [B,C,H,W].
+func (r *ViTRollout) AttentionRollout(x *tensor.Tensor) (*tensor.Tensor, error) {
+	g := autograd.NewGraph()
+	if _, _ = r.V.Forward(g, g.Input(x, "x")); len(r.V.AttentionMaps()) == 0 {
+		return nil, fmt.Errorf("attack: ViT recorded no attention maps")
+	}
+	maps := r.V.AttentionMaps()
+	b := x.Dim(0)
+	heads := r.V.Cfg.Heads
+	t := maps[0].Data.Dim(1)
+	n := t - 1
+	grid := int(math.Round(math.Sqrt(float64(n))))
+	c, h, w := r.V.Cfg.InputC, r.V.Cfg.InputHW, r.V.Cfg.InputHW
+	out := tensor.New(b, c, h, w)
+
+	for i := 0; i < b; i++ {
+		// R = ∏_l [ Σ_heads (0.5·W_l + 0.5·I) ]
+		r2 := identity(t)
+		for _, m := range maps {
+			layer := tensor.New(t, t)
+			for hd := 0; hd < heads; hd++ {
+				att := m.Data.Slice(i*heads + hd) // [T,T]
+				for j := 0; j < t*t; j++ {
+					layer.Data()[j] += 0.5 * att.Data()[j]
+				}
+			}
+			for j := 0; j < t; j++ {
+				layer.Data()[j*t+j] += 0.5 * float32(heads)
+			}
+			r2 = tensor.MatMul(layer, r2)
+		}
+		// Class-token row → patch importances, normalized to max 1.
+		row := r2.Row(0).Data()[1:]
+		mx := float32(0)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		if mx == 0 {
+			mx = 1
+		}
+		// Nearest-neighbour upsample of the patch grid to H×W.
+		dst := out.Slice(i)
+		ph, pw := h/grid, w/grid
+		for y := 0; y < h; y++ {
+			py := y / ph
+			if py >= grid {
+				py = grid - 1
+			}
+			for xx := 0; xx < w; xx++ {
+				px := xx / pw
+				if px >= grid {
+					px = grid - 1
+				}
+				v := row[py*grid+px] / mx
+				for ch := 0; ch < c; ch++ {
+					dst.Data()[ch*h*w+y*w+xx] = v
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func identity(n int) *tensor.Tensor {
+	id := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		id.Set(1, i, i)
+	}
+	return id
+}
+
+// SAGA is the Self-Attention Gradient Attack [44] against a ViT+CNN
+// ensemble (Eq. 2-4): a sign attack on the blended gradient
+// G = α_k·∂L_k/∂x + α_v·ϕ_v ⊙ ∂L_v/∂x with ϕ_v the attention rollout
+// modulated by the current image.
+type SAGA struct {
+	Eps    float32
+	Step   float32 // ε_step in Table II
+	Steps  int
+	AlphaK float32 // CNN weight; the ViT weight is α_v = 1 − α_k
+}
+
+// Name returns the attack label.
+func (a *SAGA) Name() string { return "SAGA" }
+
+// Perturb runs the attack. vit and cnn answer gradient queries for the two
+// ensemble members (either may be shielded); rollout provides ϕ_v.
+func (a *SAGA) Perturb(vit Oracle, rollout RolloutProvider, cnn Oracle, x *tensor.Tensor, y []int) (*tensor.Tensor, error) {
+	if err := checkBatch(x, y); err != nil {
+		return nil, err
+	}
+	alphaV := 1 - a.AlphaK
+	xadv := x.Clone()
+	for k := 0; k < a.Steps; k++ {
+		gradK, _, err := cnn.GradCE(xadv, y)
+		if err != nil {
+			return nil, fmt.Errorf("attack: SAGA CNN gradient: %w", err)
+		}
+		gradV, _, err := vit.GradCE(xadv, y)
+		if err != nil {
+			return nil, fmt.Errorf("attack: SAGA ViT gradient: %w", err)
+		}
+		phi, err := rollout.AttentionRollout(xadv)
+		if err != nil {
+			return nil, fmt.Errorf("attack: SAGA rollout: %w", err)
+		}
+		// ϕ_v = rollout ⊙ x^(i)  (Eq. 4), then G_blend (Eq. 3).
+		tensor.MulIn(phi, xadv)
+		blend := tensor.Scale(gradK, a.AlphaK)
+		pd, gv, bd := phi.Data(), gradV.Data(), blend.Data()
+		for i := range bd {
+			bd[i] += alphaV * pd[i] * gv[i]
+		}
+		addSignStep(xadv, blend, a.Step)
+		projectLinf(xadv, x, a.Eps)
+	}
+	return xadv, nil
+}

@@ -1,0 +1,160 @@
+package attack
+
+import (
+	"sync"
+	"testing"
+
+	"pelta/internal/core"
+	"pelta/internal/dataset"
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+// SAGA needs a ViT + CNN pair trained on the same task.
+var (
+	sagaOnce sync.Once
+	sagaViT  *models.ViT
+	sagaBiT  *models.BiT
+	sagaX    *tensor.Tensor
+	sagaY    []int
+)
+
+func setupSAGA(t *testing.T) {
+	t.Helper()
+	sagaOnce.Do(func() {
+		cfg := dataset.SynthCIFAR10(16, 31)
+		cfg.Classes = 5
+		cfg.TrainN, cfg.ValN = 250, 100
+		train, val := dataset.Generate(cfg)
+		rng := tensor.NewRNG(4)
+		sagaViT = models.NewViT(models.SmallViT("vit-saga", 5, 16, 4), rng)
+		sagaBiT = models.NewBiT(models.SmallBiT("bit-saga", 5, 16), rng)
+		tc := models.TrainConfig{Epochs: 6, BatchSize: 32, LR: 2e-3, Seed: 5}
+		models.Train(sagaViT, train.X, train.Y, tc)
+		models.Train(sagaBiT, train.X, train.Y, tc)
+		// Samples both members classify correctly.
+		pv := models.Predict(sagaViT, val.X)
+		pb := models.Predict(sagaBiT, val.X)
+		var idx []int
+		for i := range pv {
+			if pv[i] == val.Y[i] && pb[i] == val.Y[i] && len(idx) < 16 {
+				idx = append(idx, i)
+			}
+		}
+		sub := val.Subset(idx)
+		sagaX, sagaY = sub.X, sub.Y
+	})
+	if len(sagaY) < 8 {
+		t.Fatalf("only %d jointly correct samples", len(sagaY))
+	}
+}
+
+func accuracyOn(t *testing.T, m models.Model, x *tensor.Tensor, y []int) float64 {
+	t.Helper()
+	return models.Accuracy(m, x, y)
+}
+
+func TestRolloutShapeAndRange(t *testing.T) {
+	setupSAGA(t)
+	r := &ViTRollout{V: sagaViT}
+	phi, err := r.AttentionRollout(sagaX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !phi.SameShape(sagaX) {
+		t.Fatalf("rollout shape %v vs input %v", phi.Shape(), sagaX.Shape())
+	}
+	lo, hi := phi.Data()[0], phi.Data()[0]
+	for _, v := range phi.Data() {
+		if v < 0 {
+			t.Fatalf("rollout weight %v negative (attention products are non-negative)", v)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi > 1+1e-5 {
+		t.Fatalf("rollout max %v, want normalized ≤ 1", hi)
+	}
+	if hi-lo < 1e-6 {
+		t.Fatal("rollout is constant — attention information lost")
+	}
+}
+
+func TestSAGABreaksUnshieldedPair(t *testing.T) {
+	setupSAGA(t)
+	saga := &SAGA{Eps: 0.1, Step: 0.0125, Steps: 20, AlphaK: 0.5}
+	vitO := &ClearOracle{M: sagaViT}
+	bitO := &ClearOracle{M: sagaBiT}
+	xadv, err := saga.Perturb(vitO, &ViTRollout{V: sagaViT}, bitO, sagaX, sagaY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := accuracyOn(t, sagaViT, xadv, sagaY)
+	rb := accuracyOn(t, sagaBiT, xadv, sagaY)
+	// SAGA attacks both members simultaneously; at least one should break
+	// hard and both should drop substantially (Table IV "None" column).
+	if rv > 0.5 && rb > 0.5 {
+		t.Fatalf("SAGA barely worked: ViT %.2f, BiT %.2f robust", rv, rb)
+	}
+}
+
+func TestSAGAAgainstFullyShieldedPair(t *testing.T) {
+	setupSAGA(t)
+	smV, err := core.NewShieldedModel(sagaViT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smB, err := core.NewShieldedModel(sagaBiT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vitO, err := NewShieldedOracle(smV, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitO, err := NewShieldedOracle(smB, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saga := &SAGA{Eps: 0.1, Step: 0.0125, Steps: 10, AlphaK: 0.5}
+	xadv, err := saga.Perturb(vitO, &ViTRollout{V: sagaViT}, bitO, sagaX, sagaY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := accuracyOn(t, sagaViT, xadv, sagaY)
+	rb := accuracyOn(t, sagaBiT, xadv, sagaY)
+	// Both shields up: the "Both" column of Table IV — astuteness stays
+	// near clean accuracy.
+	if (rv+rb)/2 < 0.6 {
+		t.Fatalf("fully shielded ensemble broken: ViT %.2f, BiT %.2f", rv, rb)
+	}
+}
+
+func TestSAGAAsymmetricShielding(t *testing.T) {
+	setupSAGA(t)
+	// Shield only the ViT: SAGA's usable signal is the clear BiT gradient,
+	// so the BiT member suffers more than the ViT member (Table IV).
+	smV, err := core.NewShieldedModel(sagaViT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vitO, err := NewShieldedOracle(smV, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitO := &ClearOracle{M: sagaBiT}
+	saga := &SAGA{Eps: 0.1, Step: 0.0125, Steps: 10, AlphaK: 0.5}
+	xadv, err := saga.Perturb(vitO, &ViTRollout{V: sagaViT}, bitO, sagaX, sagaY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := accuracyOn(t, sagaViT, xadv, sagaY)
+	rb := accuracyOn(t, sagaBiT, xadv, sagaY)
+	if rb > rv {
+		t.Fatalf("shielded-ViT setting: clear BiT (%.2f) should suffer more than shielded ViT (%.2f)", rb, rv)
+	}
+}

@@ -1,0 +1,120 @@
+package attack
+
+import (
+	"math"
+
+	"pelta/internal/tensor"
+)
+
+// Square is a score-based black-box attack in the spirit of Andriushchenko
+// et al. (2020): random square perturbations accepted whenever they
+// increase the per-sample loss, using only the model's output scores.
+//
+// It is included as the paper's negative control (§II): Pelta "provides no
+// defense capabilities against black-box attacks since they operate in a
+// setting that already assumes complete obfuscation of the model's
+// quantities" — a shielded model is exactly as vulnerable as a clear one.
+type Square struct {
+	Eps float32
+	// Queries bounds the number of forward evaluations per batch.
+	Queries int
+	// PInit is the initial fraction of the image covered by the square
+	// (0.1 in the original paper).
+	PInit float64
+	Seed  int64
+}
+
+var _ Attack = (*Square)(nil)
+
+// Name implements Attack.
+func (a *Square) Name() string { return "Square" }
+
+// pSchedule halves the square area at the original attack's breakpoints.
+func (a *Square) pSchedule(iter int) float64 {
+	frac := float64(iter) / float64(a.Queries)
+	p := a.PInit
+	for _, bp := range []float64{0.05, 0.1, 0.2, 0.5, 0.8} {
+		if frac > bp {
+			p /= 2
+		}
+	}
+	return p
+}
+
+// Perturb implements Attack using only Logits queries.
+func (a *Square) Perturb(o Oracle, x *tensor.Tensor, y []int) (*tensor.Tensor, error) {
+	if err := checkBatch(x, y); err != nil {
+		return nil, err
+	}
+	pInit := a.PInit
+	if pInit == 0 {
+		pInit = 0.3
+	}
+	a.PInit = pInit
+	rng := tensor.NewRNG(a.Seed)
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+
+	// Vertical-stripe initialization on the ball surface.
+	xadv := x.Clone()
+	for i := 0; i < b; i++ {
+		xi := xadv.Slice(i)
+		for ch := 0; ch < c; ch++ {
+			for col := 0; col < w; col++ {
+				s := float32(1)
+				if rng.Intn(2) == 0 {
+					s = -1
+				}
+				for row := 0; row < h; row++ {
+					xi.Data()[ch*h*w+row*w+col] += s * a.Eps
+				}
+			}
+		}
+	}
+	projectLinf(xadv, x, a.Eps)
+	loss, err := perSampleCE(o, xadv, y)
+	if err != nil {
+		return nil, err
+	}
+
+	for q := 1; q < a.Queries; q++ {
+		side := int(math.Sqrt(a.pSchedule(q) * float64(h*w)))
+		if side < 1 {
+			side = 1
+		}
+		if side > h {
+			side = h
+		}
+		cand := xadv.Clone()
+		for i := 0; i < b; i++ {
+			row := rng.Intn(h - side + 1)
+			col := rng.Intn(w - side + 1)
+			ci := cand.Slice(i)
+			oi := x.Slice(i)
+			for ch := 0; ch < c; ch++ {
+				s := float32(1)
+				if rng.Intn(2) == 0 {
+					s = -1
+				}
+				for dy := 0; dy < side; dy++ {
+					for dx := 0; dx < side; dx++ {
+						off := ch*h*w + (row+dy)*w + col + dx
+						// Jump to the opposite ball face inside the square.
+						ci.Data()[off] = oi.Data()[off] + s*a.Eps
+					}
+				}
+			}
+		}
+		projectLinf(cand, x, a.Eps)
+		candLoss, err := perSampleCE(o, cand, y)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < b; i++ {
+			if candLoss[i] > loss[i] {
+				loss[i] = candLoss[i]
+				xadv.Slice(i).CopyFrom(cand.Slice(i))
+			}
+		}
+	}
+	return xadv, nil
+}

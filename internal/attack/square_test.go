@@ -1,0 +1,64 @@
+package attack
+
+import (
+	"testing"
+
+	"pelta/internal/core"
+	"pelta/internal/tensor"
+)
+
+func TestSquareBreaksClearModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("query-heavy test")
+	}
+	m, x, y := setup(t)
+	o := &ClearOracle{M: m}
+	sq := &Square{Eps: 0.1, Queries: 300, Seed: 3}
+	xadv, err := sq.Perturb(o, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra := robustAccuracy(t, o, xadv, y); ra > 0.5 {
+		t.Fatalf("Square robust accuracy %.2f, black-box search should break most samples", ra)
+	}
+	diff := tensor.Sub(xadv, x)
+	if linf := tensor.NormLInf(diff); linf > 0.1+1e-5 {
+		t.Fatalf("l∞ = %v exceeds ε", linf)
+	}
+}
+
+func TestSquareDefeatsPeltaToo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("query-heavy test")
+	}
+	// The paper's §II caveat: Pelta offers no protection against
+	// score-based black-box attacks. The shielded model's logits are
+	// observable, so Square performs identically.
+	m, x, y := setup(t)
+	sm, err := core.NewShieldedModel(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shielded, err := NewShieldedOracle(sm, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := &Square{Eps: 0.1, Queries: 300, Seed: 3}
+	xadv, err := sq.Perturb(shielded, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := robustAccuracy(t, &ClearOracle{M: m}, xadv, y)
+	if ra > 0.5 {
+		t.Fatalf("Square vs shielded model robust %.2f — the black-box path needs no gradients and must still work", ra)
+	}
+}
+
+func TestSquareScheduleShrinks(t *testing.T) {
+	a := &Square{Eps: 0.1, Queries: 100, PInit: 0.3}
+	early := a.pSchedule(1)
+	late := a.pSchedule(90)
+	if late >= early {
+		t.Fatalf("square size should shrink: early %v late %v", early, late)
+	}
+}

@@ -1,0 +1,463 @@
+package autograd
+
+import (
+	"math"
+	"testing"
+
+	"pelta/internal/tensor"
+)
+
+// numGrad computes a central finite-difference gradient of f at x.
+func numGrad(f func(*tensor.Tensor) float64, x *tensor.Tensor, eps float64) *tensor.Tensor {
+	g := tensor.New(x.Shape()...)
+	for i := range x.Data() {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + float32(eps)
+		lp := f(x)
+		x.Data()[i] = orig - float32(eps)
+		lm := f(x)
+		x.Data()[i] = orig
+		g.Data()[i] = float32((lp - lm) / (2 * eps))
+	}
+	return g
+}
+
+// checkInputGrad verifies that Backward's gradient w.r.t. the input matches
+// finite differences for the scalar-valued graph built by build.
+func checkInputGrad(t *testing.T, name string, x *tensor.Tensor, build func(g *Graph, x *Value) *Value) {
+	t.Helper()
+	f := func(xt *tensor.Tensor) float64 {
+		g := NewGraph()
+		out := build(g, g.Input(xt, "x"))
+		return float64(out.Data.Data()[0])
+	}
+	g := NewGraph()
+	in := g.Input(x, "x")
+	out := build(g, in)
+	g.Backward(out)
+	num := numGrad(f, x, 1e-2)
+	if in.Grad == nil {
+		t.Fatalf("%s: no input gradient", name)
+	}
+	for i := range num.Data() {
+		n, a := float64(num.Data()[i]), float64(in.Grad.Data()[i])
+		if math.Abs(n-a) > 3e-2*(1+math.Abs(n)) {
+			t.Fatalf("%s: grad[%d] numeric %v vs analytic %v", name, i, n, a)
+		}
+	}
+}
+
+func TestAddSubMulGrads(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x := rng.Normal(0, 1, 2, 3)
+	c := rng.Normal(0, 1, 2, 3)
+	checkInputGrad(t, "add", x, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.Add(in, g.Const(c, "c")))
+	})
+	checkInputGrad(t, "sub", x, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.Sub(g.Const(c, "c"), in))
+	})
+	checkInputGrad(t, "mul", x, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.Mul(in, g.Const(c, "c")))
+	})
+	checkInputGrad(t, "scale", x, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.Scale(in, -2.5))
+	})
+	checkInputGrad(t, "affine", x, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.Affine(in, 0.5, 1.25))
+	})
+}
+
+func TestActivationGrads(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	x := rng.Normal(0, 1, 3, 4)
+	checkInputGrad(t, "relu", x, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.ReLU(in))
+	})
+	checkInputGrad(t, "gelu", x, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.GELU(in))
+	})
+	checkInputGrad(t, "tanh", x, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.Tanh(in))
+	})
+	checkInputGrad(t, "softmax", x, func(g *Graph, in *Value) *Value {
+		// Weighted sum so the softmax backward is non-trivial.
+		w := tensor.FromSlice([]float32{1, -2, 3, -4, 5, -6, 7, -8, 9, -10, 11, -12}, 3, 4)
+		return g.Sum(g.Mul(g.SoftmaxLastDim(in), g.Const(w, "w")))
+	})
+}
+
+func TestMatMulLinearGrads(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	x := rng.Normal(0, 1, 4, 3)
+	w := rng.Normal(0, 1, 3, 5)
+	checkInputGrad(t, "matmul", x, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.MatMul(in, g.Const(w, "w")))
+	})
+	lw := rng.Normal(0, 1, 5, 3)
+	lb := rng.Normal(0, 1, 5)
+	checkInputGrad(t, "linear", x, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.Linear(in, g.Const(lw, "w"), g.Const(lb, "b")))
+	})
+	// 3-D input through Linear.
+	x3 := rng.Normal(0, 1, 2, 3, 3)
+	checkInputGrad(t, "linear3d", x3, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.Linear(in, g.Const(lw, "w"), g.Const(lb, "b")))
+	})
+}
+
+func TestLinearParamGrads(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	x := rng.Normal(0, 1, 4, 3)
+	w := NewParam("w", rng.Normal(0, 1, 2, 3))
+	b := NewParam("b", rng.Normal(0, 1, 2))
+
+	g := NewGraph()
+	out := g.Sum(g.Linear(g.Input(x, "x"), g.Param(w), g.Param(b)))
+	g.Backward(out)
+
+	fw := func(wt *tensor.Tensor) float64 {
+		g := NewGraph()
+		p := NewParam("w", wt)
+		return float64(g.Sum(g.Linear(g.Input(x, "x"), g.Param(p), g.Param(b))).Data.Data()[0])
+	}
+	num := numGrad(fw, w.Data, 1e-2)
+	if !num.AllClose(w.Grad, 3e-2) {
+		t.Fatalf("weight grad mismatch:\n num %v\n got %v", num, w.Grad)
+	}
+	// Bias grad: d(sum)/db_j = number of rows.
+	for _, v := range b.Grad.Data() {
+		if math.Abs(float64(v)-4) > 1e-4 {
+			t.Fatalf("bias grad = %v, want 4s", b.Grad.Data())
+		}
+	}
+}
+
+func TestBMMGrad(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	a := rng.Normal(0, 1, 2, 3, 4)
+	b := rng.Normal(0, 1, 2, 4, 2)
+	checkInputGrad(t, "bmm", a, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.BMM(in, g.Const(b, "b")))
+	})
+}
+
+func TestShapeOpGrads(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	x := rng.Normal(0, 1, 2, 3, 4)
+	w := rng.Normal(0, 1, 2, 4, 3)
+	checkInputGrad(t, "permute", x, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.Mul(g.Permute(in, 0, 2, 1), g.Const(w, "w")))
+	})
+	checkInputGrad(t, "reshape", x, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.Mul(g.Reshape(in, 6, 4), g.Const(w.Reshape(6, 4), "w")))
+	})
+	tok := rng.Normal(0, 1, 4)
+	checkInputGrad(t, "prepend_token", x, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.PrependToken(in, g.Const(tok, "tok")))
+	})
+	checkInputGrad(t, "take_token", x, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.TakeToken(in, 1))
+	})
+	img := rng.Normal(0, 1, 2, 3, 4, 4)
+	pw := rng.Normal(0, 1, 2, 4, 12)
+	checkInputGrad(t, "patchify", img, func(g *Graph, in *Value) *Value {
+		return g.Sum(g.Mul(g.Patchify(in, 2), g.Const(pw, "w")))
+	})
+}
+
+func TestPatchifyLayout(t *testing.T) {
+	// A 1-channel 4x4 image with patch 2 must produce 4 patches of 4 pixels
+	// in row-major patch order.
+	x := tensor.FromSlice([]float32{
+		0, 1, 2, 3,
+		4, 5, 6, 7,
+		8, 9, 10, 11,
+		12, 13, 14, 15,
+	}, 1, 1, 4, 4)
+	g := NewGraph()
+	p := g.Patchify(g.Input(x, "x"), 2)
+	if p.Data.Dim(1) != 4 || p.Data.Dim(2) != 4 {
+		t.Fatalf("patch shape = %v", p.Data.Shape())
+	}
+	want := [][]float32{{0, 1, 4, 5}, {2, 3, 6, 7}, {8, 9, 12, 13}, {10, 11, 14, 15}}
+	for pi, wp := range want {
+		for j, wv := range wp {
+			if p.Data.At(0, pi, j) != wv {
+				t.Fatalf("patch %d = %v, want %v", pi, p.Data.Slice(0).Row(pi).Data(), wp)
+			}
+		}
+	}
+}
+
+func TestConvOpGrads(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	x := rng.Normal(0, 1, 2, 2, 5, 5)
+	w := rng.Normal(0, 0.5, 3, 2, 3, 3)
+	b := rng.Normal(0, 0.5, 3)
+	checkInputGrad(t, "conv2d", x, func(g *Graph, in *Value) *Value {
+		y := g.Conv2d(in, g.Const(w, "w"), g.Const(b, "b"), 1, 1)
+		return g.Sum(g.Mul(y, y))
+	})
+	checkInputGrad(t, "wsconv2d", x, func(g *Graph, in *Value) *Value {
+		y := g.WSConv2d(in, g.Const(w, "w"), g.Const(b, "b"), 2, 1)
+		return g.Sum(g.Mul(y, y))
+	})
+	checkInputGrad(t, "pad2d", x, func(g *Graph, in *Value) *Value {
+		y := g.Pad2d(in, 1)
+		return g.Sum(g.Mul(y, y))
+	})
+	checkInputGrad(t, "maxpool", x, func(g *Graph, in *Value) *Value {
+		y := g.MaxPool2d(in, 2, 2)
+		return g.Sum(g.Mul(y, y))
+	})
+	checkInputGrad(t, "avgpool", x, func(g *Graph, in *Value) *Value {
+		y := g.AvgPoolGlobal(in)
+		return g.Sum(g.Mul(y, y))
+	})
+}
+
+func TestWSConvWeightGrad(t *testing.T) {
+	rng := tensor.NewRNG(17)
+	x := rng.Normal(0, 1, 1, 2, 4, 4)
+	w := NewParam("w", rng.Normal(0, 0.5, 2, 2, 3, 3))
+	g := NewGraph()
+	y := g.WSConv2d(g.Input(x, "x"), g.Param(w), nil, 1, 1)
+	loss := g.Sum(g.Mul(y, y))
+	g.Backward(loss)
+	f := func(wt *tensor.Tensor) float64 {
+		g := NewGraph()
+		p := NewParam("w", wt)
+		y := g.WSConv2d(g.Input(x, "x"), g.Param(p), nil, 1, 1)
+		return float64(g.Sum(g.Mul(y, y)).Data.Data()[0])
+	}
+	num := numGrad(f, w.Data, 1e-2)
+	for i := range num.Data() {
+		n, a := float64(num.Data()[i]), float64(w.Grad.Data()[i])
+		if math.Abs(n-a) > 5e-2*(1+math.Abs(n)) {
+			t.Fatalf("wsconv weight grad[%d]: numeric %v vs analytic %v", i, n, a)
+		}
+	}
+}
+
+func TestNormGrads(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	x := rng.Normal(0, 2, 3, 6)
+	gamma := rng.Normal(1, 0.1, 6)
+	beta := rng.Normal(0, 0.1, 6)
+	checkInputGrad(t, "layernorm", x, func(g *Graph, in *Value) *Value {
+		y := g.LayerNorm(in, g.Const(gamma, "g"), g.Const(beta, "b"))
+		return g.Sum(g.Mul(y, y))
+	})
+
+	img := rng.Normal(0, 2, 2, 4, 3, 3)
+	gamma4 := rng.Normal(1, 0.1, 4)
+	beta4 := rng.Normal(0, 0.1, 4)
+	checkInputGrad(t, "groupnorm", img, func(g *Graph, in *Value) *Value {
+		y := g.GroupNorm2d(in, g.Const(gamma4, "g"), g.Const(beta4, "b"), 2)
+		return g.Sum(g.Mul(y, y))
+	})
+	// BatchNorm in eval mode (the inference path attacks differentiate).
+	st := NewBatchNormState(4, 0.1)
+	for i := range st.RunningMean {
+		st.RunningMean[i] = 0.3 * float64(i)
+		st.RunningVar[i] = 1 + 0.2*float64(i)
+	}
+	checkInputGrad(t, "batchnorm_eval", img, func(g *Graph, in *Value) *Value {
+		y := g.BatchNorm2d(in, g.Const(gamma4, "g"), g.Const(beta4, "b"), st, false)
+		return g.Sum(g.Mul(y, y))
+	})
+}
+
+func TestBatchNormTrainingGradAndRunningStats(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	img := rng.Normal(1.5, 2, 4, 2, 3, 3)
+	gamma := NewParam("g", tensor.Ones(2))
+	beta := NewParam("b", tensor.New(2))
+	st := NewBatchNormState(2, 0.5)
+
+	g := NewGraph()
+	in := g.Input(img, "x")
+	y := g.BatchNorm2d(in, g.Param(gamma), g.Param(beta), st, true)
+	g.Backward(g.Sum(g.Mul(y, y)))
+
+	// Output is standardized: per-channel mean ~0 within the graph.
+	if m := tensor.Mean(y.Data); math.Abs(m) > 1e-4 {
+		t.Fatalf("training BN output mean = %v, want ~0", m)
+	}
+	// Running stats moved toward batch stats (mean 1.5).
+	if st.RunningMean[0] < 0.3 {
+		t.Fatalf("running mean did not update: %v", st.RunningMean)
+	}
+	if in.Grad == nil {
+		t.Fatal("no input grad through training BN")
+	}
+	// Sum of grads through a standardizing transform is ~0 per channel.
+	var s float64
+	for _, v := range in.Grad.Data() {
+		s += float64(v)
+	}
+	if math.Abs(s) > 1e-2 {
+		t.Fatalf("BN training grad sum = %v, want ~0", s)
+	}
+}
+
+func TestCrossEntropyGradAndInfo(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	logits := rng.Normal(0, 1, 3, 5)
+	labels := []int{1, 4, 0}
+	checkInputGrad(t, "cross_entropy_sum", logits, func(g *Graph, in *Value) *Value {
+		out, _ := g.CrossEntropy(in, labels, ReduceSum)
+		return out
+	})
+	checkInputGrad(t, "cross_entropy_mean", logits, func(g *Graph, in *Value) *Value {
+		out, _ := g.CrossEntropy(in, labels, ReduceMean)
+		return out
+	})
+	g := NewGraph()
+	out, info := g.CrossEntropy(g.Input(logits, "l"), labels, ReduceMean)
+	sum := 0.0
+	for _, v := range info.PerSample {
+		sum += v
+	}
+	if math.Abs(sum/3-float64(out.Data.Data()[0])) > 1e-5 {
+		t.Fatal("per-sample losses inconsistent with reduced loss")
+	}
+	if info.Probs.Dim(0) != 3 || info.Probs.Dim(1) != 5 {
+		t.Fatalf("probs shape = %v", info.Probs.Shape())
+	}
+}
+
+func TestCWMarginGrad(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	logits := rng.Normal(0, 1, 4, 6)
+	labels := []int{0, 2, 5, 3}
+	checkInputGrad(t, "cw_margin", logits, func(g *Graph, in *Value) *Value {
+		return g.CWMargin(in, labels, 0.5)
+	})
+}
+
+func TestCWMarginClampsAtKappa(t *testing.T) {
+	// When the runner-up already exceeds the true class by more than κ the
+	// margin saturates and the gradient must vanish.
+	logits := tensor.FromSlice([]float32{0, 10, 0}, 1, 3)
+	g := NewGraph()
+	in := g.Input(logits, "l")
+	out := g.CWMargin(in, []int{0}, 1)
+	g.Backward(out)
+	if out.Data.Data()[0] != -1 {
+		t.Fatalf("saturated margin = %v, want -1", out.Data.Data()[0])
+	}
+	for _, v := range in.Grad.Data() {
+		if v != 0 {
+			t.Fatalf("saturated margin should have zero grad, got %v", in.Grad.Data())
+		}
+	}
+}
+
+func TestSqDistSumGrad(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	x := rng.Normal(0, 1, 2, 3)
+	ref := rng.Normal(0, 1, 2, 3)
+	checkInputGrad(t, "sqdist", x, func(g *Graph, in *Value) *Value {
+		return g.SqDistSum(in, ref)
+	})
+}
+
+func TestAddBroadcastGrad(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	x := rng.Normal(0, 1, 2, 3, 4)
+	pos := NewParam("pos", rng.Normal(0, 1, 3, 4))
+	g := NewGraph()
+	in := g.Input(x, "x")
+	out := g.Sum(g.AddBroadcast(in, g.Param(pos)))
+	g.Backward(out)
+	// d(sum)/dpos = batch size for each element.
+	for _, v := range pos.Grad.Data() {
+		if v != 2 {
+			t.Fatalf("broadcast grad = %v, want 2s", pos.Grad.Data())
+		}
+	}
+}
+
+func TestGraphStructureMatchesPaperFormalization(t *testing.T) {
+	// Build f = softmax(W2·relu(W1·x+b1)+b2) and verify the graph exposes
+	// numbered vertices, ops, parent edges, and the input leaf — everything
+	// Algorithm 1 needs.
+	rng := tensor.NewRNG(14)
+	x := rng.Normal(0, 1, 1, 4)
+	w1 := NewParam("w1", rng.Normal(0, 1, 8, 4))
+	b1 := NewParam("b1", rng.Normal(0, 1, 8))
+	w2 := NewParam("w2", rng.Normal(0, 1, 3, 8))
+
+	g := NewGraph()
+	in := g.Input(x, "image")
+	h := g.ReLU(g.Linear(in, g.Param(w1), g.Param(b1)))
+	logits := g.Linear(h, g.Param(w2), nil)
+	probs := g.SoftmaxLastDim(logits)
+
+	if g.InputLeaf() != in {
+		t.Fatal("InputLeaf should find the input")
+	}
+	if !in.IsInput() || !in.IsLeaf() {
+		t.Fatal("input flags wrong")
+	}
+	ids := map[int]bool{}
+	for _, v := range g.Nodes() {
+		if ids[v.ID()] {
+			t.Fatal("duplicate vertex id")
+		}
+		ids[v.ID()] = true
+		for _, p := range v.Parents() {
+			if p.ID() >= v.ID() {
+				t.Fatalf("edge (%d,%d) violates j < i ordering", p.ID(), v.ID())
+			}
+		}
+	}
+	ch := g.Children()
+	if len(ch[in]) != 1 || ch[in][0].Op() != "linear" {
+		t.Fatalf("input children = %v", ch[in])
+	}
+	if probs.Op() != "softmax" {
+		t.Fatalf("op label = %q", probs.Op())
+	}
+}
+
+func TestParamNodeReuseWithinGraph(t *testing.T) {
+	p := NewParam("w", tensor.Ones(2, 2))
+	g := NewGraph()
+	a := g.Param(p)
+	b := g.Param(p)
+	if a != b {
+		t.Fatal("Param must return the same vertex within one graph")
+	}
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-scalar backward")
+		}
+	}()
+	g := NewGraph()
+	v := g.Input(tensor.Ones(2, 2), "x")
+	g.Backward(v)
+}
+
+func TestScrubRemovesTensors(t *testing.T) {
+	g := NewGraph()
+	v := g.Input(tensor.Ones(2), "x")
+	out := g.Sum(v)
+	g.Backward(out)
+	if v.Grad == nil {
+		t.Fatal("expected grad before scrub")
+	}
+	v.SetShielded(true)
+	v.Scrub()
+	if v.Data != nil || v.Grad != nil {
+		t.Fatal("Scrub must clear tensors")
+	}
+	if !v.Shielded() {
+		t.Fatal("shielded flag lost")
+	}
+}

@@ -1,0 +1,197 @@
+// Package autograd implements define-by-run reverse-mode automatic
+// differentiation on an explicit computational graph.
+//
+// The graph mirrors the paper's formalization G = ⟨n, l, E, u_1…u_n,
+// f_{l+1}…f_n⟩ (§IV-B): every Value is a numbered vertex u_i carrying the
+// result of a differentiable transformation f_i of its parents, and leaves
+// are inputs or parameters. Pelta's Algorithm 1 (internal/core) walks this
+// structure to decide which vertices and local jacobians to move into the
+// enclave, so vertex identity, op labels and parent edges are first-class
+// here rather than hidden inside closures.
+package autograd
+
+import (
+	"fmt"
+
+	"pelta/internal/tensor"
+)
+
+// Param is a trainable leaf shared across graphs (weights, biases,
+// embeddings). Data persists between forward passes; Grad is accumulated by
+// Backward and cleared by the optimizer.
+type Param struct {
+	Name string
+	Data *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// NewParam wraps data as a named trainable parameter with a zeroed gradient.
+func NewParam(name string, data *tensor.Tensor) *Param {
+	return &Param{Name: name, Data: data, Grad: tensor.New(data.Shape()...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Value is one vertex of the computational graph: the output u_i of a
+// transformation f_i applied to its parent vertices.
+type Value struct {
+	id      int
+	op      string
+	name    string
+	parents []*Value
+
+	// Data is the forward result u_i. Grad is dL/du_i, allocated during
+	// Backward. Either may be nil after Pelta scrubs a shielded vertex.
+	Data *tensor.Tensor
+	Grad *tensor.Tensor
+
+	backward func()
+	isInput  bool
+	param    *Param
+	shielded bool
+}
+
+// ID returns the vertex number (creation order within its graph).
+func (v *Value) ID() int { return v.id }
+
+// Op returns the transformation label, e.g. "conv2d" or "layernorm".
+func (v *Value) Op() string { return v.op }
+
+// Name returns the optional human label (set for inputs and parameters).
+func (v *Value) Name() string { return v.name }
+
+// Parents returns the parent vertices α_i. The slice must not be modified.
+func (v *Value) Parents() []*Value { return v.parents }
+
+// IsInput reports whether the vertex is the model input leaf (the trainable
+// quantity from the attacker's point of view).
+func (v *Value) IsInput() bool { return v.isInput }
+
+// IsLeaf reports whether the vertex has no parents (input or parameter).
+func (v *Value) IsLeaf() bool { return len(v.parents) == 0 }
+
+// Param returns the parameter backing this leaf, or nil.
+func (v *Value) Param() *Param { return v.param }
+
+// Shielded reports whether Pelta moved this vertex into the enclave.
+func (v *Value) Shielded() bool { return v.shielded }
+
+// SetShielded marks the vertex as enclave-resident.
+func (v *Value) SetShielded(s bool) { v.shielded = s }
+
+// Scrub removes the vertex's tensors from normal-world memory. Subsequent
+// reads observe nil, modelling the physical inaccessibility of the enclave.
+func (v *Value) Scrub() {
+	v.Data = nil
+	v.Grad = nil
+}
+
+func (v *Value) String() string {
+	return fmt.Sprintf("u%d(%s%s)", v.id, v.op, map[bool]string{true: ":" + v.name, false: ""}[v.name != ""])
+}
+
+// Graph records one forward pass. Create a fresh graph per pass; parameters
+// are shared across graphs via Param.
+type Graph struct {
+	nodes      []*Value
+	paramNodes map[*Param]*Value
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{paramNodes: make(map[*Param]*Value)}
+}
+
+// Nodes returns the vertices in creation (topological) order.
+func (g *Graph) Nodes() []*Value { return g.nodes }
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+func (g *Graph) add(v *Value) *Value {
+	v.id = len(g.nodes)
+	g.nodes = append(g.nodes, v)
+	return v
+}
+
+// node creates and registers an interior vertex.
+func (g *Graph) node(op string, data *tensor.Tensor, parents ...*Value) *Value {
+	return g.add(&Value{op: op, Data: data, parents: parents})
+}
+
+// Input registers x as the model-input leaf u_0 — the quantity an
+// adversarial attack treats as trainable.
+func (g *Graph) Input(x *tensor.Tensor, name string) *Value {
+	v := g.add(&Value{op: "input", name: name, Data: x, isInput: true})
+	return v
+}
+
+// Const registers a non-trainable leaf (e.g. a fixed target); no gradient
+// flows into it.
+func (g *Graph) Const(x *tensor.Tensor, name string) *Value {
+	return g.add(&Value{op: "const", name: name, Data: x})
+}
+
+// Param registers (or reuses) the leaf vertex for p within this graph.
+// Gradients accumulate directly into p.Grad.
+func (g *Graph) Param(p *Param) *Value {
+	if v, ok := g.paramNodes[p]; ok {
+		return v
+	}
+	v := g.add(&Value{op: "param", name: p.Name, Data: p.Data, Grad: p.Grad, param: p})
+	g.paramNodes[p] = v
+	return v
+}
+
+// accum adds g into v.Grad, allocating it on first use. Parameter leaves
+// alias their Param's persistent gradient, so accumulation trains them.
+func accum(v *Value, grad *tensor.Tensor) {
+	if v.Grad == nil {
+		v.Grad = grad.Clone()
+		return
+	}
+	tensor.AddIn(v.Grad, grad)
+}
+
+// Backward runs reverse-mode differentiation from the scalar loss vertex.
+// Gradients for every vertex are retained (Pelta and the attacks need
+// interior adjoints, not just leaf gradients).
+func (g *Graph) Backward(loss *Value) {
+	if loss.Data.Len() != 1 {
+		panic(fmt.Sprintf("autograd: Backward requires a scalar loss, got shape %v", loss.Data.Shape()))
+	}
+	if loss.Grad == nil {
+		loss.Grad = tensor.Ones(loss.Data.Shape()...)
+	}
+	for i := len(g.nodes) - 1; i >= 0; i-- {
+		v := g.nodes[i]
+		if v.Grad == nil || v.backward == nil {
+			continue
+		}
+		v.backward()
+	}
+}
+
+// Children returns the forward adjacency (vertex -> direct children),
+// i.e. the edge set E oriented from parents to children, as used by the
+// Shield recursion of Algorithm 1.
+func (g *Graph) Children() map[*Value][]*Value {
+	ch := make(map[*Value][]*Value, len(g.nodes))
+	for _, v := range g.nodes {
+		for _, p := range v.parents {
+			ch[p] = append(ch[p], v)
+		}
+	}
+	return ch
+}
+
+// InputLeaf returns the first input vertex, or nil if none was registered.
+func (g *Graph) InputLeaf() *Value {
+	for _, v := range g.nodes {
+		if v.isInput {
+			return v
+		}
+	}
+	return nil
+}

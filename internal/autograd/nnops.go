@@ -1,0 +1,418 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"pelta/internal/tensor"
+)
+
+// Conv2d applies a batched 2-D convolution with weight [O,C,kh,kw] and
+// optional bias [O].
+func (g *Graph) Conv2d(x, w, b *Value, stride, pad int) *Value {
+	var bias *tensor.Tensor
+	parents := []*Value{x, w}
+	if b != nil {
+		bias = b.Data
+		parents = append(parents, b)
+	}
+	out := g.node("conv2d", tensor.Conv2d(x.Data, w.Data, bias, stride, pad), parents...)
+	out.backward = func() {
+		gx, gw, gb := tensor.Conv2dBackward(x.Data, w.Data, b != nil, out.Grad, stride, pad)
+		accum(x, gx)
+		accum(w, gw)
+		if b != nil {
+			accum(b, gb)
+		}
+	}
+	return out
+}
+
+// WSConv2d applies a weight-standardized convolution (BiT / ResNet-v2 stem):
+// the kernel is normalized to zero mean and unit variance per output channel
+// before convolving. Standardization is differentiated through, so training
+// updates the raw weights.
+func (g *Graph) WSConv2d(x, w, b *Value, stride, pad int) *Value {
+	ws := w.Data.Shape()
+	oc := ws[0]
+	fan := w.Data.Len() / oc
+	const eps = 1e-5
+
+	mean := make([]float64, oc)
+	std := make([]float64, oc)
+	wHat := tensor.New(ws...)
+	for o := 0; o < oc; o++ {
+		seg := w.Data.Data()[o*fan : (o+1)*fan]
+		var m float64
+		for _, v := range seg {
+			m += float64(v)
+		}
+		m /= float64(fan)
+		var vr float64
+		for _, v := range seg {
+			d := float64(v) - m
+			vr += d * d
+		}
+		vr /= float64(fan)
+		mean[o], std[o] = m, math.Sqrt(vr+eps)
+		dst := wHat.Data()[o*fan : (o+1)*fan]
+		for i, v := range seg {
+			dst[i] = float32((float64(v) - m) / std[o])
+		}
+	}
+
+	var bias *tensor.Tensor
+	parents := []*Value{x, w}
+	if b != nil {
+		bias = b.Data
+		parents = append(parents, b)
+	}
+	out := g.node("wsconv2d", tensor.Conv2d(x.Data, wHat, bias, stride, pad), parents...)
+	out.backward = func() {
+		gx, gwHat, gb := tensor.Conv2dBackward(x.Data, wHat, b != nil, out.Grad, stride, pad)
+		accum(x, gx)
+		// Chain through standardization:
+		// gW = (gŴ − mean(gŴ) − Ŵ·mean(gŴ⊙Ŵ)) / σ, per output channel.
+		gw := tensor.New(ws...)
+		for o := 0; o < oc; o++ {
+			gh := gwHat.Data()[o*fan : (o+1)*fan]
+			wh := wHat.Data()[o*fan : (o+1)*fan]
+			var mg, mgw float64
+			for i := range gh {
+				mg += float64(gh[i])
+				mgw += float64(gh[i]) * float64(wh[i])
+			}
+			mg /= float64(fan)
+			mgw /= float64(fan)
+			dst := gw.Data()[o*fan : (o+1)*fan]
+			for i := range gh {
+				dst[i] = float32((float64(gh[i]) - mg - float64(wh[i])*mgw) / std[o])
+			}
+		}
+		accum(w, gw)
+		if b != nil {
+			accum(b, gb)
+		}
+	}
+	return out
+}
+
+// Pad2d zero-pads the spatial dims of [B,C,H,W] by p on all sides.
+func (g *Graph) Pad2d(x *Value, p int) *Value {
+	out := g.node("pad2d", tensor.Pad2d(x.Data, p), x)
+	out.backward = func() {
+		accum(x, tensor.Unpad2d(out.Grad, p))
+	}
+	return out
+}
+
+// MaxPool2d applies k×k max pooling with stride s.
+func (g *Graph) MaxPool2d(x *Value, k, s int) *Value {
+	pooled, idx := tensor.MaxPool2d(x.Data, k, s)
+	out := g.node("maxpool2d", pooled, x)
+	bs := x.Data.Dim(0)
+	sampleLen := x.Data.Len() / bs
+	outSample := pooled.Len() / bs
+	out.backward = func() {
+		gx := tensor.New(x.Data.Shape()...)
+		gy := out.Grad.Data()
+		for i := 0; i < bs; i++ {
+			base := i * sampleLen
+			for o := 0; o < outSample; o++ {
+				gx.Data()[base+idx[i*outSample+o]] += gy[i*outSample+o]
+			}
+		}
+		accum(x, gx)
+	}
+	return out
+}
+
+// AvgPoolGlobal averages each channel plane of [B,C,H,W] to [B,C].
+func (g *Graph) AvgPoolGlobal(x *Value) *Value {
+	xs := x.Data.Shape()
+	out := g.node("avgpool_global", tensor.AvgPool2dGlobal(x.Data), x)
+	out.backward = func() {
+		b, c, h, w := xs[0], xs[1], xs[2], xs[3]
+		gx := tensor.New(xs...)
+		inv := 1 / float32(h*w)
+		for i := 0; i < b; i++ {
+			for ch := 0; ch < c; ch++ {
+				gv := out.Grad.At(i, ch) * inv
+				plane := gx.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
+				for j := range plane {
+					plane[j] = gv
+				}
+			}
+		}
+		accum(x, gx)
+	}
+	return out
+}
+
+// LayerNorm normalizes the last dimension of x and applies a learned affine
+// transform: y = γ·(x−μ)/σ + β.
+func (g *Graph) LayerNorm(x, gamma, beta *Value) *Value {
+	xs := x.Data.Shape()
+	d := xs[len(xs)-1]
+	rows := x.Data.Len() / d
+	if gamma.Data.Len() != d || beta.Data.Len() != d {
+		panic(fmt.Sprintf("autograd: LayerNorm affine params must have length %d", d))
+	}
+	const eps = 1e-5
+	xhat := tensor.New(xs...)
+	invStd := make([]float32, rows)
+	out := g.node("layernorm", tensor.New(xs...), x, gamma, beta)
+	xd, hd, od := x.Data.Data(), xhat.Data(), out.Data.Data()
+	gmd, btd := gamma.Data.Data(), beta.Data.Data()
+	for r := 0; r < rows; r++ {
+		seg := xd[r*d : (r+1)*d]
+		var m float64
+		for _, v := range seg {
+			m += float64(v)
+		}
+		m /= float64(d)
+		var vr float64
+		for _, v := range seg {
+			dv := float64(v) - m
+			vr += dv * dv
+		}
+		vr /= float64(d)
+		is := float32(1 / math.Sqrt(vr+eps))
+		invStd[r] = is
+		for i, v := range seg {
+			h := (v - float32(m)) * is
+			hd[r*d+i] = h
+			od[r*d+i] = gmd[i]*h + btd[i]
+		}
+	}
+	out.backward = func() {
+		gx := tensor.New(xs...)
+		ggamma := tensor.New(d)
+		gbeta := tensor.New(d)
+		gy := out.Grad.Data()
+		for r := 0; r < rows; r++ {
+			var mg, mgh float64
+			for i := 0; i < d; i++ {
+				gi := gy[r*d+i] * gmd[i]
+				h := hd[r*d+i]
+				mg += float64(gi)
+				mgh += float64(gi) * float64(h)
+				ggamma.Data()[i] += gy[r*d+i] * h
+				gbeta.Data()[i] += gy[r*d+i]
+			}
+			mg /= float64(d)
+			mgh /= float64(d)
+			for i := 0; i < d; i++ {
+				gi := float64(gy[r*d+i] * gmd[i])
+				h := float64(hd[r*d+i])
+				gx.Data()[r*d+i] = invStd[r] * float32(gi-mg-h*mgh)
+			}
+		}
+		accum(x, gx)
+		accum(gamma, ggamma)
+		accum(beta, gbeta)
+	}
+	return out
+}
+
+// BatchNormState carries the running statistics of a BatchNorm2d layer,
+// owned by the nn layer and shared across graphs.
+type BatchNormState struct {
+	RunningMean []float64
+	RunningVar  []float64
+	Momentum    float64
+}
+
+// NewBatchNormState returns running stats for c channels initialized to the
+// standard (0 mean, unit variance) with the given EMA momentum.
+func NewBatchNormState(c int, momentum float64) *BatchNormState {
+	s := &BatchNormState{
+		RunningMean: make([]float64, c),
+		RunningVar:  make([]float64, c),
+		Momentum:    momentum,
+	}
+	for i := range s.RunningVar {
+		s.RunningVar[i] = 1
+	}
+	return s
+}
+
+// BatchNorm2d normalizes each channel of [B,C,H,W]. In training mode it uses
+// batch statistics and updates the running stats; in eval mode it uses the
+// running stats (the deterministic inference path attacked in the paper).
+func (g *Graph) BatchNorm2d(x, gamma, beta *Value, st *BatchNormState, training bool) *Value {
+	xs := x.Data.Shape()
+	b, c, h, w := xs[0], xs[1], xs[2], xs[3]
+	n := b * h * w
+	const eps = 1e-5
+
+	mean := make([]float64, c)
+	varr := make([]float64, c)
+	if training {
+		for ch := 0; ch < c; ch++ {
+			var m float64
+			for i := 0; i < b; i++ {
+				plane := x.Data.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
+				for _, v := range plane {
+					m += float64(v)
+				}
+			}
+			m /= float64(n)
+			var vr float64
+			for i := 0; i < b; i++ {
+				plane := x.Data.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
+				for _, v := range plane {
+					d := float64(v) - m
+					vr += d * d
+				}
+			}
+			vr /= float64(n)
+			mean[ch], varr[ch] = m, vr
+			st.RunningMean[ch] = (1-st.Momentum)*st.RunningMean[ch] + st.Momentum*m
+			st.RunningVar[ch] = (1-st.Momentum)*st.RunningVar[ch] + st.Momentum*vr
+		}
+	} else {
+		copy(mean, st.RunningMean)
+		copy(varr, st.RunningVar)
+	}
+
+	invStd := make([]float32, c)
+	for ch := 0; ch < c; ch++ {
+		invStd[ch] = float32(1 / math.Sqrt(varr[ch]+eps))
+	}
+	xhat := tensor.New(xs...)
+	out := g.node("batchnorm2d", tensor.New(xs...), x, gamma, beta)
+	gmd, btd := gamma.Data.Data(), beta.Data.Data()
+	for i := 0; i < b; i++ {
+		src, hdst, odst := x.Data.Slice(i).Data(), xhat.Slice(i).Data(), out.Data.Slice(i).Data()
+		for ch := 0; ch < c; ch++ {
+			m32, is := float32(mean[ch]), invStd[ch]
+			for j := ch * h * w; j < (ch+1)*h*w; j++ {
+				hv := (src[j] - m32) * is
+				hdst[j] = hv
+				odst[j] = gmd[ch]*hv + btd[ch]
+			}
+		}
+	}
+	out.backward = func() {
+		gx := tensor.New(xs...)
+		ggamma := tensor.New(c)
+		gbeta := tensor.New(c)
+		for ch := 0; ch < c; ch++ {
+			var sumG, sumGH float64
+			for i := 0; i < b; i++ {
+				gy := out.Grad.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
+				hh := xhat.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
+				for j := range gy {
+					sumG += float64(gy[j])
+					sumGH += float64(gy[j]) * float64(hh[j])
+				}
+			}
+			ggamma.Data()[ch] = float32(sumGH)
+			gbeta.Data()[ch] = float32(sumG)
+			gscale := float64(gmd[ch]) * float64(invStd[ch])
+			if training {
+				mg := sumG / float64(n)
+				mgh := sumGH / float64(n)
+				for i := 0; i < b; i++ {
+					gy := out.Grad.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
+					hh := xhat.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
+					dst := gx.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
+					for j := range gy {
+						dst[j] = float32(gscale * (float64(gy[j]) - mg - float64(hh[j])*mgh))
+					}
+				}
+			} else {
+				// Eval mode: y is an affine map of x, so gx = γ/σ · gy.
+				for i := 0; i < b; i++ {
+					gy := out.Grad.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
+					dst := gx.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
+					for j := range gy {
+						dst[j] = float32(gscale) * gy[j]
+					}
+				}
+			}
+		}
+		accum(x, gx)
+		accum(gamma, ggamma)
+		accum(beta, gbeta)
+	}
+	return out
+}
+
+// GroupNorm2d normalizes [B,C,H,W] over groups of channels (BiT uses
+// GroupNorm instead of BatchNorm). groups must divide C.
+func (g *Graph) GroupNorm2d(x, gamma, beta *Value, groups int) *Value {
+	xs := x.Data.Shape()
+	b, c, h, w := xs[0], xs[1], xs[2], xs[3]
+	if c%groups != 0 {
+		panic(fmt.Sprintf("autograd: GroupNorm2d groups %d must divide channels %d", groups, c))
+	}
+	cg := c / groups
+	gn := cg * h * w
+	const eps = 1e-5
+
+	xhat := tensor.New(xs...)
+	invStd := make([]float32, b*groups)
+	out := g.node("groupnorm2d", tensor.New(xs...), x, gamma, beta)
+	gmd, btd := gamma.Data.Data(), beta.Data.Data()
+	for i := 0; i < b; i++ {
+		src, hdst, odst := x.Data.Slice(i).Data(), xhat.Slice(i).Data(), out.Data.Slice(i).Data()
+		for gr := 0; gr < groups; gr++ {
+			lo, hi := gr*cg*h*w, (gr+1)*cg*h*w
+			var m float64
+			for _, v := range src[lo:hi] {
+				m += float64(v)
+			}
+			m /= float64(gn)
+			var vr float64
+			for _, v := range src[lo:hi] {
+				d := float64(v) - m
+				vr += d * d
+			}
+			vr /= float64(gn)
+			is := float32(1 / math.Sqrt(vr+eps))
+			invStd[i*groups+gr] = is
+			for j := lo; j < hi; j++ {
+				ch := j / (h * w)
+				hv := (src[j] - float32(m)) * is
+				hdst[j] = hv
+				odst[j] = gmd[ch]*hv + btd[ch]
+			}
+		}
+	}
+	out.backward = func() {
+		gx := tensor.New(xs...)
+		ggamma := tensor.New(c)
+		gbeta := tensor.New(c)
+		for i := 0; i < b; i++ {
+			gy := out.Grad.Slice(i).Data()
+			hh := xhat.Slice(i).Data()
+			dst := gx.Slice(i).Data()
+			for gr := 0; gr < groups; gr++ {
+				lo, hi := gr*cg*h*w, (gr+1)*cg*h*w
+				var mg, mgh float64
+				for j := lo; j < hi; j++ {
+					ch := j / (h * w)
+					gi := gy[j] * gmd[ch]
+					mg += float64(gi)
+					mgh += float64(gi) * float64(hh[j])
+					ggamma.Data()[ch] += gy[j] * hh[j]
+					gbeta.Data()[ch] += gy[j]
+				}
+				mg /= float64(gn)
+				mgh /= float64(gn)
+				is := invStd[i*groups+gr]
+				for j := lo; j < hi; j++ {
+					ch := j / (h * w)
+					gi := float64(gy[j] * gmd[ch])
+					dst[j] = is * float32(gi-mg-float64(hh[j])*mgh)
+				}
+			}
+		}
+		accum(x, gx)
+		accum(gamma, ggamma)
+		accum(beta, gbeta)
+	}
+	return out
+}

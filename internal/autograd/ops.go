@@ -1,0 +1,261 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"pelta/internal/tensor"
+)
+
+// Add returns a+b (same shape).
+func (g *Graph) Add(a, b *Value) *Value {
+	out := g.node("add", tensor.Add(a.Data, b.Data), a, b)
+	out.backward = func() {
+		accum(a, out.Grad)
+		accum(b, out.Grad)
+	}
+	return out
+}
+
+// Sub returns a-b (same shape).
+func (g *Graph) Sub(a, b *Value) *Value {
+	out := g.node("sub", tensor.Sub(a.Data, b.Data), a, b)
+	out.backward = func() {
+		accum(a, out.Grad)
+		accum(b, tensor.Neg(out.Grad))
+	}
+	return out
+}
+
+// Mul returns the Hadamard product a⊙b.
+func (g *Graph) Mul(a, b *Value) *Value {
+	out := g.node("mul", tensor.Mul(a.Data, b.Data), a, b)
+	out.backward = func() {
+		accum(a, tensor.Mul(out.Grad, b.Data))
+		accum(b, tensor.Mul(out.Grad, a.Data))
+	}
+	return out
+}
+
+// Scale returns alpha*a for a constant alpha.
+func (g *Graph) Scale(a *Value, alpha float32) *Value {
+	out := g.node("scale", tensor.Scale(a.Data, alpha), a)
+	out.backward = func() {
+		accum(a, tensor.Scale(out.Grad, alpha))
+	}
+	return out
+}
+
+// AddBroadcast adds a lower-rank vertex b (e.g. a [T,D] positional
+// embedding) to every leading slice of a (e.g. [B,T,D]).
+func (g *Graph) AddBroadcast(a, b *Value) *Value {
+	an, bn := a.Data.Len(), b.Data.Len()
+	if bn == 0 || an%bn != 0 {
+		panic(fmt.Sprintf("autograd: AddBroadcast shapes %v and %v incompatible", a.Data.Shape(), b.Data.Shape()))
+	}
+	reps := an / bn
+	data := a.Data.Clone()
+	for r := 0; r < reps; r++ {
+		seg := data.Data()[r*bn : (r+1)*bn]
+		for i, v := range b.Data.Data() {
+			seg[i] += v
+		}
+	}
+	out := g.node("addbroadcast", data, a, b)
+	out.backward = func() {
+		accum(a, out.Grad)
+		gb := tensor.New(b.Data.Shape()...)
+		for r := 0; r < reps; r++ {
+			seg := out.Grad.Data()[r*bn : (r+1)*bn]
+			for i := range gb.Data() {
+				gb.Data()[i] += seg[i]
+			}
+		}
+		accum(b, gb)
+	}
+	return out
+}
+
+// MatMul returns the 2-D product a@b.
+func (g *Graph) MatMul(a, b *Value) *Value {
+	out := g.node("matmul", tensor.MatMul(a.Data, b.Data), a, b)
+	out.backward = func() {
+		accum(a, tensor.MatMulTransB(out.Grad, b.Data))
+		accum(b, tensor.MatMulTransA(a.Data, out.Grad))
+	}
+	return out
+}
+
+// Linear applies y = x@Wᵀ + b over the last dimension of x, for x of any
+// rank ≥ 2, weight [out,in] and optional bias [out].
+func (g *Graph) Linear(x, w, b *Value) *Value {
+	xs := x.Data.Shape()
+	in := xs[len(xs)-1]
+	rows := x.Data.Len() / in
+	outF := w.Data.Dim(0)
+	if w.Data.Dim(1) != in {
+		panic(fmt.Sprintf("autograd: Linear weight %v incompatible with input %v", w.Data.Shape(), xs))
+	}
+	x2 := x.Data.Reshape(rows, in)
+	y2 := tensor.MatMulTransB(x2, w.Data) // [rows, out]
+	if b != nil {
+		tensor.AddRowVectorIn(y2, b.Data)
+	}
+	outShape := append(append([]int(nil), xs[:len(xs)-1]...), outF)
+	parents := []*Value{x, w}
+	if b != nil {
+		parents = append(parents, b)
+	}
+	out := g.node("linear", y2.Reshape(outShape...), parents...)
+	out.backward = func() {
+		gy := out.Grad.Reshape(rows, outF)
+		accum(x, tensor.MatMul(gy, w.Data).Reshape(xs...))
+		accum(w, tensor.MatMulTransA(gy, x2))
+		if b != nil {
+			accum(b, tensor.SumRows(gy))
+		}
+	}
+	return out
+}
+
+// BMM performs a batched matrix multiply on 3-D tensors:
+// a [G,m,k] @ b [G,k,n] -> [G,m,n].
+func (g *Graph) BMM(a, b *Value) *Value {
+	as, bs := a.Data.Shape(), b.Data.Shape()
+	if len(as) != 3 || len(bs) != 3 || as[0] != bs[0] || as[2] != bs[1] {
+		panic(fmt.Sprintf("autograd: BMM shapes %v x %v invalid", as, bs))
+	}
+	G, m, n := as[0], as[1], bs[2]
+	out := g.node("bmm", tensor.New(G, m, n), a, b)
+	for i := 0; i < G; i++ {
+		out.Data.Slice(i).CopyFrom(tensor.MatMul(a.Data.Slice(i), b.Data.Slice(i)))
+	}
+	out.backward = func() {
+		ga := tensor.New(as...)
+		gb := tensor.New(bs...)
+		for i := 0; i < G; i++ {
+			gy := out.Grad.Slice(i)
+			ga.Slice(i).CopyFrom(tensor.MatMulTransB(gy, b.Data.Slice(i)))
+			gb.Slice(i).CopyFrom(tensor.MatMulTransA(a.Data.Slice(i), gy))
+		}
+		accum(a, ga)
+		accum(b, gb)
+	}
+	return out
+}
+
+// ReLU applies max(0,x).
+func (g *Graph) ReLU(x *Value) *Value {
+	out := g.node("relu", tensor.Apply(x.Data, func(v float32) float32 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	}), x)
+	out.backward = func() {
+		gx := tensor.New(x.Data.Shape()...)
+		xd, gy, gd := x.Data.Data(), out.Grad.Data(), gx.Data()
+		for i := range gd {
+			if xd[i] > 0 {
+				gd[i] = gy[i]
+			}
+		}
+		accum(x, gx)
+	}
+	return out
+}
+
+const (
+	geluC = 0.7978845608028654 // sqrt(2/pi)
+	geluA = 0.044715
+)
+
+// GELU applies the tanh approximation of the Gaussian error linear unit.
+func (g *Graph) GELU(x *Value) *Value {
+	out := g.node("gelu", tensor.Apply(x.Data, func(v float32) float32 {
+		f := float64(v)
+		return float32(0.5 * f * (1 + math.Tanh(geluC*(f+geluA*f*f*f))))
+	}), x)
+	out.backward = func() {
+		gx := tensor.New(x.Data.Shape()...)
+		xd, gy, gd := x.Data.Data(), out.Grad.Data(), gx.Data()
+		for i := range gd {
+			f := float64(xd[i])
+			u := geluC * (f + geluA*f*f*f)
+			t := math.Tanh(u)
+			du := geluC * (1 + 3*geluA*f*f)
+			d := 0.5*(1+t) + 0.5*f*(1-t*t)*du
+			gd[i] = gy[i] * float32(d)
+		}
+		accum(x, gx)
+	}
+	return out
+}
+
+// Tanh applies the hyperbolic tangent elementwise (used by the C&W change
+// of variables).
+func (g *Graph) Tanh(x *Value) *Value {
+	out := g.node("tanh", tensor.Tanh(x.Data), x)
+	out.backward = func() {
+		gx := tensor.New(x.Data.Shape()...)
+		yd, gy, gd := out.Data.Data(), out.Grad.Data(), gx.Data()
+		for i := range gd {
+			gd[i] = gy[i] * (1 - yd[i]*yd[i])
+		}
+		accum(x, gx)
+	}
+	return out
+}
+
+// Affine applies alpha*x + beta elementwise for constants.
+func (g *Graph) Affine(x *Value, alpha, beta float32) *Value {
+	out := g.node("affine", tensor.Apply(x.Data, func(v float32) float32 { return alpha*v + beta }), x)
+	out.backward = func() {
+		accum(x, tensor.Scale(out.Grad, alpha))
+	}
+	return out
+}
+
+// SoftmaxLastDim applies a softmax over the last dimension.
+func (g *Graph) SoftmaxLastDim(x *Value) *Value {
+	xs := x.Data.Shape()
+	cols := xs[len(xs)-1]
+	rows := x.Data.Len() / cols
+	probs := tensor.SoftmaxRows(x.Data.Reshape(rows, cols)).Reshape(xs...)
+	out := g.node("softmax", probs, x)
+	out.backward = func() {
+		gx := tensor.New(xs...)
+		p, gy, gd := out.Data.Data(), out.Grad.Data(), gx.Data()
+		for r := 0; r < rows; r++ {
+			off := r * cols
+			var dot float32
+			for c := 0; c < cols; c++ {
+				dot += gy[off+c] * p[off+c]
+			}
+			for c := 0; c < cols; c++ {
+				gd[off+c] = p[off+c] * (gy[off+c] - dot)
+			}
+		}
+		accum(x, gx)
+	}
+	return out
+}
+
+// Sum reduces all elements to a scalar.
+func (g *Graph) Sum(x *Value) *Value {
+	out := g.node("sum", tensor.Scalar(float32(tensor.Sum(x.Data))), x)
+	out.backward = func() {
+		accum(x, tensor.Full(out.Grad.Data()[0], x.Data.Shape()...))
+	}
+	return out
+}
+
+// Mean reduces all elements to their scalar mean.
+func (g *Graph) Mean(x *Value) *Value {
+	n := float32(x.Data.Len())
+	out := g.node("mean", tensor.Scalar(float32(tensor.Mean(x.Data))), x)
+	out.backward = func() {
+		accum(x, tensor.Full(out.Grad.Data()[0]/n, x.Data.Shape()...))
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package autograd
+
+import (
+	"fmt"
+
+	"pelta/internal/tensor"
+)
+
+// Reshape returns a vertex viewing x with a new shape. Data is copied so the
+// graph's vertices stay independent for shielding purposes.
+func (g *Graph) Reshape(x *Value, shape ...int) *Value {
+	xs := append([]int(nil), x.Data.Shape()...)
+	out := g.node("reshape", x.Data.Clone().Reshape(shape...), x)
+	out.backward = func() {
+		accum(x, out.Grad.Reshape(xs...))
+	}
+	return out
+}
+
+// Permute reorders the dimensions of x by axes (a permutation of 0..rank-1),
+// materializing a contiguous result.
+func (g *Graph) Permute(x *Value, axes ...int) *Value {
+	out := g.node("permute", permute(x.Data, axes), x)
+	inv := make([]int, len(axes))
+	for i, a := range axes {
+		inv[a] = i
+	}
+	out.backward = func() {
+		accum(x, permute(out.Grad, inv))
+	}
+	return out
+}
+
+func permute(t *tensor.Tensor, axes []int) *tensor.Tensor {
+	shape := t.Shape()
+	if len(axes) != len(shape) {
+		panic(fmt.Sprintf("autograd: permute axes %v do not match rank %d", axes, len(shape)))
+	}
+	outShape := make([]int, len(shape))
+	for i, a := range axes {
+		outShape[i] = shape[a]
+	}
+	out := tensor.New(outShape...)
+	// Strides of the input.
+	inStride := make([]int, len(shape))
+	s := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		inStride[i] = s
+		s *= shape[i]
+	}
+	// Walk output positions in order, map back to input offset.
+	idx := make([]int, len(shape))
+	data, src := out.Data(), t.Data()
+	for o := range data {
+		off := 0
+		for d := range idx {
+			off += idx[d] * inStride[axes[d]]
+		}
+		data[o] = src[off]
+		for d := len(idx) - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < outShape[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return out
+}
+
+// PrependToken prepends a learned [D] token to every sequence of a [B,T,D]
+// vertex, producing [B,T+1,D] — the ViT class-token concatenation of §V-A.
+func (g *Graph) PrependToken(x, tok *Value) *Value {
+	xs := x.Data.Shape()
+	if len(xs) != 3 || tok.Data.Len() != xs[2] {
+		panic(fmt.Sprintf("autograd: PrependToken needs [B,T,D] and [D], got %v and %v", xs, tok.Data.Shape()))
+	}
+	b, t, d := xs[0], xs[1], xs[2]
+	out := g.node("prepend_token", tensor.New(b, t+1, d), x, tok)
+	for i := 0; i < b; i++ {
+		dst := out.Data.Slice(i)
+		copy(dst.Data()[:d], tok.Data.Data())
+		copy(dst.Data()[d:], x.Data.Slice(i).Data())
+	}
+	out.backward = func() {
+		gx := tensor.New(b, t, d)
+		gtok := tensor.New(tok.Data.Shape()...)
+		for i := 0; i < b; i++ {
+			gslice := out.Grad.Slice(i)
+			for j := 0; j < d; j++ {
+				gtok.Data()[j] += gslice.Data()[j]
+			}
+			copy(gx.Slice(i).Data(), gslice.Data()[d:])
+		}
+		accum(x, gx)
+		accum(tok, gtok)
+	}
+	return out
+}
+
+// TakeToken extracts token t from a [B,T,D] vertex as [B,D] (e.g. the class
+// token before the classification head).
+func (g *Graph) TakeToken(x *Value, t int) *Value {
+	xs := x.Data.Shape()
+	if len(xs) != 3 || t < 0 || t >= xs[1] {
+		panic(fmt.Sprintf("autograd: TakeToken(%d) invalid for shape %v", t, xs))
+	}
+	b, d := xs[0], xs[2]
+	out := g.node("take_token", tensor.New(b, d), x)
+	for i := 0; i < b; i++ {
+		copy(out.Data.Slice(i).Data(), x.Data.Slice(i).Data()[t*d:(t+1)*d])
+	}
+	out.backward = func() {
+		gx := tensor.New(xs...)
+		for i := 0; i < b; i++ {
+			copy(gx.Slice(i).Data()[t*d:(t+1)*d], out.Grad.Slice(i).Data())
+		}
+		accum(x, gx)
+	}
+	return out
+}
+
+// Unpatchify is the inverse of Patchify: it folds [B, N, C*p*p] patch
+// tokens back into a [B,C,H,W] feature map (used by MobileViT-style blocks
+// that run attention on patches of a convolutional feature map).
+func (g *Graph) Unpatchify(x *Value, c, h, w, p int) *Value {
+	xs := x.Data.Shape()
+	gh, gw := h/p, w/p
+	if len(xs) != 3 || xs[1] != gh*gw || xs[2] != c*p*p {
+		panic(fmt.Sprintf("autograd: Unpatchify(%d,%d,%d,%d) invalid for shape %v", c, h, w, p, xs))
+	}
+	b := xs[0]
+	d := c * p * p
+	out := g.node("unpatchify", tensor.New(b, c, h, w), x)
+	move := func(img, patches *tensor.Tensor, toImage bool) {
+		for py := 0; py < gh; py++ {
+			for px := 0; px < gw; px++ {
+				patch := py*gw + px
+				for ch := 0; ch < c; ch++ {
+					for dy := 0; dy < p; dy++ {
+						for dx := 0; dx < p; dx++ {
+							imgOff := ch*h*w + (py*p+dy)*w + px*p + dx
+							patchOff := patch*d + ch*p*p + dy*p + dx
+							if toImage {
+								img.Data()[imgOff] = patches.Data()[patchOff]
+							} else {
+								patches.Data()[patchOff] = img.Data()[imgOff]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < b; i++ {
+		move(out.Data.Slice(i), x.Data.Slice(i), true)
+	}
+	out.backward = func() {
+		gx := tensor.New(xs...)
+		for i := 0; i < b; i++ {
+			move(out.Grad.Slice(i), gx.Slice(i), false)
+		}
+		accum(x, gx)
+	}
+	return out
+}
+
+// Patchify splits a [B,C,H,W] vertex into flattened non-overlapping p×p
+// patches, producing [B, (H/p)*(W/p), C*p*p]. This is the "separation of the
+// input into patches x_p^n" that Pelta shields for ViT models.
+func (g *Graph) Patchify(x *Value, p int) *Value {
+	xs := x.Data.Shape()
+	if len(xs) != 4 || xs[2]%p != 0 || xs[3]%p != 0 {
+		panic(fmt.Sprintf("autograd: Patchify(%d) invalid for shape %v", p, xs))
+	}
+	b, c, h, w := xs[0], xs[1], xs[2], xs[3]
+	gh, gw := h/p, w/p
+	n, d := gh*gw, c*p*p
+	out := g.node("patchify", tensor.New(b, n, d), x)
+	scatter := func(dst, src *tensor.Tensor, forward bool) {
+		for py := 0; py < gh; py++ {
+			for px := 0; px < gw; px++ {
+				patch := py*gw + px
+				for ch := 0; ch < c; ch++ {
+					for dy := 0; dy < p; dy++ {
+						for dx := 0; dx < p; dx++ {
+							imgOff := ch*h*w + (py*p+dy)*w + px*p + dx
+							patchOff := patch*d + ch*p*p + dy*p + dx
+							if forward {
+								dst.Data()[patchOff] = src.Data()[imgOff]
+							} else {
+								dst.Data()[imgOff] += src.Data()[patchOff]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < b; i++ {
+		scatter(out.Data.Slice(i), x.Data.Slice(i), true)
+	}
+	out.backward = func() {
+		gx := tensor.New(xs...)
+		for i := 0; i < b; i++ {
+			scatter(gx.Slice(i), out.Grad.Slice(i), false)
+		}
+		accum(x, gx)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"pelta/internal/autograd"
+	"pelta/internal/models"
+	"pelta/internal/tee"
+	"pelta/internal/tensor"
+)
+
+func TestVerifyScrubbedDetectsLeak(t *testing.T) {
+	g, _, boundary := buildSmallPass(t)
+	e, _, err := tee.NewEnclave("t", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Protect(g, e, []*autograd.Value{boundary}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a defective shield: restore data on a shielded vertex.
+	leaked := boundary.Parents()[0]
+	leaked.Data = tensor.Ones(2)
+	if bad := VerifyScrubbed([]*autograd.Value{boundary}); bad != leaked {
+		t.Fatalf("VerifyScrubbed returned %v, want the leaked vertex", bad)
+	}
+}
+
+func TestVerifyScrubbedDetectsInputGradientLeak(t *testing.T) {
+	g, in, boundary := buildSmallPass(t)
+	e, _, err := tee.NewEnclave("t", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Protect(g, e, []*autograd.Value{boundary}, 1); err != nil {
+		t.Fatal(err)
+	}
+	in.Grad = tensor.Ones(2, 4) // ∇xL reappears in normal world
+	if bad := VerifyScrubbed([]*autograd.Value{boundary}); bad != in {
+		t.Fatalf("VerifyScrubbed returned %v, want the input", bad)
+	}
+}
+
+func TestProtectIdempotent(t *testing.T) {
+	g, _, boundary := buildSmallPass(t)
+	e, _, err := tee.NewEnclave("t", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Protect(g, e, []*autograd.Value{boundary}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second application finds everything already shielded.
+	second, err := Protect(g, e, []*autograd.Value{boundary}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Vertices != 0 || second.Params != 0 || second.Bytes != 0 {
+		t.Fatalf("second Protect stored again: %+v (first %+v)", second, first)
+	}
+}
+
+func TestSelectDepthThenProtect(t *testing.T) {
+	// The ablation path: shield only the first generation (the linear
+	// transform), leaving the ReLU clear.
+	g, _, _ := buildSmallPass(t)
+	e, _, err := tee.NewEnclave("t", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := SelectDepth(g, 1)
+	report, err := Protect(g, e, sel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Vertices != 1 {
+		t.Fatalf("depth-1 shield covered %d vertices, want 1", report.Vertices)
+	}
+	// The ReLU (generation 2) stays clear.
+	for _, v := range g.Nodes() {
+		if v.Op() == "relu" && v.Data == nil {
+			t.Fatal("depth-1 shield must not scrub generation 2")
+		}
+	}
+}
+
+func TestShieldedModelEnclaveTooSmall(t *testing.T) {
+	m := testViT(t)
+	sm, err := NewShieldedModel(m, 64) // 16 floats
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 3, 8, 8)
+	if _, err := sm.Query(x, CrossEntropyLoss([]int{0})); err == nil {
+		t.Fatal("a 64-byte enclave cannot hold the shield; Query must fail")
+	}
+}
+
+// testViT builds a tiny ViT for enclave-limit tests.
+func testViT(t *testing.T) *models.ViT {
+	t.Helper()
+	return models.NewViT(models.SmallViT("vit-inv", 4, 8, 4), tensor.NewRNG(1))
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pelta/internal/autograd"
+	"pelta/internal/models"
+	"pelta/internal/tee"
+	"pelta/internal/tensor"
+)
+
+// buildSmallPass runs one forward+backward of a tiny DNN and returns the
+// graph, input vertex and the "boundary" (first layer output).
+func buildSmallPass(t *testing.T) (*autograd.Graph, *autograd.Value, *autograd.Value) {
+	t.Helper()
+	rng := tensor.NewRNG(1)
+	w1 := autograd.NewParam("w1", rng.Normal(0, 1, 6, 4))
+	b1 := autograd.NewParam("b1", rng.Normal(0, 1, 6))
+	w2 := autograd.NewParam("w2", rng.Normal(0, 1, 3, 6))
+
+	g := autograd.NewGraph()
+	in := g.Input(rng.Uniform(0, 1, 2, 4), "x")
+	h := g.ReLU(g.Linear(in, g.Param(w1), g.Param(b1)))
+	logits := g.Linear(h, g.Param(w2), nil)
+	loss, _ := g.CrossEntropy(logits, []int{0, 2}, autograd.ReduceSum)
+	g.Backward(loss)
+	return g, in, h
+}
+
+func TestProtectShieldsShallowRegion(t *testing.T) {
+	g, in, boundary := buildSmallPass(t)
+	e, tok, err := tee.NewEnclave("t", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Protect(g, e, []*autograd.Value{boundary}, 1)
+	if err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	// Shield region: relu + linear vertices, params w1+b1, one input jacobian.
+	if report.Vertices != 2 {
+		t.Fatalf("vertices = %d, want 2 (linear, relu)", report.Vertices)
+	}
+	if report.Params != 2 {
+		t.Fatalf("params = %d, want 2 (w1, b1)", report.Params)
+	}
+	if report.Jacobians != 1 {
+		t.Fatalf("jacobians = %d, want 1", report.Jacobians)
+	}
+	if report.Bytes <= 0 || e.Used() != report.Bytes {
+		t.Fatalf("bytes = %d, enclave used = %d", report.Bytes, e.Used())
+	}
+	// Normal world scrubbed.
+	if bad := VerifyScrubbed([]*autograd.Value{boundary}); bad != nil {
+		t.Fatalf("vertex %v escaped the shield", bad)
+	}
+	// The input gradient — the quantity gradient-based attacks need — is gone.
+	if in.Grad != nil {
+		t.Fatal("∇xL must be masked")
+	}
+	// But the attacker keeps the input itself.
+	if in.Data == nil {
+		t.Fatal("the input sample belongs to the attacker and must stay")
+	}
+	// Objects really live in the enclave and are owner-readable.
+	loaded := 0
+	for _, k := range report.Keys {
+		if !e.Has(k) {
+			t.Fatalf("key %q not in enclave", k)
+		}
+		if _, err := e.Load(tok, k); err != nil {
+			t.Fatalf("owner load %q: %v", k, err)
+		}
+		loaded++
+	}
+	if loaded == 0 {
+		t.Fatal("no objects stored")
+	}
+}
+
+func TestProtectDeepVerticesStayClear(t *testing.T) {
+	g, _, boundary := buildSmallPass(t)
+	e, _, err := tee.NewEnclave("t", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Protect(g, e, []*autograd.Value{boundary}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Everything after the boundary (the clear segment) keeps data and
+	// gradients — the restricted white-box of §III.
+	clear := 0
+	for _, v := range g.Nodes() {
+		if v.Shielded() || v.IsInput() {
+			continue
+		}
+		if v.Op() == "param" && v.Data == nil {
+			t.Fatalf("clear param %s scrubbed", v.Name())
+		}
+		if v.Data != nil {
+			clear++
+		}
+	}
+	if clear < 3 {
+		t.Fatalf("only %d clear vertices left; deep segment should stay visible", clear)
+	}
+}
+
+func TestProtectRejectsInputSelection(t *testing.T) {
+	g, in, _ := buildSmallPass(t)
+	e, _, err := tee.NewEnclave("t", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Protect(g, e, []*autograd.Value{in}, 1); err == nil {
+		t.Fatal("selecting the input leaf must fail (condition u_i ∈ S ⇒ i > l)")
+	}
+}
+
+func TestProtectEnclaveTooSmall(t *testing.T) {
+	g, _, boundary := buildSmallPass(t)
+	e, _, err := tee.NewEnclave("tiny", 16) // 4 floats
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Protect(g, e, []*autograd.Value{boundary}, 1); !errors.Is(err, tee.ErrEnclaveFull) {
+		t.Fatalf("want ErrEnclaveFull, got %v", err)
+	}
+}
+
+func TestProtectWithoutGradients(t *testing.T) {
+	// Forward-only pass (deployment inference): Alg. 1 still hides the
+	// forward quantities; there are no gradients to store.
+	rng := tensor.NewRNG(2)
+	w := autograd.NewParam("w", rng.Normal(0, 1, 3, 4))
+	g := autograd.NewGraph()
+	in := g.Input(rng.Uniform(0, 1, 1, 4), "x")
+	h := g.ReLU(g.Linear(in, g.Param(w), nil))
+
+	e, _, err := tee.NewEnclave("t", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Protect(g, e, []*autograd.Value{h}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Jacobians != 1 {
+		t.Fatalf("jacobian count should still be recorded, got %d", report.Jacobians)
+	}
+	for _, k := range report.Keys {
+		if strings.Contains(k, "/grad") || strings.Contains(k, "J-x") {
+			t.Fatalf("no gradient objects expected, got %q", k)
+		}
+	}
+	if in.Grad != nil {
+		t.Fatal("no input grad should exist")
+	}
+}
+
+func TestSelectDepth(t *testing.T) {
+	g, in, _ := buildSmallPass(t)
+	d1 := SelectDepth(g, 1)
+	if len(d1) != 1 || d1[0].Op() != "linear" {
+		t.Fatalf("depth-1 frontier = %v", d1)
+	}
+	d2 := SelectDepth(g, 2)
+	if len(d2) != 1 || d2[0].Op() != "relu" {
+		t.Fatalf("depth-2 frontier = %v", d2)
+	}
+	if got := SelectDepth(g, 0); len(got) != 1 || got[0] != in {
+		t.Fatalf("depth-0 should return the input, got %v", got)
+	}
+}
+
+func TestShieldedModelQueryViT(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	m := models.NewViT(models.SmallViT("vit-shield", 4, 8, 4), rng)
+	sm, err := NewShieldedModel(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.Uniform(0, 1, 2, 3, 8, 8)
+	res, err := sm.Query(x, CrossEntropyLoss([]int{1, 2}))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Logits.Dim(0) != 2 || res.Logits.Dim(1) != 4 {
+		t.Fatalf("logits shape = %v", res.Logits.Shape())
+	}
+	if res.Adjoint == nil {
+		t.Fatal("δ_{L+1} missing")
+	}
+	// ViT adjoint has the boundary's [B,T,D] shape.
+	if res.Adjoint.Rank() != 3 || res.Adjoint.Dim(1) != 5 || res.Adjoint.Dim(2) != 48 {
+		t.Fatalf("adjoint shape = %v", res.Adjoint.Shape())
+	}
+	if res.Loss <= 0 {
+		t.Fatalf("loss = %v", res.Loss)
+	}
+	if res.Report.Params != 4 {
+		t.Fatalf("shielded params = %d, want 4 (E, E bias, cls, pos)", res.Report.Params)
+	}
+}
+
+func TestShieldedModelRepeatedQueriesDoNotLeakMemory(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	m := models.NewBiT(models.SmallBiT("bit-shield", 3, 8), rng)
+	sm, err := NewShieldedModel(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.Uniform(0, 1, 1, 3, 8, 8)
+	var first int64
+	for i := 0; i < 5; i++ {
+		res, err := sm.Query(x, CrossEntropyLoss([]int{0}))
+		if err != nil {
+			t.Fatalf("pass %d: %v", i, err)
+		}
+		if i == 0 {
+			first = res.Report.Bytes
+		} else if res.Report.Bytes != first {
+			t.Fatalf("pass %d stored %d bytes, first stored %d (per-pass flush broken)", i, res.Report.Bytes, first)
+		}
+	}
+	if used := sm.Enclave().Used(); used != first {
+		t.Fatalf("enclave used = %d after 5 passes, want single-pass %d", used, first)
+	}
+}
+
+func TestShieldedModelPredictMatchesClear(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	m := models.NewResNet(models.SmallResNet("rn-shield", 4, 8), rng)
+	sm, err := NewShieldedModel(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.Uniform(0, 1, 3, 3, 8, 8)
+	want := models.Predict(m, x)
+	got, err := sm.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("shielding must not change predictions (defender utility)")
+		}
+	}
+}
+
+func TestShieldedFootprintWithinTrustZone(t *testing.T) {
+	// The realized enclave bytes of one single-sample pass must stay under
+	// the 30 MB TrustZone budget for the small variants, mirroring the
+	// Table I claim that the shield is enclave-sized.
+	rng := tensor.NewRNG(6)
+	for _, m := range []models.Model{
+		models.NewViT(models.SmallViT("vit-fp", 10, 16, 4), rng),
+		models.NewResNet(models.SmallResNet("rn-fp", 10, 16), rng),
+		models.NewBiT(models.SmallBiT("bit-fp", 10, 16), rng),
+	} {
+		sm, err := NewShieldedModel(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytes, err := sm.Footprint()
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if bytes <= 0 || bytes > tee.DefaultMemoryLimit {
+			t.Fatalf("%s footprint = %d bytes", m.Name(), bytes)
+		}
+	}
+}
+
+func TestQueryWithoutLossIsInferenceOnly(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	m := models.NewViT(models.SmallViT("vit-inf", 3, 8, 4), rng)
+	sm, err := NewShieldedModel(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sm.Query(rng.Uniform(0, 1, 1, 3, 8, 8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adjoint != nil {
+		t.Fatal("inference-only pass must not expose an adjoint")
+	}
+	for _, k := range res.Report.Keys {
+		if strings.Contains(k, "grad") {
+			t.Fatalf("no gradient keys expected, got %q", k)
+		}
+	}
+}

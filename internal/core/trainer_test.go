@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"pelta/internal/dataset"
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+func trainerFixture(t *testing.T) (*EnclaveTrainer, *dataset.Dataset) {
+	t.Helper()
+	cfg := dataset.SynthCIFAR10(8, 81)
+	cfg.Classes = 4
+	cfg.TrainN, cfg.ValN = 96, 32
+	train, _ := dataset.Generate(cfg)
+	m := models.NewViT(models.SmallViT("vit-enclave-train", 4, 8, 4), tensor.NewRNG(1))
+	sm, err := NewShieldedModel(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewEnclaveTrainer(sm, 2e-3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, train
+}
+
+func TestEnclaveTrainerLearns(t *testing.T) {
+	tr, train := trainerFixture(t)
+	losses, err := tr.TrainEpochs(train.X, train.Y, 12, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease under enclave training: %v", losses)
+	}
+	if acc := models.Accuracy(tr.sm.Model(), train.X, train.Y); acc < 0.5 {
+		t.Fatalf("train accuracy %.2f after enclave training", acc)
+	}
+}
+
+func TestEnclaveTrainerBatchesHiddenExports(t *testing.T) {
+	tr, train := trainerFixture(t)
+	// 6 batches with SyncEvery=3 → exactly 2 automatic exports.
+	for i := 0; i < 6; i++ {
+		bx, by := models.Batch(train.X, train.Y, []int{i, i + 1, i + 2, i + 3})
+		if _, err := tr.Step(bx, by); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Exports != 2 {
+		t.Fatalf("exports = %d, want 2", tr.Exports)
+	}
+	if tr.PendingBytes() != 0 {
+		t.Fatalf("pending = %d after export", tr.PendingBytes())
+	}
+}
+
+func TestEnclaveTrainerAccumulatesBetweenExports(t *testing.T) {
+	tr, train := trainerFixture(t)
+	bx, by := models.Batch(train.X, train.Y, []int{0, 1, 2, 3})
+	if _, err := tr.Step(bx, by); err != nil {
+		t.Fatal(err)
+	}
+	if tr.PendingBytes() == 0 {
+		t.Fatal("hidden gradients should be pending before the sync point")
+	}
+	// The accumulator lives in the enclave, not the normal world.
+	found := false
+	for _, p := range tr.sm.Model().ShieldedParams() {
+		if tr.sm.Enclave().Has(accumKey(p.Name)) {
+			found = true
+		}
+		if tensor.NormL2(p.Grad) != 0 {
+			t.Fatalf("shielded grad %s lingers in normal world", p.Name)
+		}
+	}
+	if !found {
+		t.Fatal("no enclave accumulator present")
+	}
+	hidden, err := tr.ExportHidden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hidden) == 0 {
+		t.Fatal("export returned nothing")
+	}
+	for name, g := range hidden {
+		if g.Len() == 0 || tensor.NormL2(g) == 0 {
+			t.Fatalf("exported gradient %s is empty", name)
+		}
+	}
+}
+
+func TestEnclaveTrainerValidation(t *testing.T) {
+	m := models.NewViT(models.SmallViT("vit-val", 4, 8, 4), tensor.NewRNG(2))
+	sm, err := NewShieldedModel(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEnclaveTrainer(sm, 0.01, 0); err == nil {
+		t.Fatal("SyncEvery 0 must fail")
+	}
+}

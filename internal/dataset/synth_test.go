@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"testing"
+
+	"pelta/internal/tensor"
+)
+
+func TestGenerateShapesAndRanges(t *testing.T) {
+	cfg := SynthCIFAR10(16, 1)
+	cfg.TrainN, cfg.ValN = 50, 20
+	train, val := Generate(cfg)
+	if train.Len() != 50 || val.Len() != 20 {
+		t.Fatalf("sizes = %d/%d", train.Len(), val.Len())
+	}
+	wantShape := []int{50, 3, 16, 16}
+	for i, d := range train.X.Shape() {
+		if d != wantShape[i] {
+			t.Fatalf("train shape = %v", train.X.Shape())
+		}
+	}
+	for _, v := range train.X.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v outside [0,1]", v)
+		}
+	}
+	for _, y := range train.Y {
+		if y < 0 || y >= 10 {
+			t.Fatalf("label %d out of range", y)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := SynthCIFAR10(8, 42)
+	cfg.TrainN, cfg.ValN = 20, 10
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	if !a.X.AllClose(b.X, 0) {
+		t.Fatal("same seed must reproduce data")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 43
+	c, _ := Generate(cfg2)
+	if a.X.AllClose(c.X, 1e-9) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestClassSeparability(t *testing.T) {
+	// Samples must be closer to their own class prototype than to others —
+	// the property that lets defender models reach high clean accuracy.
+	cfg := SynthCIFAR10(16, 3)
+	cfg.TrainN, cfg.ValN = 100, 50
+	train, _ := Generate(cfg)
+	protos := make([]*tensor.Tensor, cfg.Classes)
+	counts := make([]int, cfg.Classes)
+	for c := range protos {
+		protos[c] = tensor.New(3, 16, 16)
+	}
+	for i := 0; i < train.Len(); i++ {
+		tensor.AddIn(protos[train.Y[i]], train.X.Slice(i))
+		counts[train.Y[i]]++
+	}
+	for c := range protos {
+		tensor.ScaleIn(protos[c], 1/float32(counts[c]))
+	}
+	correct := 0
+	for i := 0; i < train.Len(); i++ {
+		best, bestD := -1, 0.0
+		for c := range protos {
+			diff := tensor.Sub(train.X.Slice(i), protos[c])
+			d := tensor.Dot(diff, diff)
+			if best < 0 || d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best == train.Y[i] {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(train.Len()); frac < 0.95 {
+		t.Fatalf("nearest-prototype accuracy %.2f too low for a separable dataset", frac)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	cfg := SynthCIFAR10(8, 5)
+	cfg.TrainN, cfg.ValN = 20, 10
+	train, _ := Generate(cfg)
+	sub := train.Subset([]int{3, 7, 11})
+	if sub.Len() != 3 {
+		t.Fatalf("len = %d", sub.Len())
+	}
+	if sub.Y[1] != train.Y[7] {
+		t.Fatal("labels not copied")
+	}
+	if !sub.X.Slice(2).AllClose(train.X.Slice(11), 0) {
+		t.Fatal("pixels not copied")
+	}
+}
+
+func TestShardsPartition(t *testing.T) {
+	cfg := SynthCIFAR10(8, 6)
+	cfg.TrainN, cfg.ValN = 30, 10
+	train, _ := Generate(cfg)
+	shards := train.Shards(4)
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
+	if total != train.Len() {
+		t.Fatalf("shards cover %d of %d samples", total, train.Len())
+	}
+	// Each shard keeps the class diversity (IID split).
+	seen := map[int]bool{}
+	for _, y := range shards[0].Y {
+		seen[y] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("shard 0 has only %d classes", len(seen))
+	}
+}
+
+func TestPresetConfigs(t *testing.T) {
+	tests := []struct {
+		cfg     Config
+		classes int
+	}{
+		{SynthCIFAR10(16, 1), 10},
+		{SynthCIFAR100(16, 1), 100},
+		{SynthImageNet(16, 1), 100},
+	}
+	for _, tt := range tests {
+		if tt.cfg.Classes != tt.classes {
+			t.Errorf("%s classes = %d, want %d", tt.cfg.Name, tt.cfg.Classes, tt.classes)
+		}
+		if tt.cfg.TrainN <= 0 || tt.cfg.ValN <= 0 {
+			t.Errorf("%s sizes unset", tt.cfg.Name)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package ensemble implements the two-model ensemble defense of §V-A2:
+// a ViT and a BiT combined under the random-selection decision policy [57],
+// where each test sample is evaluated by one of the two members chosen
+// uniformly at random. Adversarial examples transfer poorly between
+// attention-based and CNN-based models, so the ensemble's astuteness
+// exceeds either member's against single-model attacks.
+package ensemble
+
+import (
+	"fmt"
+
+	"pelta/internal/core"
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+// Member is one ensemble participant: a clear or Pelta-shielded classifier.
+type Member interface {
+	Name() string
+	Predict(x *tensor.Tensor) ([]int, error)
+}
+
+// ClearMember adapts a plain model.
+type ClearMember struct {
+	M models.Model
+}
+
+var _ Member = (*ClearMember)(nil)
+
+// Name implements Member.
+func (m *ClearMember) Name() string { return m.M.Name() }
+
+// Predict implements Member.
+func (m *ClearMember) Predict(x *tensor.Tensor) ([]int, error) {
+	return models.Predict(m.M, x), nil
+}
+
+// ShieldedMember adapts a Pelta-shielded model.
+type ShieldedMember struct {
+	SM *core.ShieldedModel
+}
+
+var _ Member = (*ShieldedMember)(nil)
+
+// Name implements Member.
+func (m *ShieldedMember) Name() string { return m.SM.Name() }
+
+// Predict implements Member.
+func (m *ShieldedMember) Predict(x *tensor.Tensor) ([]int, error) {
+	return m.SM.Predict(x)
+}
+
+// Ensemble is the random-selection pair.
+type Ensemble struct {
+	A, B Member
+	rng  *tensor.RNG
+}
+
+// New creates an ensemble with a seeded selection policy.
+func New(a, b Member, seed int64) *Ensemble {
+	return &Ensemble{A: a, B: b, rng: tensor.NewRNG(seed)}
+}
+
+// Name returns a combined label.
+func (e *Ensemble) Name() string {
+	return fmt.Sprintf("Ensemble(%s, %s)", e.A.Name(), e.B.Name())
+}
+
+// Predict classifies each sample with a uniformly chosen member.
+func (e *Ensemble) Predict(x *tensor.Tensor) ([]int, error) {
+	pa, err := e.A.Predict(x)
+	if err != nil {
+		return nil, fmt.Errorf("ensemble: member %s: %w", e.A.Name(), err)
+	}
+	pb, err := e.B.Predict(x)
+	if err != nil {
+		return nil, fmt.Errorf("ensemble: member %s: %w", e.B.Name(), err)
+	}
+	out := make([]int, len(pa))
+	for i := range out {
+		if e.rng.Intn(2) == 0 {
+			out[i] = pa[i]
+		} else {
+			out[i] = pb[i]
+		}
+	}
+	return out, nil
+}
+
+// Accuracy returns the ensemble's accuracy on (x, y) along with each
+// member's individual accuracy — the three rows of every Table IV block.
+func (e *Ensemble) Accuracy(x *tensor.Tensor, y []int) (ens, accA, accB float64, err error) {
+	if len(y) == 0 {
+		return 0, 0, 0, fmt.Errorf("ensemble: empty batch")
+	}
+	pa, err := e.A.Predict(x)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	pb, err := e.B.Predict(x)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var ca, cb, ce int
+	for i := range y {
+		sel := pa[i]
+		if e.rng.Intn(2) == 1 {
+			sel = pb[i]
+		}
+		if pa[i] == y[i] {
+			ca++
+		}
+		if pb[i] == y[i] {
+			cb++
+		}
+		if sel == y[i] {
+			ce++
+		}
+	}
+	n := float64(len(y))
+	if n == 0 {
+		return 0, 0, 0, fmt.Errorf("ensemble: empty batch")
+	}
+	return float64(ce) / n, float64(ca) / n, float64(cb) / n, nil
+}

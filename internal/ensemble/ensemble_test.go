@@ -1,0 +1,119 @@
+package ensemble
+
+import (
+	"testing"
+
+	"pelta/internal/core"
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+func pair(t *testing.T) (*models.ViT, *models.BiT) {
+	t.Helper()
+	rng := tensor.NewRNG(1)
+	return models.NewViT(models.SmallViT("vit-ens", 4, 8, 4), rng),
+		models.NewBiT(models.SmallBiT("bit-ens", 4, 8), rng)
+}
+
+func TestEnsemblePredictShape(t *testing.T) {
+	v, b := pair(t)
+	e := New(&ClearMember{M: v}, &ClearMember{M: b}, 7)
+	x := tensor.NewRNG(2).Uniform(0, 1, 6, 3, 8, 8)
+	pred, err := e.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != 6 {
+		t.Fatalf("pred len = %d", len(pred))
+	}
+	for _, p := range pred {
+		if p < 0 || p >= 4 {
+			t.Fatalf("class %d out of range", p)
+		}
+	}
+}
+
+func TestEnsembleSelectsFromBothMembers(t *testing.T) {
+	v, b := pair(t)
+	e := New(&ClearMember{M: v}, &ClearMember{M: b}, 3)
+	x := tensor.NewRNG(3).Uniform(0, 1, 64, 3, 8, 8)
+	pred, err := e.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := models.Predict(v, x)
+	pb := models.Predict(b, x)
+	fromA, fromB := 0, 0
+	for i := range pred {
+		switch pred[i] {
+		case pa[i]:
+			fromA++
+		case pb[i]:
+			fromB++
+		}
+	}
+	// Random selection must mix members; with 64 samples both should
+	// contribute (members rarely agree on random inputs).
+	if fromA == 0 || fromB == 0 {
+		t.Fatalf("selection degenerate: %d from A, %d from B", fromA, fromB)
+	}
+}
+
+func TestEnsembleAccuracyBounds(t *testing.T) {
+	v, b := pair(t)
+	e := New(&ClearMember{M: v}, &ClearMember{M: b}, 5)
+	x := tensor.NewRNG(4).Uniform(0, 1, 32, 3, 8, 8)
+	y := models.Predict(v, x) // treat member A's view as ground truth
+	ens, accA, accB, err := e.Accuracy(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accA != 1 {
+		t.Fatalf("member A accuracy vs own predictions = %v", accA)
+	}
+	lo, hi := accB, accA
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if ens < lo-0.25 || ens > hi+0.25 {
+		t.Fatalf("ensemble accuracy %.2f far outside member range [%.2f, %.2f]", ens, lo, hi)
+	}
+}
+
+func TestEnsembleWithShieldedMember(t *testing.T) {
+	v, b := pair(t)
+	sm, err := core.NewShieldedModel(v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(&ShieldedMember{SM: sm}, &ClearMember{M: b}, 9)
+	x := tensor.NewRNG(5).Uniform(0, 1, 4, 3, 8, 8)
+	pred, err := e.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != 4 {
+		t.Fatalf("pred len = %d", len(pred))
+	}
+	// Shielded member predictions agree with the clear model (utility is
+	// preserved; only the attacker's view changes).
+	direct := models.Predict(v, x)
+	shp, err := (&ShieldedMember{SM: sm}).Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if direct[i] != shp[i] {
+			t.Fatal("shielding changed predictions")
+		}
+	}
+}
+
+func TestEnsembleEmptyBatch(t *testing.T) {
+	v, b := pair(t)
+	e := New(&ClearMember{M: v}, &ClearMember{M: b}, 1)
+	x := tensor.New(0, 3, 8, 8)
+	if _, _, _, err := e.Accuracy(x, nil); err == nil {
+		t.Fatal("empty batch should error")
+	}
+}

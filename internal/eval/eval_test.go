@@ -1,0 +1,292 @@
+package eval
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"pelta/internal/dataset"
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+var (
+	blockOnce sync.Once
+	blockVal  *Block
+	blockErr  error
+)
+
+// quickBlock trains the ensemble pair once for all eval tests.
+func quickBlock(t *testing.T) *Block {
+	t.Helper()
+	blockOnce.Do(func() {
+		cfg := QuickBlockConfig(dataset.SynthCIFAR10(16, 61))
+		cfg.Dataset.Classes = 6
+		cfg.Dataset.TrainN, cfg.Dataset.ValN = 400, 150
+		cfg.EvalN = 16
+		blockVal, blockErr = BuildBlock(cfg)
+	})
+	if blockErr != nil {
+		t.Fatalf("BuildBlock: %v", blockErr)
+	}
+	return blockVal
+}
+
+func TestSelectCorrectProtocol(t *testing.T) {
+	b := quickBlock(t)
+	x, y, err := SelectCorrect([]models.Model{b.ViT, b.BiT}, b.Val, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Dim(0) != len(y) || len(y) == 0 || len(y) > 10 {
+		t.Fatalf("selected %d samples", len(y))
+	}
+	// By construction both members classify the selection perfectly —
+	// "robust accuracy over these samples is 100% if no attack is run".
+	if acc := models.Accuracy(b.ViT, x, y); acc != 1 {
+		t.Fatalf("ViT astuteness baseline = %v, want 1", acc)
+	}
+	if acc := models.Accuracy(b.BiT, x, y); acc != 1 {
+		t.Fatalf("BiT astuteness baseline = %v, want 1", acc)
+	}
+}
+
+func TestTable1RowsMatchPaperShape(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("Table I has %d rows, want 4", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Model] = r
+	}
+	vitL, vitB := byName["ViT-L/16"], byName["ViT-B/16"]
+	bit3, bit4 := byName["BiT-M-R101x3"], byName["BiT-M-R152x4"]
+	// Orderings from the paper's Table I.
+	if vitB.PortionWeights <= vitL.PortionWeights {
+		t.Fatal("ViT-B/16 must shield a larger portion than ViT-L/16")
+	}
+	if bit3.PortionWeights >= vitL.PortionWeights/10 || bit4.PortionWeights >= vitL.PortionWeights/10 {
+		t.Fatal("BiT shields are orders of magnitude smaller portions than ViT shields")
+	}
+	if bit4.WeightBytes <= bit3.WeightBytes {
+		t.Fatal("R152x4 stem is larger than R101x3 stem")
+	}
+	// Ensemble worst case under 16 MB (the §V-A claim): ViT-L/16 resident
+	// plus the BiT stem kernel and gradient (activations stream in tiles).
+	if ens := vitL.TEEBytes + 2*bit3.WeightBytes; ens > 16<<20 {
+		t.Fatalf("ensemble shield = %d bytes, exceeds the paper's 16 MB bound", ens)
+	}
+	// ViT-L/16 worst case is the same order as the paper's 15.16 MB.
+	if vitL.TEEBytes < 10<<20 || vitL.TEEBytes > 20<<20 {
+		t.Fatalf("ViT-L/16 TEE bytes = %d, want ≈15 MB", vitL.TEEBytes)
+	}
+	out := RenderTable1(rows)
+	for _, want := range []string{"ViT-L/16", "BiT-M-R152x4", "Ensemble", "MB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable3RowShowsShieldingEffect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full attack matrix")
+	}
+	b := quickBlock(t)
+	set := DefaultAttackSet()
+	set.Steps = 10
+	row, err := RunTable3Row(b.ViT, b.Val, 12, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row.Cells) != 5 {
+		t.Fatalf("%d attacks, want 5", len(row.Cells))
+	}
+	// The paper's headline shape: for the iterative attacks the shielded
+	// robust accuracy exceeds the clear one by a wide margin.
+	for _, c := range row.Cells {
+		if c.Attack == "PGD" || c.Attack == "MIM" {
+			if c.Shielded < c.Clear+0.3 {
+				t.Fatalf("%s: clear %.2f, shielded %.2f — no shielding effect", c.Attack, c.Clear, c.Shielded)
+			}
+		}
+	}
+	table := Table3{Dataset: "SynthCIFAR-10", Rows: []Table3Row{row}}
+	out := table.Render()
+	if !strings.Contains(out, "ViT-L/16") || !strings.Contains(out, "Clean") {
+		t.Fatalf("render missing columns:\n%s", out)
+	}
+}
+
+func TestRunTable4Grid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SAGA grid")
+	}
+	b := quickBlock(t)
+	set := DefaultAttackSet()
+	set.Steps = 8
+	tbl, err := RunTable4(b.ViT, b.BiT, b.Val, 12, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Columns) != 4 {
+		t.Fatalf("%d settings, want 4", len(tbl.Columns))
+	}
+	var none, both Table4Column
+	for _, c := range tbl.Columns {
+		switch c.Setting {
+		case ShieldNone:
+			none = c
+		case ShieldBoth:
+			both = c
+		}
+	}
+	// Fully shielded ensemble must be far more astute than unshielded.
+	if both.Ensemble < none.Ensemble {
+		t.Fatalf("shielding hurt the ensemble: none %.2f vs both %.2f", none.Ensemble, both.Ensemble)
+	}
+	if both.Ensemble < 0.5 {
+		t.Fatalf("fully shielded ensemble robust accuracy %.2f too low", both.Ensemble)
+	}
+	out := tbl.Render()
+	for _, want := range []string{"Clean", "Random", "Ensemble", "ViT"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig3OnlyPGDCrosses(t *testing.T) {
+	res, err := RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 3 {
+		t.Fatalf("%d paths, want 3", len(res.Paths))
+	}
+	verdicts := map[string]bool{}
+	for _, p := range res.Paths {
+		verdicts[p.Attack] = p.Crossed
+		if p.LInf > res.Eps+1e-6 {
+			t.Fatalf("%s escaped the ε-ball: %v", p.Attack, p.LInf)
+		}
+	}
+	// The Fig. 3 narrative: the one-step FGSM overshoots the curved
+	// boundary, PGD's projected small steps cross it.
+	if verdicts["FGSM"] {
+		t.Fatal("FGSM should overshoot the ring boundary in this geometry")
+	}
+	if !verdicts["PGD"] {
+		t.Fatal("PGD should cross the boundary")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "PGD") || !strings.Contains(out, "crossed") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestToy2DGradMatchesNumeric(t *testing.T) {
+	toy := Toy2D{}
+	x := tensor.FromSlice([]float32{0.31, -0.12}, 1, 2, 1, 1)
+	y := []int{0}
+	grad, _, err := toy.GradCE(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-3
+	for i := 0; i < 2; i++ {
+		orig := x.Data()[i]
+		lossAt := func(v float32) float64 {
+			x.Data()[i] = v
+			_, l, err := toy.GradCE(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return l
+		}
+		num := (lossAt(orig+eps) - lossAt(orig-eps)) / (2 * eps)
+		x.Data()[i] = orig
+		if diff := num - float64(grad.Data()[i]); diff > 1e-2 || diff < -1e-2 {
+			t.Fatalf("toy grad[%d]: numeric %v vs analytic %v", i, num, grad.Data()[i])
+		}
+	}
+}
+
+func TestRunFig4AndImages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SAGA panels")
+	}
+	b := quickBlock(t)
+	set := DefaultAttackSet()
+	set.Steps = 6
+	res, err := RunFig4(b.ViT, b.BiT, b.Val, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Panels) != 4 {
+		t.Fatalf("%d panels, want 4", len(res.Panels))
+	}
+	dir := t.TempDir()
+	if err := res.WriteImages(dir); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.p?m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// original.ppm + 4 perturbed + 4 perturbation maps.
+	if len(files) != 9 {
+		t.Fatalf("%d image files, want 9", len(files))
+	}
+	// PPM header sanity.
+	data, err := os.ReadFile(filepath.Join(dir, "original.ppm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "P6\n16 16\n255\n") {
+		t.Fatalf("bad PPM header: %q", data[:16])
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Fig. 4") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	tests := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.00 KB"},
+		{3 << 20, "3.00 MB"},
+	}
+	for _, tt := range tests {
+		if got := FormatBytes(tt.n); got != tt.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestAttackSetRoster(t *testing.T) {
+	set := DefaultAttackSet()
+	atks := set.Attacks()
+	if len(atks) != 5 {
+		t.Fatalf("%d attacks, want 5", len(atks))
+	}
+	names := map[string]bool{}
+	for _, a := range atks {
+		names[a.Name()] = true
+	}
+	for _, want := range []string{"FGSM", "PGD", "MIM", "C&W", "APGD"} {
+		if !names[want] {
+			t.Fatalf("missing attack %s", want)
+		}
+	}
+	if set.SAGA().Name() != "SAGA" {
+		t.Fatal("SAGA missing")
+	}
+}

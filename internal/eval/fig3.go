@@ -1,0 +1,178 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"pelta/internal/attack"
+	"pelta/internal/tensor"
+)
+
+// Fig. 3 of the paper is a schematic of three maximum-allowable attacks
+// inside the ε-ball, where only PGD crosses the decision boundary. This
+// file regenerates it as data: a 2-D toy classifier with a curved (ring)
+// boundary on which FGSM overshoots, PGD converges, and MIM's momentum
+// carries it past the optimum.
+
+// ring classifier: class 1 wins inside the annulus around radius 0.6.
+const (
+	ringRadius = 0.6
+	ringSharp  = 20.0
+	ringBias   = 0.5
+)
+
+// Toy2D is an analytic two-class model on R² implementing attack.Oracle.
+// Inputs are [B,2,1,1] tensors (two "pixels").
+type Toy2D struct{}
+
+var _ attack.Oracle = (*Toy2D)(nil)
+
+// Name implements attack.Oracle.
+func (Toy2D) Name() string { return "toy-ring-2d" }
+
+// InputShape implements attack.Oracle.
+func (Toy2D) InputShape() []int { return []int{2, 1, 1} }
+
+// Classes implements attack.Oracle.
+func (Toy2D) Classes() int { return 2 }
+
+func (Toy2D) logit1(x1, x2 float64) float64 {
+	r := math.Hypot(x1, x2)
+	d := r - ringRadius
+	return ringBias - ringSharp*d*d
+}
+
+// Logits implements attack.Oracle.
+func (t Toy2D) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
+	b := x.Dim(0)
+	out := tensor.New(b, 2)
+	for i := 0; i < b; i++ {
+		p := x.Slice(i).Data()
+		out.Set(float32(t.logit1(float64(p[0]), float64(p[1]))), i, 1)
+	}
+	return out, nil
+}
+
+// GradCE implements attack.Oracle analytically.
+func (t Toy2D) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, float64, error) {
+	b := x.Dim(0)
+	grad := tensor.New(x.Shape()...)
+	total := 0.0
+	for i := 0; i < b; i++ {
+		p := x.Slice(i).Data()
+		x1, x2 := float64(p[0]), float64(p[1])
+		z1 := t.logit1(x1, x2)
+		p1 := 1 / (1 + math.Exp(-z1))
+		// dz1/dx = −2·sharp·(r−R)·x/r
+		r := math.Hypot(x1, x2)
+		if r < 1e-9 {
+			r = 1e-9
+		}
+		k := -2 * ringSharp * (r - ringRadius) / r
+		// d(−log p_y)/dx
+		var scale float64
+		if y[i] == 0 {
+			total += -math.Log(1 - p1 + 1e-12)
+			scale = p1
+		} else {
+			total += -math.Log(p1 + 1e-12)
+			scale = -(1 - p1)
+		}
+		g := grad.Slice(i).Data()
+		g[0] = float32(scale * k * x1)
+		g[1] = float32(scale * k * x2)
+	}
+	return grad, total, nil
+}
+
+// GradCW implements attack.Oracle (unused by the Fig. 3 attacks).
+func (t Toy2D) GradCW(x *tensor.Tensor, y []int, x0 *tensor.Tensor, kappa, c float32) (*tensor.Tensor, float64, error) {
+	g, l, err := t.GradCE(x, y)
+	if err != nil {
+		return nil, 0, err
+	}
+	diff := tensor.Sub(x, x0)
+	tensor.AddScaledIn(g, 2*c, diff)
+	return g, l + float64(c)*tensor.Dot(diff, diff), nil
+}
+
+// trajectoryOracle records every gradient query's position.
+type trajectoryOracle struct {
+	attack.Oracle
+	points [][2]float64
+}
+
+func (o *trajectoryOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, float64, error) {
+	p := x.Slice(0).Data()
+	o.points = append(o.points, [2]float64{float64(p[0]), float64(p[1])})
+	return o.Oracle.GradCE(x, y)
+}
+
+// Fig3Trajectory is the recorded path of one attack.
+type Fig3Trajectory struct {
+	Attack  string
+	Points  [][2]float64 // gradient-query positions, then the final point
+	Final   [2]float64
+	Crossed bool // did the final point cross the decision boundary?
+	LInf    float64
+}
+
+// Fig3Result holds the three trajectories.
+type Fig3Result struct {
+	Start [2]float64
+	Eps   float64
+	Paths []Fig3Trajectory
+}
+
+// RunFig3 reproduces the Fig. 3 geometry: FGSM, PGD and MIM from the same
+// start point x0 with the same ε budget.
+func RunFig3() (*Fig3Result, error) {
+	start := [2]float64{0.30, 0.04}
+	const eps = 0.45
+	x0 := tensor.FromSlice([]float32{float32(start[0]), float32(start[1])}, 1, 2, 1, 1)
+	y := []int{0}
+
+	attacks := []attack.Attack{
+		&attack.FGSM{Eps: eps},
+		&attack.PGD{Eps: eps, Step: eps / 10, Steps: 20},
+		&attack.MIM{Eps: eps, Step: eps / 4, Steps: 20, Mu: 1},
+	}
+	res := &Fig3Result{Start: start, Eps: eps}
+	toy := Toy2D{}
+	for _, atk := range attacks {
+		rec := &trajectoryOracle{Oracle: toy}
+		xadv, err := atk.Perturb(rec, x0, y)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fig3 %s: %w", atk.Name(), err)
+		}
+		p := xadv.Slice(0).Data()
+		final := [2]float64{float64(p[0]), float64(p[1])}
+		traj := Fig3Trajectory{
+			Attack:  atk.Name(),
+			Points:  append(rec.points, final),
+			Final:   final,
+			Crossed: toy.logit1(final[0], final[1]) > 0,
+			LInf:    math.Max(math.Abs(final[0]-start[0]), math.Abs(final[1]-start[1])),
+		}
+		res.Paths = append(res.Paths, traj)
+	}
+	return res, nil
+}
+
+// Render prints the trajectories and the boundary-crossing verdicts.
+func (r *Fig3Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 3 — maximum-allowable attacks inside the l∞ ball (ε=%.2f) from x0=(%.2f, %.2f)\n",
+		r.Eps, r.Start[0], r.Start[1])
+	fmt.Fprintf(&sb, "decision boundary: ring of radius %.2f (class 1 inside the annulus)\n", ringRadius)
+	for _, p := range r.Paths {
+		verdict := "FAILED to cross"
+		if p.Crossed {
+			verdict = "crossed the boundary (adversarial example found)"
+		}
+		fmt.Fprintf(&sb, "%-5s %2d queries, final (%+.3f, %+.3f), l∞=%.3f — %s\n",
+			p.Attack, len(p.Points)-1, p.Final[0], p.Final[1], p.LInf, verdict)
+	}
+	return sb.String()
+}

@@ -1,0 +1,58 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pelta/internal/models"
+)
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{1, 0, 1}, 1},
+		{[]float64{0.5, 0.9, 0.1, 0.7, 0.3}, 0.5},
+	}
+	for _, tt := range tests {
+		if got := Median(append([]float64(nil), tt.in...)); got != tt.want {
+			t.Errorf("Median(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestMedianBoundedProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		m := Median([]float64{a, b, c})
+		lo, hi := a, a
+		for _, v := range []float64{b, c} {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return m >= lo && m <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResNetShieldFootprint(t *testing.T) {
+	fp := models.ResNet56.ShieldFootprint(853_018) // CIFAR ResNet-56 param count
+	if fp.WeightBytes <= 0 || fp.ActivationBytes <= 0 {
+		t.Fatalf("footprint = %+v", fp)
+	}
+	// The ResNet stem shield is small relative to the model.
+	if fp.Portion() > 0.5 {
+		t.Fatalf("portion = %v, stem shield should be a small fraction", fp.Portion())
+	}
+	if fp.TEEBytes() != fp.WeightBytes+fp.ActivationBytes+fp.GradientBytes {
+		t.Fatal("TEEBytes must sum the components")
+	}
+}

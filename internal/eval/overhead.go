@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pelta/internal/core"
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+// OverheadReport quantifies the §VI system implications for one defender:
+// world switches and secure-channel traffic per shielded inference, the
+// modelled TEE overhead, and the measured wall-clock cost relative to a
+// clear forward pass.
+type OverheadReport struct {
+	Model                string
+	SwitchesPerPass      int64
+	BytesPerPass         int64
+	ModelledOverheadPass time.Duration
+	ClearPass            time.Duration
+	ShieldedPass         time.Duration
+}
+
+// MeasureOverhead runs `passes` single-sample inferences in both regimes.
+func MeasureOverhead(m models.Model, passes int) (*OverheadReport, error) {
+	if passes < 1 {
+		passes = 1
+	}
+	shape := append([]int{1}, m.InputShape()...)
+	x := tensor.New(shape...)
+
+	start := time.Now()
+	for i := 0; i < passes; i++ {
+		models.Logits(m, x)
+	}
+	clearPer := time.Since(start) / time.Duration(passes)
+
+	sm, err := core.NewShieldedModel(m, 0)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for i := 0; i < passes; i++ {
+		if _, err := sm.Query(x, nil); err != nil {
+			return nil, err
+		}
+	}
+	shieldedPer := time.Since(start) / time.Duration(passes)
+
+	met := sm.Enclave().Metrics()
+	return &OverheadReport{
+		Model:                m.Name(),
+		SwitchesPerPass:      met.WorldSwitches / int64(passes),
+		BytesPerPass:         met.BytesIn / int64(passes),
+		ModelledOverheadPass: met.SimulatedOverhead / time.Duration(passes),
+		ClearPass:            clearPer,
+		ShieldedPass:         shieldedPer,
+	}, nil
+}
+
+// RenderOverhead prints the §VI table.
+func RenderOverhead(rows []*OverheadReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %10s %12s %14s %12s %12s\n",
+		"Model", "switches", "bytes/pass", "TEE overhead", "clear pass", "shielded")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %10d %12s %14v %12v %12v\n",
+			r.Model, r.SwitchesPerPass, FormatBytes(r.BytesPerPass),
+			r.ModelledOverheadPass.Round(time.Microsecond),
+			r.ClearPass.Round(10*time.Microsecond),
+			r.ShieldedPass.Round(10*time.Microsecond))
+	}
+	return sb.String()
+}

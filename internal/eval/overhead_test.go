@@ -1,0 +1,35 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+func TestMeasureOverhead(t *testing.T) {
+	m := models.NewViT(models.SmallViT("vit-ovh", 4, 8, 4), tensor.NewRNG(1))
+	rep, err := MeasureOverhead(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SwitchesPerPass <= 0 {
+		t.Fatalf("switches = %d, want > 0", rep.SwitchesPerPass)
+	}
+	if rep.BytesPerPass <= 0 {
+		t.Fatalf("bytes = %d, want > 0", rep.BytesPerPass)
+	}
+	if rep.ModelledOverheadPass <= 0 {
+		t.Fatal("modelled overhead should accumulate")
+	}
+	if rep.ClearPass <= 0 || rep.ShieldedPass <= 0 {
+		t.Fatal("wall-clock measurements missing")
+	}
+	out := RenderOverhead([]*OverheadReport{rep})
+	for _, want := range []string{"vit-ovh", "switches", "shielded"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package fl
+
+import (
+	"fmt"
+
+	"pelta/internal/attack"
+	"pelta/internal/core"
+	"pelta/internal/dataset"
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+// AttackOutcome records one round of adversarial probing by a compromised
+// client: how many crafted samples fool its local copy of the global model
+// (and therefore every victim's identical copy).
+type AttackOutcome struct {
+	Round          int
+	Samples        int
+	Fooled         int
+	RobustAccuracy float64
+	Shielded       bool
+}
+
+// CompromisedClient behaves exactly like an honest client on the protocol
+// surface (honest-but-curious, §III) but additionally probes each broadcast
+// model for adversarial examples. When Pelta shields the device, the probe
+// only sees the restricted white-box.
+type CompromisedClient struct {
+	Honest *HonestClient
+	// Probe is the evasion attack run on the local copy every round.
+	Probe attack.Attack
+	// ProbeX/ProbeY are the samples the attacker perturbs.
+	ProbeX *tensor.Tensor
+	ProbeY []int
+	// Shield enables the Pelta defense on this device.
+	Shield bool
+	// ShieldSeed initializes the attacker's upsampling kernel.
+	ShieldSeed int64
+
+	// Outcomes accumulates one entry per round.
+	Outcomes []AttackOutcome
+}
+
+var _ Client = (*CompromisedClient)(nil)
+
+// NewCompromisedClient builds a compromised client probing with the given
+// attack on nProbe of its own shard samples.
+func NewCompromisedClient(name string, m models.Model, shard *dataset.Dataset, tc models.TrainConfig, probe attack.Attack, nProbe int, shield bool) *CompromisedClient {
+	if nProbe > shard.Len() {
+		nProbe = shard.Len()
+	}
+	idx := make([]int, nProbe)
+	for i := range idx {
+		idx[i] = i
+	}
+	sub := shard.Subset(idx)
+	return &CompromisedClient{
+		Honest:     NewHonestClient(name, m, shard, tc),
+		Probe:      probe,
+		ProbeX:     sub.X,
+		ProbeY:     sub.Y,
+		Shield:     shield,
+		ShieldSeed: 1,
+	}
+}
+
+// ID implements Client.
+func (c *CompromisedClient) ID() string { return c.Honest.Name }
+
+// Update implements Client: run the honest protocol, then tap into the
+// device's RAM to craft adversarial examples against the fresh global model.
+func (c *CompromisedClient) Update(req UpdateRequest) (UpdateResponse, error) {
+	// The attacker does not alter the message flow: honest update first.
+	resp, err := c.Honest.Update(req)
+	if err != nil {
+		return resp, err
+	}
+	outcome, err := c.probe(req.Round)
+	if err != nil {
+		return resp, fmt.Errorf("fl: client %s probing round %d: %w", c.ID(), req.Round, err)
+	}
+	c.Outcomes = append(c.Outcomes, outcome)
+	resp.Note = fmt.Sprintf("attack round %d: fooled %d/%d (shielded=%v)", req.Round, outcome.Fooled, outcome.Samples, outcome.Shielded)
+	return resp, nil
+}
+
+func (c *CompromisedClient) probe(round int) (AttackOutcome, error) {
+	// Astuteness protocol (§V-C): perturb only samples the current global
+	// model classifies correctly, so a fooled sample is a real evasion.
+	pred := models.Predict(c.Honest.Model, c.ProbeX)
+	var idx []int
+	for i, p := range pred {
+		if p == c.ProbeY[i] {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		// Early rounds: the model is still too weak to evade meaningfully.
+		return AttackOutcome{Round: round, RobustAccuracy: 1, Shielded: c.Shield}, nil
+	}
+	x, y := models.Batch(c.ProbeX, c.ProbeY, idx)
+
+	var o attack.Oracle
+	if c.Shield {
+		sm, err := core.NewShieldedModel(c.Honest.Model, 0)
+		if err != nil {
+			return AttackOutcome{}, err
+		}
+		// A fresh random-uniform kernel per round: the attacker has no
+		// priors on the shielded layers, so every attempt starts blind.
+		so, err := attack.NewShieldedOracle(sm, c.ShieldSeed+int64(round)*9973)
+		if err != nil {
+			return AttackOutcome{}, err
+		}
+		o = so
+	} else {
+		o = &attack.ClearOracle{M: c.Honest.Model}
+	}
+	xadv, err := c.Probe.Perturb(o, x, y)
+	if err != nil {
+		return AttackOutcome{}, err
+	}
+	// Success is measured on the clear model: a victim node runs the same
+	// global weights without any shield on its inference path.
+	advPred := models.Predict(c.Honest.Model, xadv)
+	fooled := 0
+	for i, p := range advPred {
+		if p != y[i] {
+			fooled++
+		}
+	}
+	n := len(y)
+	return AttackOutcome{
+		Round:          round,
+		Samples:        n,
+		Fooled:         fooled,
+		RobustAccuracy: float64(n-fooled) / float64(n),
+		Shielded:       c.Shield,
+	}, nil
+}

@@ -1,0 +1,52 @@
+package fl
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"pelta/internal/models"
+)
+
+// SaveWeights writes a gob-encoded weight snapshot to path, so trained
+// defenders can be reused across experiment runs.
+func SaveWeights(path string, w Weights) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fl: creating checkpoint %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(w); err != nil {
+		return fmt.Errorf("fl: encoding checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadWeights reads a snapshot written by SaveWeights.
+func LoadWeights(path string) (Weights, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Weights{}, fmt.Errorf("fl: opening checkpoint %s: %w", path, err)
+	}
+	defer f.Close()
+	var w Weights
+	if err := gob.NewDecoder(f).Decode(&w); err != nil {
+		return Weights{}, fmt.Errorf("fl: decoding checkpoint %s: %w", path, err)
+	}
+	return w, nil
+}
+
+// SaveModel checkpoints a model's current parameters.
+func SaveModel(path string, m models.Model) error {
+	return SaveWeights(path, Snapshot(m))
+}
+
+// LoadModel restores a model's parameters from a checkpoint. The model
+// must have the same architecture that produced the checkpoint.
+func LoadModel(path string, m models.Model) error {
+	w, err := LoadWeights(path)
+	if err != nil {
+		return err
+	}
+	return Apply(m, w)
+}

@@ -1,0 +1,48 @@
+package fl
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vit.ckpt")
+
+	src := newTestModel(1)
+	if err := SaveModel(path, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := newTestModel(2)
+	if err := LoadModel(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRNG(3).Uniform(0, 1, 3, 3, 8, 8)
+	ps, pd := models.Predict(src, x), models.Predict(dst, x)
+	for i := range ps {
+		if ps[i] != pd[i] {
+			t.Fatal("restored model behaves differently")
+		}
+	}
+}
+
+func TestLoadWeightsMissingFile(t *testing.T) {
+	if _, err := LoadWeights(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("missing checkpoint must fail")
+	}
+}
+
+func TestLoadModelArchitectureMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vit.ckpt")
+	if err := SaveModel(path, newTestModel(1)); err != nil {
+		t.Fatal(err)
+	}
+	other := models.NewViT(models.SmallViT("vit-other", 7, 8, 4), tensor.NewRNG(4))
+	if err := LoadModel(path, other); err == nil {
+		t.Fatal("architecture mismatch must fail")
+	}
+}

@@ -1,0 +1,62 @@
+package fl
+
+import (
+	"fmt"
+
+	"pelta/internal/dataset"
+	"pelta/internal/models"
+)
+
+// UpdateRequest is the server's per-round broadcast.
+type UpdateRequest struct {
+	Round   int
+	Weights Weights
+}
+
+// UpdateResponse carries one client's local update back for aggregation.
+type UpdateResponse struct {
+	ClientID string
+	Weights  Weights
+	Samples  int
+	// Note is free-form client telemetry (used by the compromised client
+	// to report attack outcomes in the simulation logs).
+	Note string
+}
+
+// Client computes local updates from broadcast weights.
+type Client interface {
+	ID() string
+	Update(req UpdateRequest) (UpdateResponse, error)
+}
+
+// HonestClient fine-tunes the broadcast model on its private shard.
+type HonestClient struct {
+	Name  string
+	Model models.Model
+	Shard *dataset.Dataset
+	Train models.TrainConfig
+}
+
+var _ Client = (*HonestClient)(nil)
+
+// NewHonestClient builds a client around a local model replica.
+func NewHonestClient(name string, m models.Model, shard *dataset.Dataset, tc models.TrainConfig) *HonestClient {
+	return &HonestClient{Name: name, Model: m, Shard: shard, Train: tc}
+}
+
+// ID implements Client.
+func (c *HonestClient) ID() string { return c.Name }
+
+// Update implements Client: load global weights, train locally, return the
+// new weights (user data never leaves the device).
+func (c *HonestClient) Update(req UpdateRequest) (UpdateResponse, error) {
+	if err := Apply(c.Model, req.Weights); err != nil {
+		return UpdateResponse{}, fmt.Errorf("fl: client %s applying round %d weights: %w", c.Name, req.Round, err)
+	}
+	models.Train(c.Model, c.Shard.X, c.Shard.Y, c.Train)
+	return UpdateResponse{
+		ClientID: c.Name,
+		Weights:  Snapshot(c.Model),
+		Samples:  c.Shard.Len(),
+	}, nil
+}

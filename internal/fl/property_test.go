@@ -1,0 +1,93 @@
+package fl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: FedAvg stays inside the per-coordinate convex hull of the
+// updates for any positive sample counts.
+func TestFedAvgConvexHullProperty(t *testing.T) {
+	f := func(a, b, c float32, n1Raw, n2Raw uint8) bool {
+		n1 := int(n1Raw%31) + 1
+		n2 := int(n2Raw%31) + 1
+		u1 := Weights{Names: []string{"w"}, Shapes: [][]int{{3}}, Data: [][]float32{{a, b, c}}}
+		u2 := Weights{Names: []string{"w"}, Shapes: [][]int{{3}}, Data: [][]float32{{c, a, b}}}
+		avg, err := FedAvg([]Weights{u1, u2}, []int{n1, n2})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 3; i++ {
+			lo, hi := u1.Data[0][i], u2.Data[0][i]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			v := avg.Data[0][i]
+			const eps = 1e-4
+			if v < lo-eps || v > hi+eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FedAvg of identical updates is the identity.
+func TestFedAvgIdempotenceProperty(t *testing.T) {
+	f := func(a, b float32, kRaw uint8) bool {
+		k := int(kRaw%5) + 2
+		u := Weights{Names: []string{"w"}, Shapes: [][]int{{2}}, Data: [][]float32{{a, b}}}
+		updates := make([]Weights, k)
+		counts := make([]int, k)
+		for i := range updates {
+			updates[i] = u
+			counts[i] = i + 1
+		}
+		avg, err := FedAvg(updates, counts)
+		if err != nil {
+			return false
+		}
+		const eps = 1e-3
+		return abs32(avg.Data[0][0]-a) < eps*(1+abs32(a)) && abs32(avg.Data[0][1]-b) < eps*(1+abs32(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Property: Snapshot/Apply round-trips arbitrary weight perturbations.
+func TestSnapshotApplyRoundTripProperty(t *testing.T) {
+	m := newTestModel(5)
+	f := func(scale float32) bool {
+		if scale != scale || scale > 1e6 || scale < -1e6 { // NaN/huge guard
+			return true
+		}
+		w := Snapshot(m)
+		for i := range w.Data[0] {
+			w.Data[0][i] *= 1 + scale/10
+		}
+		if err := Apply(m, w); err != nil {
+			return false
+		}
+		back := Snapshot(m)
+		for i := range back.Data[0] {
+			if back.Data[0][i] != w.Data[0][i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

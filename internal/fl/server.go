@@ -1,0 +1,118 @@
+package fl
+
+import (
+	"fmt"
+	"sync"
+
+	"pelta/internal/models"
+)
+
+// RoundResult summarizes one federation round.
+type RoundResult struct {
+	Round int
+	// Accuracy is the global model's validation accuracy after
+	// aggregation, when the server has an Eval hook.
+	Accuracy float64
+	// Notes carries client telemetry (e.g. attack outcome reports).
+	Notes []string
+	// DownBytes is the wire size of the broadcast model; UpBytes sums the
+	// client updates — the §VI bandwidth accounting.
+	DownBytes int
+	UpBytes   int
+}
+
+// Server is the trusted FL aggregator of Fig. 1: it broadcasts the global
+// model, gathers local updates, and applies FedAvg.
+type Server struct {
+	Global models.Model
+	Conns  []Conn
+	// Eval, when set, scores the global model after every round.
+	Eval func(m models.Model) float64
+	// Parallel fans client updates out to goroutines (default sequential,
+	// deterministic).
+	Parallel bool
+}
+
+// Run executes the given number of federation rounds.
+func (s *Server) Run(rounds int) ([]RoundResult, error) {
+	if len(s.Conns) == 0 {
+		return nil, fmt.Errorf("fl: server has no clients")
+	}
+	results := make([]RoundResult, 0, rounds)
+	for r := 1; r <= rounds; r++ {
+		req := UpdateRequest{Round: r, Weights: Snapshot(s.Global)}
+		resps, err := s.collect(req)
+		if err != nil {
+			return results, fmt.Errorf("fl: round %d: %w", r, err)
+		}
+		down, err := WireBytes(req.Weights)
+		if err != nil {
+			return results, fmt.Errorf("fl: round %d: %w", r, err)
+		}
+		updates := make([]Weights, len(resps))
+		counts := make([]int, len(resps))
+		notes := make([]string, 0, len(resps))
+		up := 0
+		for i, resp := range resps {
+			updates[i] = resp.Weights
+			counts[i] = resp.Samples
+			if resp.Note != "" {
+				notes = append(notes, resp.ClientID+": "+resp.Note)
+			}
+			n, err := WireBytes(resp.Weights)
+			if err != nil {
+				return results, fmt.Errorf("fl: round %d: %w", r, err)
+			}
+			up += n
+		}
+		agg, err := FedAvg(updates, counts)
+		if err != nil {
+			return results, fmt.Errorf("fl: round %d aggregation: %w", r, err)
+		}
+		if err := Apply(s.Global, agg); err != nil {
+			return results, fmt.Errorf("fl: round %d apply: %w", r, err)
+		}
+		res := RoundResult{Round: r, Notes: notes, DownBytes: down, UpBytes: up}
+		if s.Eval != nil {
+			res.Accuracy = s.Eval(s.Global)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// collect gathers one update from every client.
+func (s *Server) collect(req UpdateRequest) ([]UpdateResponse, error) {
+	resps := make([]UpdateResponse, len(s.Conns))
+	if !s.Parallel {
+		for i, c := range s.Conns {
+			r, err := c.Update(req)
+			if err != nil {
+				return nil, fmt.Errorf("client %s: %w", c.ID(), err)
+			}
+			resps[i] = r
+		}
+		return resps, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.Conns))
+	for i, c := range s.Conns {
+		wg.Add(1)
+		go func(i int, c Conn) {
+			defer wg.Done()
+			r, err := c.Update(req)
+			if err != nil {
+				errs[i] = fmt.Errorf("client %s: %w", c.ID(), err)
+				return
+			}
+			resps[i] = r
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return resps, nil
+}

@@ -1,0 +1,129 @@
+package fl
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Conn is the server's handle to one federated client.
+type Conn interface {
+	// Update performs one round-trip: broadcast weights, receive the local
+	// update.
+	Update(req UpdateRequest) (UpdateResponse, error)
+	// ID identifies the remote client.
+	ID() string
+	Close() error
+}
+
+// localConn attaches an in-process client (the common simulation path).
+type localConn struct {
+	c Client
+}
+
+// Local wraps a client for in-process federation.
+func Local(c Client) Conn { return &localConn{c: c} }
+
+// Update implements Conn.
+func (l *localConn) Update(req UpdateRequest) (UpdateResponse, error) { return l.c.Update(req) }
+
+// ID implements Conn.
+func (l *localConn) ID() string { return l.c.ID() }
+
+// Close implements Conn.
+func (l *localConn) Close() error { return nil }
+
+// rpcEnvelope frames one TCP request or response.
+type rpcEnvelope struct {
+	Req  *UpdateRequest
+	Resp *UpdateResponse
+	Err  string
+}
+
+// ServeClient exposes a client on a listener. It handles connections
+// sequentially (one FL server talks to each client) until the listener is
+// closed, then returns net.ErrClosed.
+func ServeClient(lis net.Listener, c Client) error {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		if err := serveConn(conn, c); err != nil && !errors.Is(err, net.ErrClosed) {
+			// Connection-level failure: keep serving future connections.
+			continue
+		}
+	}
+}
+
+func serveConn(conn net.Conn, c Client) error {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var env rpcEnvelope
+		if err := dec.Decode(&env); err != nil {
+			return err
+		}
+		if env.Req == nil {
+			if err := enc.Encode(rpcEnvelope{Err: "missing request"}); err != nil {
+				return err
+			}
+			continue
+		}
+		resp, err := c.Update(*env.Req)
+		out := rpcEnvelope{Resp: &resp}
+		if err != nil {
+			out = rpcEnvelope{Err: err.Error()}
+		}
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	}
+}
+
+// tcpConn is the server-side handle to a TCP client.
+type tcpConn struct {
+	mu   sync.Mutex
+	id   string
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a client served by ServeClient.
+func Dial(addr, id string) (Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fl: dialing client %s at %s: %w", id, addr, err)
+	}
+	return &tcpConn{id: id, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Update implements Conn.
+func (t *tcpConn) Update(req UpdateRequest) (UpdateResponse, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.enc.Encode(rpcEnvelope{Req: &req}); err != nil {
+		return UpdateResponse{}, fmt.Errorf("fl: sending round %d to %s: %w", req.Round, t.id, err)
+	}
+	var env rpcEnvelope
+	if err := t.dec.Decode(&env); err != nil {
+		return UpdateResponse{}, fmt.Errorf("fl: receiving update from %s: %w", t.id, err)
+	}
+	if env.Err != "" {
+		return UpdateResponse{}, fmt.Errorf("fl: client %s: %s", t.id, env.Err)
+	}
+	if env.Resp == nil {
+		return UpdateResponse{}, fmt.Errorf("fl: client %s returned empty response", t.id)
+	}
+	return *env.Resp, nil
+}
+
+// ID implements Conn.
+func (t *tcpConn) ID() string { return t.id }
+
+// Close implements Conn.
+func (t *tcpConn) Close() error { return t.conn.Close() }

@@ -1,0 +1,99 @@
+// Package fl implements the federated-learning substrate of Fig. 1: a
+// trusted FedAvg server, honest clients fine-tuning the broadcast model on
+// local shards, and a compromised client that probes its local copy for
+// adversarial examples (the threat Pelta mitigates). Clients attach either
+// in-process or over TCP with a gob wire format.
+package fl
+
+import (
+	"fmt"
+
+	"pelta/internal/models"
+)
+
+// Weights is an ordered, serializable snapshot of model parameters — the
+// only thing that ever leaves a device in FL (user data stays local).
+type Weights struct {
+	Names  []string
+	Shapes [][]int
+	Data   [][]float32
+}
+
+// Snapshot copies m's parameters into a Weights value.
+func Snapshot(m models.Model) Weights {
+	params := m.Params()
+	w := Weights{
+		Names:  make([]string, len(params)),
+		Shapes: make([][]int, len(params)),
+		Data:   make([][]float32, len(params)),
+	}
+	for i, p := range params {
+		w.Names[i] = p.Name
+		w.Shapes[i] = append([]int(nil), p.Data.Shape()...)
+		w.Data[i] = append([]float32(nil), p.Data.Data()...)
+	}
+	return w
+}
+
+// Apply overwrites m's parameters with w. Names and shapes must match the
+// model's parameter list exactly.
+func Apply(m models.Model, w Weights) error {
+	params := m.Params()
+	if len(params) != len(w.Data) {
+		return fmt.Errorf("fl: weight count %d does not match model's %d params", len(w.Data), len(params))
+	}
+	for i, p := range params {
+		if p.Name != w.Names[i] {
+			return fmt.Errorf("fl: weight %d is %q, model expects %q", i, w.Names[i], p.Name)
+		}
+		if len(w.Data[i]) != p.Data.Len() {
+			return fmt.Errorf("fl: weight %q has %d values, model expects %d", p.Name, len(w.Data[i]), p.Data.Len())
+		}
+		copy(p.Data.Data(), w.Data[i])
+	}
+	return nil
+}
+
+// FedAvg computes the sample-count-weighted average of client updates — the
+// aggregation rule of McMahan et al. used by the paper's FL scheme.
+func FedAvg(updates []Weights, counts []int) (Weights, error) {
+	if len(updates) == 0 {
+		return Weights{}, fmt.Errorf("fl: FedAvg with no updates")
+	}
+	if len(updates) != len(counts) {
+		return Weights{}, fmt.Errorf("fl: %d updates but %d counts", len(updates), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		if c <= 0 {
+			return Weights{}, fmt.Errorf("fl: non-positive sample count %d", c)
+		}
+		total += c
+	}
+	ref := updates[0]
+	out := Weights{
+		Names:  append([]string(nil), ref.Names...),
+		Shapes: make([][]int, len(ref.Shapes)),
+		Data:   make([][]float32, len(ref.Data)),
+	}
+	for i := range ref.Data {
+		out.Shapes[i] = append([]int(nil), ref.Shapes[i]...)
+		out.Data[i] = make([]float32, len(ref.Data[i]))
+	}
+	for u, upd := range updates {
+		if len(upd.Data) != len(ref.Data) {
+			return Weights{}, fmt.Errorf("fl: update %d has %d tensors, expected %d", u, len(upd.Data), len(ref.Data))
+		}
+		frac := float32(counts[u]) / float32(total)
+		for i := range upd.Data {
+			if len(upd.Data[i]) != len(out.Data[i]) {
+				return Weights{}, fmt.Errorf("fl: update %d tensor %q size mismatch", u, ref.Names[i])
+			}
+			dst := out.Data[i]
+			for j, v := range upd.Data[i] {
+				dst[j] += frac * v
+			}
+		}
+	}
+	return out, nil
+}

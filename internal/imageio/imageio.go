@@ -1,0 +1,184 @@
+// Package imageio reads and writes the binary netpbm formats (PPM P6 for
+// RGB, PGM P5 for grayscale) used to inspect adversarial samples and
+// perturbation maps. Tensors use the model convention: [3,H,W] (or [1,H,W]
+// for grayscale) with float pixels in [0,1].
+package imageio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"pelta/internal/tensor"
+)
+
+// WritePPM saves a [3,H,W] tensor as binary PPM, clipping into [0,1].
+func WritePPM(path string, img *tensor.Tensor) error {
+	if img.Rank() != 3 || img.Dim(0) != 3 {
+		return fmt.Errorf("imageio: PPM needs [3,H,W], got %v", img.Shape())
+	}
+	h, w := img.Dim(1), img.Dim(2)
+	buf := make([]byte, 0, 20+3*h*w)
+	buf = append(buf, []byte(fmt.Sprintf("P6\n%d %d\n255\n", w, h))...)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			for c := 0; c < 3; c++ {
+				buf = append(buf, quantize(img.At(c, y, x)))
+			}
+		}
+	}
+	return writeFile(path, buf)
+}
+
+// WritePGM saves the per-pixel channel-summed magnitude of a [C,H,W]
+// tensor as grayscale PGM, normalized to its maximum (for perturbation
+// maps, which are tiny in absolute value).
+func WritePGM(path string, img *tensor.Tensor) error {
+	if img.Rank() != 3 {
+		return fmt.Errorf("imageio: PGM needs [C,H,W], got %v", img.Shape())
+	}
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	mag := make([]float32, h*w)
+	var mx float32
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var s float32
+			for ch := 0; ch < c; ch++ {
+				v := img.At(ch, y, x)
+				if v < 0 {
+					v = -v
+				}
+				s += v
+			}
+			mag[y*w+x] = s
+			if s > mx {
+				mx = s
+			}
+		}
+	}
+	if mx == 0 {
+		mx = 1
+	}
+	buf := make([]byte, 0, 20+h*w)
+	buf = append(buf, []byte(fmt.Sprintf("P5\n%d %d\n255\n", w, h))...)
+	for _, v := range mag {
+		buf = append(buf, quantize(v/mx))
+	}
+	return writeFile(path, buf)
+}
+
+// ReadPPM loads a binary PPM into a [3,H,W] tensor with pixels in [0,1].
+func ReadPPM(path string) (*tensor.Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("imageio: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	w, h, err := readHeader(r, "P6")
+	if err != nil {
+		return nil, fmt.Errorf("imageio: %s: %w", path, err)
+	}
+	raw := make([]byte, 3*w*h)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, fmt.Errorf("imageio: %s payload: %w", path, err)
+	}
+	img := tensor.New(3, h, w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			for c := 0; c < 3; c++ {
+				img.Set(float32(raw[(y*w+x)*3+c])/255, c, y, x)
+			}
+		}
+	}
+	return img, nil
+}
+
+// ReadPGM loads a binary PGM into a [1,H,W] tensor with values in [0,1].
+func ReadPGM(path string) (*tensor.Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("imageio: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	w, h, err := readHeader(r, "P5")
+	if err != nil {
+		return nil, fmt.Errorf("imageio: %s: %w", path, err)
+	}
+	raw := make([]byte, w*h)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, fmt.Errorf("imageio: %s payload: %w", path, err)
+	}
+	img := tensor.New(1, h, w)
+	for i, v := range raw {
+		img.Data()[i] = float32(v) / 255
+	}
+	return img, nil
+}
+
+// readHeader parses "<magic>\n<w> <h>\n255\n" allowing arbitrary
+// whitespace, as the netpbm spec does.
+func readHeader(r *bufio.Reader, magic string) (w, h int, err error) {
+	tok := func() (string, error) {
+		var out []byte
+		for {
+			b, err := r.ReadByte()
+			if err != nil {
+				return "", err
+			}
+			if b == ' ' || b == '\n' || b == '\t' || b == '\r' {
+				if len(out) > 0 {
+					return string(out), nil
+				}
+				continue
+			}
+			out = append(out, b)
+		}
+	}
+	m, err := tok()
+	if err != nil {
+		return 0, 0, err
+	}
+	if m != magic {
+		return 0, 0, fmt.Errorf("bad magic %q, want %q", m, magic)
+	}
+	for _, dst := range []*int{&w, &h} {
+		s, err := tok()
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := fmt.Sscanf(s, "%d", dst); err != nil {
+			return 0, 0, fmt.Errorf("bad dimension %q", s)
+		}
+	}
+	maxv, err := tok()
+	if err != nil {
+		return 0, 0, err
+	}
+	if maxv != "255" {
+		return 0, 0, fmt.Errorf("unsupported max value %q", maxv)
+	}
+	if w <= 0 || h <= 0 {
+		return 0, 0, fmt.Errorf("bad dimensions %dx%d", w, h)
+	}
+	return w, h, nil
+}
+
+func quantize(v float32) byte {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return byte(v*255 + 0.5)
+}
+
+func writeFile(path string, buf []byte) error {
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("imageio: writing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package imageio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"pelta/internal/tensor"
+)
+
+func TestPPMRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.ppm")
+	img := tensor.NewRNG(1).Uniform(0, 1, 3, 5, 7)
+	if err := WritePPM(path, img); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPPM(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dim(1) != 5 || back.Dim(2) != 7 {
+		t.Fatalf("shape = %v", back.Shape())
+	}
+	// 8-bit quantization: half an LSB of error.
+	if !back.AllClose(img, 1.0/255) {
+		t.Fatal("round trip lost more than quantization error")
+	}
+}
+
+func TestPPMRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	f := func(seed int64, hRaw, wRaw uint8) bool {
+		h := int(hRaw%12) + 1
+		w := int(wRaw%12) + 1
+		img := tensor.NewRNG(seed).Uniform(0, 1, 3, h, w)
+		path := filepath.Join(dir, "p.ppm")
+		if err := WritePPM(path, img); err != nil {
+			return false
+		}
+		back, err := ReadPPM(path)
+		if err != nil {
+			return false
+		}
+		return back.AllClose(img, 1.0/255)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPGMWriteRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.pgm")
+	img := tensor.NewRNG(2).Uniform(-0.1, 0.1, 3, 4, 4)
+	if err := WritePGM(path, img); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dim(0) != 1 || back.Dim(1) != 4 || back.Dim(2) != 4 {
+		t.Fatalf("shape = %v", back.Shape())
+	}
+	// Normalized output: maximum pixel is 1 (255).
+	mx, _ := tensor.Max(back)
+	if mx != 1 {
+		t.Fatalf("max = %v, want normalized 1", mx)
+	}
+}
+
+func TestWriteRejectsBadShapes(t *testing.T) {
+	dir := t.TempDir()
+	if err := WritePPM(filepath.Join(dir, "x.ppm"), tensor.New(1, 4, 4)); err == nil {
+		t.Fatal("PPM of 1-channel must fail")
+	}
+	if err := WritePGM(filepath.Join(dir, "x.pgm"), tensor.New(4, 4)); err == nil {
+		t.Fatal("PGM of rank-2 must fail")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.ppm")
+	if err := os.WriteFile(path, []byte("P3\n2 2\n255\nnot binary"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPPM(path); err == nil {
+		t.Fatal("wrong magic must fail")
+	}
+	if err := os.WriteFile(path, []byte("P6\n2 2\n255\nxx"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPPM(path); err == nil {
+		t.Fatal("truncated payload must fail")
+	}
+	if _, err := ReadPPM(filepath.Join(dir, "missing.ppm")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestClippingOnWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.ppm")
+	img := tensor.Full(2.5, 3, 2, 2) // out of range
+	if err := WritePPM(path, img); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPPM(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range back.Data() {
+		if v != 1 {
+			t.Fatalf("clipped value = %v, want 1", v)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package models
+
+import (
+	"fmt"
+
+	"pelta/internal/autograd"
+	"pelta/internal/nn"
+	"pelta/internal/tensor"
+)
+
+// BiTConfig describes a Big Transfer model (Kolesnikov et al. 2020):
+// a ResNet-v2 with GroupNorm and weight-standardized convolutions, scaled
+// by a width factor.
+type BiTConfig struct {
+	Name        string
+	InputC      int
+	InputHW     int
+	StemK       int   // stem kernel size (7 at paper scale)
+	StemStride  int   // stem stride (2 at paper scale)
+	StageBlocks []int // residual blocks per stage
+	BaseWidth   int   // first-stage output channels before width factor
+	WidthFactor int   // BiT multiplier (x3, x4)
+	Groups      int   // GroupNorm groups
+	Classes     int
+}
+
+// Paper-scale BiT configurations (ImageNet).
+var (
+	BiTM101x3 = BiTConfig{Name: "BiT-M-R101x3", InputC: 3, InputHW: 224, StemK: 7, StemStride: 2, StageBlocks: []int{3, 4, 23, 3}, BaseWidth: 256, WidthFactor: 3, Groups: 32, Classes: 1000}
+	BiTM152x4 = BiTConfig{Name: "BiT-M-R152x4", InputC: 3, InputHW: 224, StemK: 7, StemStride: 2, StageBlocks: []int{3, 8, 36, 3}, BaseWidth: 256, WidthFactor: 4, Groups: 32, Classes: 1000}
+)
+
+// SmallBiT returns a trainable scaled-down BiT for hw×hw images.
+func SmallBiT(name string, classes, hw int) BiTConfig {
+	return BiTConfig{
+		Name: name, InputC: 3, InputHW: hw, StemK: 3, StemStride: 1,
+		StageBlocks: []int{1, 1, 1}, BaseWidth: 16, WidthFactor: 1, Groups: 4, Classes: classes,
+	}
+}
+
+func (c BiTConfig) stemWidth() int { return 64 * c.WidthFactor }
+
+func (c BiTConfig) stageWidth(stage int) int {
+	return c.BaseWidth * c.WidthFactor << stage
+}
+
+// bitBlock is a pre-activation bottleneck with GroupNorm and WSConv.
+type bitBlock struct {
+	norm1, norm2, norm3 *nn.GroupNorm2d
+	conv1, conv2, conv3 *nn.WSConv2d
+	proj                *nn.WSConv2d
+	stride              int
+}
+
+func newBiTBlock(name string, in, out, stride, groups int, rng *tensor.RNG) *bitBlock {
+	mid := out / 4
+	if mid < 1 {
+		mid = 1
+	}
+	gcd := func(a, b int) int {
+		for b != 0 {
+			a, b = b, a%b
+		}
+		return a
+	}
+	b := &bitBlock{
+		norm1:  nn.NewGroupNorm2d(name+".gn1", in, gcd(groups, in)),
+		conv1:  nn.NewWSConv2d(name+".conv1", in, mid, 1, 1, 0, false, rng),
+		norm2:  nn.NewGroupNorm2d(name+".gn2", mid, gcd(groups, mid)),
+		conv2:  nn.NewWSConv2d(name+".conv2", mid, mid, 3, stride, 1, false, rng),
+		norm3:  nn.NewGroupNorm2d(name+".gn3", mid, gcd(groups, mid)),
+		conv3:  nn.NewWSConv2d(name+".conv3", mid, out, 1, 1, 0, false, rng),
+		stride: stride,
+	}
+	if in != out || stride != 1 {
+		b.proj = nn.NewWSConv2d(name+".proj", in, out, 1, stride, 0, false, rng)
+	}
+	return b
+}
+
+func (b *bitBlock) forward(g *autograd.Graph, x *autograd.Value) *autograd.Value {
+	pre := g.ReLU(b.norm1.Forward(g, x))
+	skip := x
+	if b.proj != nil {
+		skip = b.proj.Forward(g, pre)
+	}
+	y := b.conv1.Forward(g, pre)
+	y = b.conv2.Forward(g, g.ReLU(b.norm2.Forward(g, y)))
+	y = b.conv3.Forward(g, g.ReLU(b.norm3.Forward(g, y)))
+	return g.Add(skip, y)
+}
+
+func (b *bitBlock) params() []*autograd.Param {
+	mods := []nn.Module{b.norm1, b.conv1, b.norm2, b.conv2, b.norm3, b.conv3}
+	if b.proj != nil {
+		mods = append(mods, b.proj)
+	}
+	return nn.CollectParams(mods...)
+}
+
+// BiT is a Big Transfer classifier. Its Pelta shield region covers the
+// first weight-standardized convolution and its following padding operation
+// (§V-A).
+type BiT struct {
+	Cfg BiTConfig
+
+	StemConv *nn.WSConv2d
+	blocks   []*bitBlock
+	FinalGN  *nn.GroupNorm2d
+	Head     *nn.Linear
+}
+
+var _ Model = (*BiT)(nil)
+
+// NewBiT builds a BiT with fresh parameters.
+func NewBiT(cfg BiTConfig, rng *tensor.RNG) *BiT {
+	gcd := func(a, b int) int {
+		for b != 0 {
+			a, b = b, a%b
+		}
+		return a
+	}
+	lastWidth := cfg.stageWidth(len(cfg.StageBlocks) - 1)
+	b := &BiT{
+		Cfg:      cfg,
+		StemConv: nn.NewWSConv2d(cfg.Name+".stem", cfg.InputC, cfg.stemWidth(), cfg.StemK, cfg.StemStride, cfg.StemK/2, false, rng),
+		FinalGN:  nn.NewGroupNorm2d(cfg.Name+".final_gn", lastWidth, gcd(cfg.Groups, lastWidth)),
+		Head:     nn.NewLinear(cfg.Name+".head", lastWidth, cfg.Classes, true, rng),
+	}
+	in := cfg.stemWidth()
+	for stage, nblocks := range cfg.StageBlocks {
+		out := cfg.stageWidth(stage)
+		for blk := 0; blk < nblocks; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			name := fmt.Sprintf("%s.s%d.b%d", cfg.Name, stage, blk)
+			b.blocks = append(b.blocks, newBiTBlock(name, in, out, stride, cfg.Groups, rng))
+			in = out
+		}
+	}
+	return b
+}
+
+// Name implements Model.
+func (b *BiT) Name() string { return b.Cfg.Name }
+
+// InputShape implements Model.
+func (b *BiT) InputShape() []int { return []int{b.Cfg.InputC, b.Cfg.InputHW, b.Cfg.InputHW} }
+
+// Classes implements Model.
+func (b *BiT) Classes() int { return b.Cfg.Classes }
+
+// SetTraining implements Model; GroupNorm has no batch statistics.
+func (b *BiT) SetTraining(bool) {}
+
+// Forward implements Model. The boundary is the output of the padding
+// operation that follows the stem weight-standardized convolution.
+func (b *BiT) Forward(g *autograd.Graph, x *autograd.Value) (boundary, logits *autograd.Value) {
+	y := b.StemConv.Forward(g, x)
+	y = g.Pad2d(y, 1) // the "following padding operation" of §V-A
+	boundary = y
+	y = g.MaxPool2d(y, 3, 2)
+	for _, blk := range b.blocks {
+		y = blk.forward(g, y)
+	}
+	y = g.ReLU(b.FinalGN.Forward(g, y))
+	pooled := g.AvgPoolGlobal(y)
+	return boundary, b.Head.Forward(g, pooled)
+}
+
+// Params implements Model.
+func (b *BiT) Params() []*autograd.Param {
+	out := b.StemConv.Params()
+	for _, blk := range b.blocks {
+		out = append(out, blk.params()...)
+	}
+	out = append(out, b.FinalGN.Params()...)
+	return append(out, b.Head.Params()...)
+}
+
+// ShieldedParams implements Model: only the stem conv kernel is
+// enclave-resident (the padding op has no parameters).
+func (b *BiT) ShieldedParams() []*autograd.Param { return b.StemConv.Params() }
+
+// ParamCount returns the trainable-scalar count of a configuration without
+// allocating it.
+func (c BiTConfig) ParamCount() int64 {
+	total := int64(c.InputC) * int64(c.stemWidth()) * int64(c.StemK*c.StemK)
+	in := int64(c.stemWidth())
+	for stage, nblocks := range c.StageBlocks {
+		out := int64(c.stageWidth(stage))
+		mid := out / 4
+		for blk := 0; blk < nblocks; blk++ {
+			total += 2 * in        // gn1
+			total += in * mid      // conv1 1x1
+			total += 2 * mid       // gn2
+			total += mid * mid * 9 // conv2 3x3
+			total += 2 * mid       // gn3
+			total += mid * out     // conv3 1x1
+			if blk == 0 {
+				total += in * out // projection 1x1
+			}
+			in = out
+		}
+	}
+	last := int64(c.stageWidth(len(c.StageBlocks) - 1))
+	total += 2 * last                                 // final gn
+	total += last*int64(c.Classes) + int64(c.Classes) // head
+	return total
+}
+
+// ShieldFootprint computes the Table I enclave cost: stem kernel, the
+// padded stem activation of one sample, and their gradients.
+func (c BiTConfig) ShieldFootprint() Footprint {
+	weights := int64(c.InputC) * int64(c.stemWidth()) * int64(c.StemK*c.StemK)
+	outHW := int64(tensor.ConvOut(c.InputHW, c.StemK, c.StemStride, c.StemK/2))
+	acts := int64(c.stemWidth()) * (outHW*outHW + (outHW+2)*(outHW+2)) // conv out + padded out
+	const fp32 = 4
+	return Footprint{
+		WeightBytes:     weights * fp32,
+		ActivationBytes: acts * fp32,
+		GradientBytes:   (weights + acts) * fp32,
+		TotalModelBytes: c.ParamCount() * fp32,
+	}
+}

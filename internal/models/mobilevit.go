@@ -1,0 +1,128 @@
+package models
+
+import (
+	"fmt"
+
+	"pelta/internal/autograd"
+	"pelta/internal/nn"
+	"pelta/internal/tensor"
+)
+
+// MobileViTConfig describes the lightweight convolution+attention hybrid
+// the paper's introduction motivates for cross-device FL (Mehta &
+// Rastegari, ICLR 2022), in a compact form: a convolutional stem, a local
+// conv stage, and MobileViT blocks that run transformer encoders over
+// patches of the feature map before folding them back.
+type MobileViTConfig struct {
+	Name    string
+	InputC  int
+	InputHW int
+	StemC   int // stem output channels
+	BlockC  int // feature channels inside the MobileViT block
+	Patch   int // attention patch size over the feature map
+	Depth   int // encoder blocks per MobileViT block
+	Heads   int
+	MLPDim  int
+	Classes int
+}
+
+// SmallMobileViT returns a trainable compact configuration.
+func SmallMobileViT(name string, classes, hw int) MobileViTConfig {
+	return MobileViTConfig{
+		Name: name, InputC: 3, InputHW: hw,
+		StemC: 16, BlockC: 24, Patch: 2, Depth: 2, Heads: 4, MLPDim: 64,
+		Classes: classes,
+	}
+}
+
+// MobileViT is the hybrid classifier. Its Pelta shield region is the stem
+// convolution + normalization + activation, like the other conv-stem
+// defenders of §V-A.
+type MobileViT struct {
+	Cfg MobileViTConfig
+
+	Stem     *nn.Conv2d
+	StemNorm *nn.GroupNorm2d
+	Local    *nn.Conv2d
+	Proj     *nn.Conv2d // 1x1 into the attention width
+	Blocks   []*nn.EncoderBlock
+	Fuse     *nn.Conv2d // 1x1 back to feature width
+	Head     *nn.Linear
+}
+
+var _ Model = (*MobileViT)(nil)
+
+// NewMobileViT builds the model with fresh parameters.
+func NewMobileViT(cfg MobileViTConfig, rng *tensor.RNG) *MobileViT {
+	if cfg.InputHW%cfg.Patch != 0 {
+		panic(fmt.Sprintf("models: MobileViT patch %d must divide input %d", cfg.Patch, cfg.InputHW))
+	}
+	tokenDim := cfg.BlockC * cfg.Patch * cfg.Patch
+	m := &MobileViT{
+		Cfg:      cfg,
+		Stem:     nn.NewConv2d(cfg.Name+".stem", cfg.InputC, cfg.StemC, 3, 1, 1, false, rng),
+		StemNorm: nn.NewGroupNorm2d(cfg.Name+".stem_gn", cfg.StemC, gcdInt(4, cfg.StemC)),
+		Local:    nn.NewConv2d(cfg.Name+".local", cfg.StemC, cfg.StemC, 3, 1, 1, false, rng),
+		Proj:     nn.NewConv2d(cfg.Name+".proj", cfg.StemC, cfg.BlockC, 1, 1, 0, false, rng),
+		Fuse:     nn.NewConv2d(cfg.Name+".fuse", cfg.BlockC, cfg.BlockC, 1, 1, 0, false, rng),
+		Head:     nn.NewLinear(cfg.Name+".head", cfg.BlockC, cfg.Classes, true, rng),
+	}
+	m.Blocks = make([]*nn.EncoderBlock, cfg.Depth)
+	for i := range m.Blocks {
+		m.Blocks[i] = nn.NewEncoderBlock(fmt.Sprintf("%s.block%d", cfg.Name, i), tokenDim, cfg.Heads, cfg.MLPDim, rng)
+	}
+	return m
+}
+
+func gcdInt(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Name implements Model.
+func (m *MobileViT) Name() string { return m.Cfg.Name }
+
+// InputShape implements Model.
+func (m *MobileViT) InputShape() []int { return []int{m.Cfg.InputC, m.Cfg.InputHW, m.Cfg.InputHW} }
+
+// Classes implements Model.
+func (m *MobileViT) Classes() int { return m.Cfg.Classes }
+
+// SetTraining implements Model (GroupNorm has no batch statistics).
+func (m *MobileViT) SetTraining(bool) {}
+
+// Forward implements Model. The boundary is the stem's activation, as for
+// the other convolutional defenders.
+func (m *MobileViT) Forward(g *autograd.Graph, x *autograd.Value) (boundary, logits *autograd.Value) {
+	hw := m.Cfg.InputHW
+	y := g.ReLU(m.StemNorm.Forward(g, m.Stem.Forward(g, x)))
+	boundary = y
+	y = g.ReLU(m.Local.Forward(g, y))
+	y = m.Proj.Forward(g, y) // [B, BlockC, H, W]
+	// Unfold → transformer over patches → fold (the MobileViT core).
+	tokens := g.Patchify(y, m.Cfg.Patch)
+	for _, blk := range m.Blocks {
+		tokens = blk.Forward(g, tokens)
+	}
+	y2 := g.Unpatchify(tokens, m.Cfg.BlockC, hw, hw, m.Cfg.Patch)
+	y = g.Add(y, m.Fuse.Forward(g, y2)) // residual fusion
+	pooled := g.AvgPoolGlobal(y)
+	return boundary, m.Head.Forward(g, pooled)
+}
+
+// Params implements Model.
+func (m *MobileViT) Params() []*autograd.Param {
+	out := nn.CollectParams(m.Stem, m.StemNorm, m.Local, m.Proj)
+	for _, b := range m.Blocks {
+		out = append(out, b.Params()...)
+	}
+	out = append(out, m.Fuse.Params()...)
+	return append(out, m.Head.Params()...)
+}
+
+// ShieldedParams implements Model.
+func (m *MobileViT) ShieldedParams() []*autograd.Param {
+	return nn.CollectParams(m.Stem, m.StemNorm)
+}

@@ -1,0 +1,279 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"pelta/internal/autograd"
+	"pelta/internal/dataset"
+	"pelta/internal/tensor"
+)
+
+func smallDataset(t *testing.T, classes, hw, n int) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.SynthCIFAR10(hw, 7)
+	cfg.Classes = classes
+	cfg.TrainN, cfg.ValN = n, 1
+	train, _ := dataset.Generate(cfg)
+	return train
+}
+
+func TestViTForwardShapes(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	v := NewViT(SmallViT("vit-test", 10, 16, 4), rng)
+	x := rng.Uniform(0, 1, 2, 3, 16, 16)
+	g := autograd.NewGraph()
+	boundary, logits := v.Forward(g, g.Input(x, "x"))
+	if logits.Data.Dim(0) != 2 || logits.Data.Dim(1) != 10 {
+		t.Fatalf("logits shape = %v", logits.Data.Shape())
+	}
+	// boundary z0 is [B, T, D] with T = (16/4)^2 + 1 = 17.
+	if boundary.Data.Dim(1) != 17 || boundary.Data.Dim(2) != 48 {
+		t.Fatalf("boundary shape = %v", boundary.Data.Shape())
+	}
+	if boundary.Op() != "addbroadcast" {
+		t.Fatalf("boundary op = %q, want position-embedding sum", boundary.Op())
+	}
+	if len(v.AttentionMaps()) != 4 {
+		t.Fatalf("attention maps = %d, want one per block", len(v.AttentionMaps()))
+	}
+	am := v.AttentionMaps()[0]
+	// [B*heads, T, T]
+	if am.Data.Dim(0) != 2*4 || am.Data.Dim(1) != 17 || am.Data.Dim(2) != 17 {
+		t.Fatalf("attention shape = %v", am.Data.Shape())
+	}
+	// Attention rows are probability distributions.
+	row := am.Data.Slice(0).Row(0)
+	if s := tensor.Sum(row.Reshape(1, 17)); math.Abs(s-1) > 1e-4 {
+		t.Fatalf("attention row sums to %v", s)
+	}
+}
+
+func TestResNetForwardShapes(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	r := NewResNet(SmallResNet("rn-test", 10, 16), rng)
+	x := rng.Uniform(0, 1, 3, 3, 16, 16)
+	g := autograd.NewGraph()
+	boundary, logits := r.Forward(g, g.Input(x, "x"))
+	if logits.Data.Dim(0) != 3 || logits.Data.Dim(1) != 10 {
+		t.Fatalf("logits shape = %v", logits.Data.Shape())
+	}
+	if boundary.Op() != "relu" {
+		t.Fatalf("boundary op = %q, want stem relu", boundary.Op())
+	}
+	// Stem keeps spatial dims.
+	if boundary.Data.Dim(2) != 16 || boundary.Data.Dim(3) != 16 {
+		t.Fatalf("boundary shape = %v", boundary.Data.Shape())
+	}
+}
+
+func TestResNetBottleneckBuilds(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	cfg := SmallResNet("rn-bn", 10, 8)
+	cfg.Bottleneck = true
+	cfg.Widths = [3]int{8, 16, 32}
+	r := NewResNet(cfg, rng)
+	x := rng.Uniform(0, 1, 1, 3, 8, 8)
+	g := autograd.NewGraph()
+	_, logits := r.Forward(g, g.Input(x, "x"))
+	if logits.Data.Dim(1) != 10 {
+		t.Fatalf("logits shape = %v", logits.Data.Shape())
+	}
+}
+
+func TestBiTForwardShapes(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	b := NewBiT(SmallBiT("bit-test", 10, 16), rng)
+	x := rng.Uniform(0, 1, 2, 3, 16, 16)
+	g := autograd.NewGraph()
+	boundary, logits := b.Forward(g, g.Input(x, "x"))
+	if logits.Data.Dim(0) != 2 || logits.Data.Dim(1) != 10 {
+		t.Fatalf("logits shape = %v", logits.Data.Shape())
+	}
+	if boundary.Op() != "pad2d" {
+		t.Fatalf("boundary op = %q, want the padding after the stem WSConv", boundary.Op())
+	}
+}
+
+func TestGradientsReachInputForAllModels(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	ms := []Model{
+		NewViT(SmallViT("vit-g", 5, 8, 4), rng),
+		NewResNet(SmallResNet("rn-g", 5, 8), rng),
+		NewBiT(SmallBiT("bit-g", 5, 8), rng),
+	}
+	for _, m := range ms {
+		x := rng.Uniform(0, 1, 2, 3, 8, 8)
+		g := autograd.NewGraph()
+		in := g.Input(x, "x")
+		boundary, logits := m.Forward(g, in)
+		loss, _ := g.CrossEntropy(logits, []int{1, 3}, autograd.ReduceSum)
+		g.Backward(loss)
+		if in.Grad == nil {
+			t.Fatalf("%s: no input gradient", m.Name())
+		}
+		if tensor.NormL2(in.Grad) == 0 {
+			t.Fatalf("%s: zero input gradient", m.Name())
+		}
+		if boundary.Grad == nil {
+			t.Fatalf("%s: boundary adjoint δ_{L+1} missing", m.Name())
+		}
+	}
+}
+
+func TestShieldedParamsAreSubset(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	ms := []Model{
+		NewViT(SmallViT("vit-s", 5, 8, 4), rng),
+		NewResNet(SmallResNet("rn-s", 5, 8), rng),
+		NewBiT(SmallBiT("bit-s", 5, 8), rng),
+	}
+	for _, m := range ms {
+		all := map[*autograd.Param]bool{}
+		for _, p := range m.Params() {
+			all[p] = true
+		}
+		sh := m.ShieldedParams()
+		if len(sh) == 0 {
+			t.Fatalf("%s: no shielded params", m.Name())
+		}
+		if len(sh) >= len(all) {
+			t.Fatalf("%s: shield covers the whole model", m.Name())
+		}
+		for _, p := range sh {
+			if !all[p] {
+				t.Fatalf("%s: shielded param %s not in model", m.Name(), p.Name)
+			}
+		}
+	}
+}
+
+func TestViTParamCountMatchesAllocation(t *testing.T) {
+	cfg := SmallViT("vit-count", 7, 16, 4)
+	v := NewViT(cfg, tensor.NewRNG(7))
+	var got int64
+	for _, p := range v.Params() {
+		got += int64(p.Data.Len())
+	}
+	if want := cfg.ParamCount(); got != want {
+		t.Fatalf("allocated %d params, formula says %d", got, want)
+	}
+}
+
+func TestBiTParamCountMatchesAllocation(t *testing.T) {
+	cfg := SmallBiT("bit-count", 7, 16)
+	b := NewBiT(cfg, tensor.NewRNG(8))
+	var got int64
+	for _, p := range b.Params() {
+		got += int64(p.Data.Len())
+	}
+	if want := cfg.ParamCount(); got != want {
+		t.Fatalf("allocated %d params, formula says %d", got, want)
+	}
+}
+
+func TestPaperScaleFootprints(t *testing.T) {
+	// Table I sanity: the shield is tiny relative to the model and the
+	// ensemble fits in a TrustZone enclave (<16 MB, §V-A).
+	const mb = 1 << 20
+	vit := ViTL16.ShieldFootprint()
+	bit := BiTM101x3.ShieldFootprint()
+	if vit.TEEBytes() > 20*mb {
+		t.Fatalf("ViT-L/16 shield = %d MB, want well under TrustZone limits", vit.TEEBytes()/mb)
+	}
+	if vit.Portion() > 0.05 {
+		t.Fatalf("ViT-L/16 shielded portion = %.3f%%, want ~1%%", 100*vit.Portion())
+	}
+	if bit.WeightBytes > mb {
+		t.Fatalf("BiT stem weights = %d, want O(100KB)", bit.WeightBytes)
+	}
+	// Paper: ViT-L/16 ≈ 15.16 MB worst case; ours must be the same order.
+	if vit.TEEBytes() < 5*mb {
+		t.Fatalf("ViT-L/16 shield = %d bytes, suspiciously small", vit.TEEBytes())
+	}
+	// ViT-B/16 shields a larger fraction than ViT-L/16 (smaller model,
+	// same-size shield region) — the ordering visible in Table I.
+	if ViTB16.ShieldFootprint().Portion() <= vit.Portion() {
+		t.Fatal("ViT-B/16 should shield a larger portion than ViT-L/16")
+	}
+}
+
+func TestTrainOverfitsSmallViT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	rng := tensor.NewRNG(9)
+	d := smallDataset(t, 4, 8, 64)
+	v := NewViT(SmallViT("vit-train", 4, 8, 4), rng)
+	losses := Train(v, d.X, d.Y, TrainConfig{Epochs: 8, BatchSize: 16, LR: 2e-3, Seed: 1})
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %v", losses)
+	}
+	if acc := Accuracy(v, d.X, d.Y); acc < 0.8 {
+		t.Fatalf("train accuracy = %.2f, want ≥ 0.8", acc)
+	}
+}
+
+func TestTrainOverfitsSmallResNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	rng := tensor.NewRNG(10)
+	d := smallDataset(t, 4, 8, 64)
+	r := NewResNet(SmallResNet("rn-train", 4, 8), rng)
+	losses := Train(r, d.X, d.Y, TrainConfig{Epochs: 8, BatchSize: 16, LR: 2e-3, Seed: 1})
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %v", losses)
+	}
+	if acc := Accuracy(r, d.X, d.Y); acc < 0.8 {
+		t.Fatalf("train accuracy = %.2f, want ≥ 0.8", acc)
+	}
+}
+
+func TestTrainOverfitsSmallBiT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	rng := tensor.NewRNG(11)
+	d := smallDataset(t, 4, 8, 64)
+	b := NewBiT(SmallBiT("bit-train", 4, 8), rng)
+	losses := Train(b, d.X, d.Y, TrainConfig{Epochs: 8, BatchSize: 16, LR: 2e-3, Seed: 1})
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %v", losses)
+	}
+	if acc := Accuracy(b, d.X, d.Y); acc < 0.8 {
+		t.Fatalf("train accuracy = %.2f, want ≥ 0.8", acc)
+	}
+}
+
+func TestPredictAndAccuracy(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	v := NewViT(SmallViT("vit-pred", 3, 8, 4), rng)
+	x := rng.Uniform(0, 1, 4, 3, 8, 8)
+	pred := Predict(v, x)
+	if len(pred) != 4 {
+		t.Fatalf("pred len = %d", len(pred))
+	}
+	for _, p := range pred {
+		if p < 0 || p >= 3 {
+			t.Fatalf("pred %d out of range", p)
+		}
+	}
+	acc := Accuracy(v, x, pred)
+	if acc != 1 {
+		t.Fatalf("accuracy vs own predictions = %v", acc)
+	}
+}
+
+func TestBatchGather(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	x := rng.Uniform(0, 1, 5, 3, 4, 4)
+	y := []int{0, 1, 2, 3, 4}
+	bx, by := Batch(x, y, []int{4, 0})
+	if bx.Dim(0) != 2 || by[0] != 4 || by[1] != 0 {
+		t.Fatalf("batch = %v %v", bx.Shape(), by)
+	}
+	if !bx.Slice(0).AllClose(x.Slice(4), 0) {
+		t.Fatal("batch pixels wrong")
+	}
+}

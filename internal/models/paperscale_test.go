@@ -1,0 +1,45 @@
+package models
+
+import "testing"
+
+// TestPaperScaleParameterCounts pins the analytic parameter-count formulas
+// against the published sizes of the real architectures — the external
+// validity check behind Table I's "shielded portion" denominators.
+func TestPaperScaleParameterCounts(t *testing.T) {
+	tests := []struct {
+		name      string
+		got       int64
+		published int64 // literature value, in parameters
+		tolFrac   float64
+	}{
+		// Dosovitskiy et al. report 304M/86M/88M for ViT-L/16, B/16, B/32.
+		{"ViT-L/16", ViTL16.ParamCount(), 304_000_000, 0.01},
+		{"ViT-B/16", ViTB16.ParamCount(), 86_000_000, 0.01},
+		{"ViT-B/32", ViTB32.ParamCount(), 88_000_000, 0.01},
+		// Kolesnikov et al.'s BiT-M ResNet-v2 variants.
+		{"BiT-M-R101x3", BiTM101x3.ParamCount(), 388_000_000, 0.01},
+		{"BiT-M-R152x4", BiTM152x4.ParamCount(), 936_000_000, 0.01},
+	}
+	for _, tt := range tests {
+		diff := float64(tt.got-tt.published) / float64(tt.published)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tt.tolFrac {
+			t.Errorf("%s: formula gives %d params, published ≈ %d (%.2f%% off)",
+				tt.name, tt.got, tt.published, 100*diff)
+		}
+	}
+}
+
+// TestPaperScaleTokenCounts checks the ViT sequence lengths used by the
+// Table I activation accounting (196+1 for /16 patches at 224², 49+1
+// for /32).
+func TestPaperScaleTokenCounts(t *testing.T) {
+	if got := ViTL16.Tokens(); got != 197 {
+		t.Errorf("ViT-L/16 tokens = %d, want 197", got)
+	}
+	if got := ViTB32.Tokens(); got != 50 {
+		t.Errorf("ViT-B/32 tokens = %d, want 50", got)
+	}
+}

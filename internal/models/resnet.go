@@ -1,0 +1,189 @@
+package models
+
+import (
+	"fmt"
+
+	"pelta/internal/autograd"
+	"pelta/internal/nn"
+	"pelta/internal/tensor"
+)
+
+// ResNetConfig describes a pre-activation ResNet-v2 (He et al. 2016).
+type ResNetConfig struct {
+	Name          string
+	InputC        int
+	InputHW       int
+	Widths        [3]int // channels per stage
+	BlocksPerStep int    // residual blocks per stage
+	Bottleneck    bool   // 1x1-3x3-1x1 blocks (ResNet-164) vs basic 3x3-3x3
+	Classes       int
+}
+
+// Paper-scale CIFAR ResNet configurations.
+var (
+	ResNet56  = ResNetConfig{Name: "ResNet-56", InputC: 3, InputHW: 32, Widths: [3]int{16, 32, 64}, BlocksPerStep: 9, Classes: 10}
+	ResNet164 = ResNetConfig{Name: "ResNet-164", InputC: 3, InputHW: 32, Widths: [3]int{64, 128, 256}, BlocksPerStep: 18, Bottleneck: true, Classes: 10}
+)
+
+// SmallResNet returns a trainable scaled-down ResNet-v2 for hw×hw images.
+func SmallResNet(name string, classes, hw int) ResNetConfig {
+	return ResNetConfig{
+		Name: name, InputC: 3, InputHW: hw,
+		Widths: [3]int{8, 16, 32}, BlocksPerStep: 1, Classes: classes,
+	}
+}
+
+// residualBlock is one pre-activation block with optional projection skip.
+type residualBlock struct {
+	norm1, norm2, norm3 *nn.BatchNorm2d
+	conv1, conv2, conv3 *nn.Conv2d // conv3 nil for basic blocks
+	proj                *nn.Conv2d // nil when identity skip
+	stride              int
+	bottleneck          bool
+}
+
+func newResidualBlock(name string, in, out, stride int, bottleneck bool, rng *tensor.RNG) *residualBlock {
+	b := &residualBlock{stride: stride, bottleneck: bottleneck}
+	if bottleneck {
+		mid := out / 4
+		b.norm1 = nn.NewBatchNorm2d(name+".bn1", in)
+		b.conv1 = nn.NewConv2d(name+".conv1", in, mid, 1, stride, 0, false, rng)
+		b.norm2 = nn.NewBatchNorm2d(name+".bn2", mid)
+		b.conv2 = nn.NewConv2d(name+".conv2", mid, mid, 3, 1, 1, false, rng)
+		b.norm3 = nn.NewBatchNorm2d(name+".bn3", mid)
+		b.conv3 = nn.NewConv2d(name+".conv3", mid, out, 1, 1, 0, false, rng)
+	} else {
+		b.norm1 = nn.NewBatchNorm2d(name+".bn1", in)
+		b.conv1 = nn.NewConv2d(name+".conv1", in, out, 3, stride, 1, false, rng)
+		b.norm2 = nn.NewBatchNorm2d(name+".bn2", out)
+		b.conv2 = nn.NewConv2d(name+".conv2", out, out, 3, 1, 1, false, rng)
+	}
+	if in != out || stride != 1 {
+		b.proj = nn.NewConv2d(name+".proj", in, out, 1, stride, 0, false, rng)
+	}
+	return b
+}
+
+func (b *residualBlock) forward(g *autograd.Graph, x *autograd.Value, training bool) *autograd.Value {
+	pre := g.ReLU(b.norm1.Forward(g, x, training))
+	skip := x
+	if b.proj != nil {
+		skip = b.proj.Forward(g, pre)
+	}
+	y := b.conv1.Forward(g, pre)
+	y = b.conv2.Forward(g, g.ReLU(b.norm2.Forward(g, y, training)))
+	if b.bottleneck {
+		y = b.conv3.Forward(g, g.ReLU(b.norm3.Forward(g, y, training)))
+	}
+	return g.Add(skip, y)
+}
+
+func (b *residualBlock) params() []*autograd.Param {
+	mods := []nn.Module{b.norm1, b.conv1, b.norm2, b.conv2}
+	if b.conv3 != nil {
+		mods = append(mods, b.norm3, b.conv3)
+	}
+	if b.proj != nil {
+		mods = append(mods, b.proj)
+	}
+	return nn.CollectParams(mods...)
+}
+
+// ResNet is a pre-activation ResNet-v2 classifier. Its Pelta shield region
+// covers the first convolution, batch normalization and ReLU (§V-A).
+type ResNet struct {
+	Cfg ResNetConfig
+
+	StemConv *nn.Conv2d
+	StemNorm *nn.BatchNorm2d
+	blocks   []*residualBlock
+	FinalBN  *nn.BatchNorm2d
+	Head     *nn.Linear
+
+	training bool
+}
+
+var _ Model = (*ResNet)(nil)
+
+// NewResNet builds a ResNet-v2 with fresh parameters.
+func NewResNet(cfg ResNetConfig, rng *tensor.RNG) *ResNet {
+	r := &ResNet{
+		Cfg:      cfg,
+		StemConv: nn.NewConv2d(cfg.Name+".stem", cfg.InputC, cfg.Widths[0], 3, 1, 1, false, rng),
+		StemNorm: nn.NewBatchNorm2d(cfg.Name+".stem_bn", cfg.Widths[0]),
+		FinalBN:  nn.NewBatchNorm2d(cfg.Name+".final_bn", cfg.Widths[2]),
+		Head:     nn.NewLinear(cfg.Name+".head", cfg.Widths[2], cfg.Classes, true, rng),
+	}
+	in := cfg.Widths[0]
+	for stage := 0; stage < 3; stage++ {
+		out := cfg.Widths[stage]
+		for blk := 0; blk < cfg.BlocksPerStep; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			name := fmt.Sprintf("%s.s%d.b%d", cfg.Name, stage, blk)
+			r.blocks = append(r.blocks, newResidualBlock(name, in, out, stride, cfg.Bottleneck, rng))
+			in = out
+		}
+	}
+	return r
+}
+
+// Name implements Model.
+func (r *ResNet) Name() string { return r.Cfg.Name }
+
+// InputShape implements Model.
+func (r *ResNet) InputShape() []int { return []int{r.Cfg.InputC, r.Cfg.InputHW, r.Cfg.InputHW} }
+
+// Classes implements Model.
+func (r *ResNet) Classes() int { return r.Cfg.Classes }
+
+// SetTraining implements Model.
+func (r *ResNet) SetTraining(t bool) { r.training = t }
+
+// Forward implements Model. The boundary is the stem ReLU output — the
+// paper masks "the first convolution, batch normalization and ReLU".
+func (r *ResNet) Forward(g *autograd.Graph, x *autograd.Value) (boundary, logits *autograd.Value) {
+	y := g.ReLU(r.StemNorm.Forward(g, r.StemConv.Forward(g, x), r.training))
+	boundary = y
+	for _, b := range r.blocks {
+		y = b.forward(g, y, r.training)
+	}
+	y = g.ReLU(r.FinalBN.Forward(g, y, r.training))
+	pooled := g.AvgPoolGlobal(y)
+	return boundary, r.Head.Forward(g, pooled)
+}
+
+// Params implements Model.
+func (r *ResNet) Params() []*autograd.Param {
+	out := nn.CollectParams(r.StemConv, r.StemNorm)
+	for _, b := range r.blocks {
+		out = append(out, b.params()...)
+	}
+	out = append(out, r.FinalBN.Params()...)
+	return append(out, r.Head.Params()...)
+}
+
+// ShieldedParams implements Model: the stem conv kernel and the stem BN
+// affine parameters are enclave-resident.
+func (r *ResNet) ShieldedParams() []*autograd.Param {
+	return nn.CollectParams(r.StemConv, r.StemNorm)
+}
+
+// ShieldFootprint computes the enclave cost of the ResNet shield: stem conv
+// weights, stem BN affine params, the stem activations of one sample
+// (conv out, BN out, ReLU out) and all their gradients.
+func (c ResNetConfig) ShieldFootprint(totalParams int64) Footprint {
+	w0 := int64(c.Widths[0])
+	weights := int64(c.InputC)*w0*9 + 2*w0
+	hw := int64(c.InputHW * c.InputHW)
+	acts := 3 * w0 * hw
+	const fp32 = 4
+	return Footprint{
+		WeightBytes:     weights * fp32,
+		ActivationBytes: acts * fp32,
+		GradientBytes:   (weights + acts) * fp32,
+		TotalModelBytes: totalParams * fp32,
+	}
+}

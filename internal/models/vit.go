@@ -1,0 +1,171 @@
+package models
+
+import (
+	"fmt"
+
+	"pelta/internal/autograd"
+	"pelta/internal/nn"
+	"pelta/internal/tensor"
+)
+
+// ViTConfig describes a Vision Transformer variant.
+type ViTConfig struct {
+	Name    string
+	InputC  int
+	InputHW int // square input
+	Patch   int
+	Dim     int
+	Depth   int // encoder blocks (n_l in Eq. 4)
+	Heads   int // heads per block (n_h in Eq. 4)
+	MLPDim  int
+	Classes int
+}
+
+// Paper-scale ViT configurations (ImageNet, 224x224), used analytically for
+// Table I and instantiable for completeness.
+var (
+	ViTL16 = ViTConfig{Name: "ViT-L/16", InputC: 3, InputHW: 224, Patch: 16, Dim: 1024, Depth: 24, Heads: 16, MLPDim: 4096, Classes: 1000}
+	ViTB16 = ViTConfig{Name: "ViT-B/16", InputC: 3, InputHW: 224, Patch: 16, Dim: 768, Depth: 12, Heads: 12, MLPDim: 3072, Classes: 1000}
+	ViTB32 = ViTConfig{Name: "ViT-B/32", InputC: 3, InputHW: 224, Patch: 32, Dim: 768, Depth: 12, Heads: 12, MLPDim: 3072, Classes: 1000}
+)
+
+// SmallViT returns a trainable scaled-down variant preserving the ViT
+// computational-graph structure for hw×hw images.
+func SmallViT(name string, classes, hw, patch int) ViTConfig {
+	return ViTConfig{
+		Name: name, InputC: 3, InputHW: hw, Patch: patch,
+		Dim: 48, Depth: 4, Heads: 4, MLPDim: 96, Classes: classes,
+	}
+}
+
+// Tokens returns the sequence length including the class token.
+func (c ViTConfig) Tokens() int {
+	n := c.InputHW / c.Patch
+	return n*n + 1
+}
+
+// ViT is a Vision Transformer classifier. Its Pelta shield region covers all
+// transforms up to and including the position embedding (§V-A):
+// z0 = [x_class ; x_p^1 E; …; x_p^N E] + E_pos.
+type ViT struct {
+	Cfg ViTConfig
+
+	Embed    *nn.Linear      // patch projection E
+	ClassTok *autograd.Param // x_class
+	PosEmbed *autograd.Param // E_pos
+	Blocks   []*nn.EncoderBlock
+	Norm     *nn.LayerNorm
+	Head     *nn.Linear
+
+	// lastAttn holds the attention-probability vertices of the most recent
+	// forward pass, one per encoder block, for the SAGA attack (Eq. 4).
+	lastAttn []*autograd.Value
+}
+
+var _ Model = (*ViT)(nil)
+
+// NewViT builds a ViT with fresh parameters.
+func NewViT(cfg ViTConfig, rng *tensor.RNG) *ViT {
+	patchDim := cfg.InputC * cfg.Patch * cfg.Patch
+	v := &ViT{
+		Cfg:      cfg,
+		Embed:    nn.NewLinear(cfg.Name+".embed", patchDim, cfg.Dim, true, rng),
+		ClassTok: autograd.NewParam(cfg.Name+".cls", nn.TruncNormal(rng, 0.02, cfg.Dim)),
+		PosEmbed: autograd.NewParam(cfg.Name+".pos", nn.TruncNormal(rng, 0.02, cfg.Tokens(), cfg.Dim)),
+		Norm:     nn.NewLayerNorm(cfg.Name+".ln", cfg.Dim),
+		Head:     nn.NewLinear(cfg.Name+".head", cfg.Dim, cfg.Classes, true, rng),
+	}
+	v.Blocks = make([]*nn.EncoderBlock, cfg.Depth)
+	for i := range v.Blocks {
+		v.Blocks[i] = nn.NewEncoderBlock(fmt.Sprintf("%s.block%d", cfg.Name, i), cfg.Dim, cfg.Heads, cfg.MLPDim, rng)
+	}
+	return v
+}
+
+// Name implements Model.
+func (v *ViT) Name() string { return v.Cfg.Name }
+
+// InputShape implements Model.
+func (v *ViT) InputShape() []int { return []int{v.Cfg.InputC, v.Cfg.InputHW, v.Cfg.InputHW} }
+
+// Classes implements Model.
+func (v *ViT) Classes() int { return v.Cfg.Classes }
+
+// SetTraining implements Model; ViT has no batch statistics so it is a no-op.
+func (v *ViT) SetTraining(bool) {}
+
+// Forward implements Model. The returned boundary is z0, the output of the
+// position-embedding sum — the deepest vertex inside the Pelta shield.
+func (v *ViT) Forward(g *autograd.Graph, x *autograd.Value) (boundary, logits *autograd.Value) {
+	patches := g.Patchify(x, v.Cfg.Patch) // x_p^n
+	emb := v.Embed.Forward(g, patches)    // x_p^n · E
+	tok := g.PrependToken(emb, g.Param(v.ClassTok))
+	z := g.AddBroadcast(tok, g.Param(v.PosEmbed)) // z0 (+E_pos) — shield boundary
+	boundary = z
+	v.lastAttn = v.lastAttn[:0]
+	for _, blk := range v.Blocks {
+		z = blk.Forward(g, z)
+		v.lastAttn = append(v.lastAttn, blk.Attn.LastAttn)
+	}
+	z = v.Norm.Forward(g, z)
+	cls := g.TakeToken(z, 0)
+	return boundary, v.Head.Forward(g, cls)
+}
+
+// AttentionMaps returns the per-block attention probabilities of the most
+// recent forward pass, each shaped [B*heads, T, T].
+func (v *ViT) AttentionMaps() []*autograd.Value { return v.lastAttn }
+
+// Params implements Model.
+func (v *ViT) Params() []*autograd.Param {
+	out := append([]*autograd.Param{v.ClassTok, v.PosEmbed}, v.Embed.Params()...)
+	for _, b := range v.Blocks {
+		out = append(out, b.Params()...)
+	}
+	out = append(out, v.Norm.Params()...)
+	return append(out, v.Head.Params()...)
+}
+
+// ShieldedParams implements Model: the embedding matrix and bias, class
+// token and position embedding live inside the enclave.
+func (v *ViT) ShieldedParams() []*autograd.Param {
+	return append([]*autograd.Param{v.ClassTok, v.PosEmbed}, v.Embed.Params()...)
+}
+
+// ParamCount returns the number of trainable scalars of a configuration
+// without allocating it.
+func (c ViTConfig) ParamCount() int64 {
+	patchDim := int64(c.InputC * c.Patch * c.Patch)
+	d, t := int64(c.Dim), int64(c.Tokens())
+	embed := patchDim*d + d
+	clsPos := d + t*d
+	perBlock := int64(0)
+	perBlock += 4 * (d*d + d) // q,k,v,out projections
+	perBlock += 2 * (2 * d)   // two layer norms
+	perBlock += d*int64(c.MLPDim) + int64(c.MLPDim) + int64(c.MLPDim)*d + d
+	head := d*int64(c.Classes) + int64(c.Classes)
+	return embed + clsPos + int64(c.Depth)*perBlock + 2*d + head
+}
+
+// ShieldFootprint computes the Table I enclave cost analytically: shielded
+// weights (E, bias, class token, E_pos), the shield-region activations of
+// one sample (patches, embedded patches, token concat, z0), and the
+// gradients of all of the above in the worst (no-flush) case.
+func (c ViTConfig) ShieldFootprint() Footprint {
+	patchDim := int64(c.InputC * c.Patch * c.Patch)
+	n := int64((c.InputHW / c.Patch) * (c.InputHW / c.Patch))
+	d, t := int64(c.Dim), int64(c.Tokens())
+
+	weights := patchDim*d + d + d + t*d // E, bias, cls, pos
+	acts := n*patchDim +                // patch split
+		n*d + // projected patches
+		t*d + // after class-token concat
+		t*d // z0 after position embedding
+	const fp32 = 4
+	return Footprint{
+		WeightBytes:     weights * fp32,
+		ActivationBytes: acts * fp32,
+		GradientBytes:   (weights + acts) * fp32,
+		TotalModelBytes: c.ParamCount() * fp32,
+	}
+}

@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"math"
+
+	"pelta/internal/autograd"
+	"pelta/internal/tensor"
+)
+
+// MultiHeadSelfAttention implements the transformer self-attention block.
+// After every forward pass, LastAttn holds the softmax attention-probability
+// vertex ([B*heads, T, T]) — the W^(att) matrices consumed by the
+// Self-Attention Gradient Attack (Eq. 4).
+type MultiHeadSelfAttention struct {
+	Heads int
+	Dim   int
+
+	Wq, Wk, Wv, Wo *Linear
+
+	// LastAttn is the attention-probability vertex of the most recent
+	// forward pass. It is graph-scoped: read it before the next forward.
+	LastAttn *autograd.Value
+}
+
+// NewMHSA creates a multi-head self-attention layer for dim features.
+func NewMHSA(name string, dim, heads int, rng *tensor.RNG) *MultiHeadSelfAttention {
+	if dim%heads != 0 {
+		panic("nn: attention dim must be divisible by heads")
+	}
+	return &MultiHeadSelfAttention{
+		Heads: heads,
+		Dim:   dim,
+		Wq:    NewLinear(name+".q", dim, dim, true, rng),
+		Wk:    NewLinear(name+".k", dim, dim, true, rng),
+		Wv:    NewLinear(name+".v", dim, dim, true, rng),
+		Wo:    NewLinear(name+".out", dim, dim, true, rng),
+	}
+}
+
+// Forward applies attention to a [B,T,D] vertex.
+func (m *MultiHeadSelfAttention) Forward(g *autograd.Graph, x *autograd.Value) *autograd.Value {
+	xs := x.Data.Shape()
+	b, t, d := xs[0], xs[1], xs[2]
+	h := m.Heads
+	dh := d / h
+
+	split := func(v *autograd.Value) *autograd.Value {
+		// [B,T,D] -> [B,T,h,dh] -> [B,h,T,dh] -> [B*h,T,dh]
+		return g.Reshape(g.Permute(g.Reshape(v, b, t, h, dh), 0, 2, 1, 3), b*h, t, dh)
+	}
+	q := split(m.Wq.Forward(g, x))
+	k := split(m.Wk.Forward(g, x))
+	v := split(m.Wv.Forward(g, x))
+
+	kT := g.Permute(k, 0, 2, 1)                                        // [B*h, dh, T]
+	scores := g.Scale(g.BMM(q, kT), float32(1/math.Sqrt(float64(dh)))) // [B*h, T, T]
+	attn := g.SoftmaxLastDim(scores)
+	m.LastAttn = attn
+	ctx := g.BMM(attn, v) // [B*h, T, dh]
+	// [B*h,T,dh] -> [B,h,T,dh] -> [B,T,h,dh] -> [B,T,D]
+	merged := g.Reshape(g.Permute(g.Reshape(ctx, b, h, t, dh), 0, 2, 1, 3), b, t, d)
+	return m.Wo.Forward(g, merged)
+}
+
+// Params implements Module.
+func (m *MultiHeadSelfAttention) Params() []*autograd.Param {
+	return CollectParams(m.Wq, m.Wk, m.Wv, m.Wo)
+}
+
+// EncoderBlock is a pre-norm transformer encoder block:
+// x + MHSA(LN(x)) followed by x + MLP(LN(x)).
+type EncoderBlock struct {
+	Norm1 *LayerNorm
+	Attn  *MultiHeadSelfAttention
+	Norm2 *LayerNorm
+	FC1   *Linear
+	FC2   *Linear
+}
+
+// NewEncoderBlock creates a ViT encoder block with an MLP of mlpDim.
+func NewEncoderBlock(name string, dim, heads, mlpDim int, rng *tensor.RNG) *EncoderBlock {
+	return &EncoderBlock{
+		Norm1: NewLayerNorm(name+".ln1", dim),
+		Attn:  NewMHSA(name+".attn", dim, heads, rng),
+		Norm2: NewLayerNorm(name+".ln2", dim),
+		FC1:   NewLinear(name+".mlp1", dim, mlpDim, true, rng),
+		FC2:   NewLinear(name+".mlp2", mlpDim, dim, true, rng),
+	}
+}
+
+// Forward applies the block to [B,T,D].
+func (e *EncoderBlock) Forward(g *autograd.Graph, x *autograd.Value) *autograd.Value {
+	y := g.Add(x, e.Attn.Forward(g, e.Norm1.Forward(g, x)))
+	mlp := e.FC2.Forward(g, g.GELU(e.FC1.Forward(g, e.Norm2.Forward(g, y))))
+	return g.Add(y, mlp)
+}
+
+// Params implements Module.
+func (e *EncoderBlock) Params() []*autograd.Param {
+	return CollectParams(e.Norm1, e.Attn, e.Norm2, e.FC1, e.FC2)
+}

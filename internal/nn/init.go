@@ -1,0 +1,37 @@
+package nn
+
+import (
+	"math"
+
+	"pelta/internal/tensor"
+)
+
+// XavierUniform returns a [out,in] weight matrix drawn from the Glorot
+// uniform distribution U(−a, a) with a = sqrt(6/(in+out)).
+func XavierUniform(rng *tensor.RNG, out, in int) *tensor.Tensor {
+	a := math.Sqrt(6.0 / float64(in+out))
+	return rng.Uniform(-a, a, out, in)
+}
+
+// HeNormal returns a conv kernel [out,in,kh,kw] from N(0, 2/fanIn), the
+// Kaiming initialization used for ReLU networks.
+func HeNormal(rng *tensor.RNG, out, in, kh, kw int) *tensor.Tensor {
+	fanIn := float64(in * kh * kw)
+	return rng.Normal(0, math.Sqrt(2/fanIn), out, in, kh, kw)
+}
+
+// TruncNormal returns a tensor from N(0, std²) with values resampled into
+// ±2std, the ViT embedding initialization.
+func TruncNormal(rng *tensor.RNG, std float64, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	for i := range t.Data() {
+		for {
+			v := rng.NormFloat64() * std
+			if math.Abs(v) <= 2*std {
+				t.Data()[i] = float32(v)
+				break
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,216 @@
+// Package nn provides neural-network building blocks (layers, initializers,
+// optimizers) on top of the autograd engine. Layers own their parameters and
+// record vertices into a per-pass graph, so the same layer instance can be
+// trained, attacked, and shielded.
+package nn
+
+import (
+	"fmt"
+
+	"pelta/internal/autograd"
+	"pelta/internal/tensor"
+)
+
+// Module is anything owning trainable parameters.
+type Module interface {
+	Params() []*autograd.Param
+}
+
+// CollectParams concatenates the parameters of several modules.
+func CollectParams(ms ...Module) []*autograd.Param {
+	var out []*autograd.Param
+	for _, m := range ms {
+		out = append(out, m.Params()...)
+	}
+	return out
+}
+
+// ParamBytes returns the total fp32 byte footprint of the parameters.
+func ParamBytes(params []*autograd.Param) int64 {
+	var n int64
+	for _, p := range params {
+		n += p.Data.Bytes()
+	}
+	return n
+}
+
+// Linear is a fully connected layer y = x·Wᵀ + b.
+type Linear struct {
+	W *autograd.Param
+	B *autograd.Param // nil when bias is disabled
+}
+
+// NewLinear creates a Linear layer with Xavier-uniform weights.
+func NewLinear(name string, in, out int, bias bool, rng *tensor.RNG) *Linear {
+	l := &Linear{W: autograd.NewParam(name+".weight", XavierUniform(rng, out, in))}
+	if bias {
+		l.B = autograd.NewParam(name+".bias", tensor.New(out))
+	}
+	return l
+}
+
+// Forward applies the layer over the last dimension of x.
+func (l *Linear) Forward(g *autograd.Graph, x *autograd.Value) *autograd.Value {
+	var b *autograd.Value
+	if l.B != nil {
+		b = g.Param(l.B)
+	}
+	return g.Linear(x, g.Param(l.W), b)
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*autograd.Param {
+	if l.B == nil {
+		return []*autograd.Param{l.W}
+	}
+	return []*autograd.Param{l.W, l.B}
+}
+
+// Conv2d is a standard convolution layer.
+type Conv2d struct {
+	W      *autograd.Param // [out, in, k, k]
+	B      *autograd.Param // nil when bias is disabled
+	Stride int
+	Pad    int
+}
+
+// NewConv2d creates a conv layer with He-normal weights.
+func NewConv2d(name string, in, out, k, stride, pad int, bias bool, rng *tensor.RNG) *Conv2d {
+	c := &Conv2d{
+		W:      autograd.NewParam(name+".weight", HeNormal(rng, out, in, k, k)),
+		Stride: stride,
+		Pad:    pad,
+	}
+	if bias {
+		c.B = autograd.NewParam(name+".bias", tensor.New(out))
+	}
+	return c
+}
+
+// Forward applies the convolution to a [B,C,H,W] vertex.
+func (c *Conv2d) Forward(g *autograd.Graph, x *autograd.Value) *autograd.Value {
+	var b *autograd.Value
+	if c.B != nil {
+		b = g.Param(c.B)
+	}
+	return g.Conv2d(x, g.Param(c.W), b, c.Stride, c.Pad)
+}
+
+// Params implements Module.
+func (c *Conv2d) Params() []*autograd.Param {
+	if c.B == nil {
+		return []*autograd.Param{c.W}
+	}
+	return []*autograd.Param{c.W, c.B}
+}
+
+// WSConv2d is a weight-standardized convolution (BiT).
+type WSConv2d struct {
+	W      *autograd.Param
+	B      *autograd.Param
+	Stride int
+	Pad    int
+}
+
+// NewWSConv2d creates a weight-standardized conv layer.
+func NewWSConv2d(name string, in, out, k, stride, pad int, bias bool, rng *tensor.RNG) *WSConv2d {
+	c := &WSConv2d{
+		W:      autograd.NewParam(name+".weight", HeNormal(rng, out, in, k, k)),
+		Stride: stride,
+		Pad:    pad,
+	}
+	if bias {
+		c.B = autograd.NewParam(name+".bias", tensor.New(out))
+	}
+	return c
+}
+
+// Forward applies the standardized convolution to [B,C,H,W].
+func (c *WSConv2d) Forward(g *autograd.Graph, x *autograd.Value) *autograd.Value {
+	var b *autograd.Value
+	if c.B != nil {
+		b = g.Param(c.B)
+	}
+	return g.WSConv2d(x, g.Param(c.W), b, c.Stride, c.Pad)
+}
+
+// Params implements Module.
+func (c *WSConv2d) Params() []*autograd.Param {
+	if c.B == nil {
+		return []*autograd.Param{c.W}
+	}
+	return []*autograd.Param{c.W, c.B}
+}
+
+// LayerNorm normalizes the last dimension with a learned affine transform.
+type LayerNorm struct {
+	Gamma *autograd.Param
+	Beta  *autograd.Param
+}
+
+// NewLayerNorm creates a LayerNorm over d features.
+func NewLayerNorm(name string, d int) *LayerNorm {
+	return &LayerNorm{
+		Gamma: autograd.NewParam(name+".gamma", tensor.Ones(d)),
+		Beta:  autograd.NewParam(name+".beta", tensor.New(d)),
+	}
+}
+
+// Forward applies the normalization.
+func (l *LayerNorm) Forward(g *autograd.Graph, x *autograd.Value) *autograd.Value {
+	return g.LayerNorm(x, g.Param(l.Gamma), g.Param(l.Beta))
+}
+
+// Params implements Module.
+func (l *LayerNorm) Params() []*autograd.Param { return []*autograd.Param{l.Gamma, l.Beta} }
+
+// BatchNorm2d normalizes channels of [B,C,H,W] with running statistics.
+type BatchNorm2d struct {
+	Gamma *autograd.Param
+	Beta  *autograd.Param
+	State *autograd.BatchNormState
+}
+
+// NewBatchNorm2d creates a BatchNorm over c channels.
+func NewBatchNorm2d(name string, c int) *BatchNorm2d {
+	return &BatchNorm2d{
+		Gamma: autograd.NewParam(name+".gamma", tensor.Ones(c)),
+		Beta:  autograd.NewParam(name+".beta", tensor.New(c)),
+		State: autograd.NewBatchNormState(c, 0.1),
+	}
+}
+
+// Forward applies the normalization; training selects batch statistics.
+func (l *BatchNorm2d) Forward(g *autograd.Graph, x *autograd.Value, training bool) *autograd.Value {
+	return g.BatchNorm2d(x, g.Param(l.Gamma), g.Param(l.Beta), l.State, training)
+}
+
+// Params implements Module.
+func (l *BatchNorm2d) Params() []*autograd.Param { return []*autograd.Param{l.Gamma, l.Beta} }
+
+// GroupNorm2d normalizes channel groups of [B,C,H,W].
+type GroupNorm2d struct {
+	Gamma  *autograd.Param
+	Beta   *autograd.Param
+	Groups int
+}
+
+// NewGroupNorm2d creates a GroupNorm over c channels in the given groups.
+func NewGroupNorm2d(name string, c, groups int) *GroupNorm2d {
+	if c%groups != 0 {
+		panic(fmt.Sprintf("nn: GroupNorm2d channels %d not divisible by groups %d", c, groups))
+	}
+	return &GroupNorm2d{
+		Gamma:  autograd.NewParam(name+".gamma", tensor.Ones(c)),
+		Beta:   autograd.NewParam(name+".beta", tensor.New(c)),
+		Groups: groups,
+	}
+}
+
+// Forward applies the normalization.
+func (l *GroupNorm2d) Forward(g *autograd.Graph, x *autograd.Value) *autograd.Value {
+	return g.GroupNorm2d(x, g.Param(l.Gamma), g.Param(l.Beta), l.Groups)
+}
+
+// Params implements Module.
+func (l *GroupNorm2d) Params() []*autograd.Param { return []*autograd.Param{l.Gamma, l.Beta} }

@@ -1,0 +1,250 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pelta/internal/autograd"
+	"pelta/internal/tensor"
+)
+
+func TestLinearForwardShape(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	l := NewLinear("fc", 4, 3, true, rng)
+	g := autograd.NewGraph()
+	y := l.Forward(g, g.Input(rng.Normal(0, 1, 5, 4), "x"))
+	if y.Data.Dim(0) != 5 || y.Data.Dim(1) != 3 {
+		t.Fatalf("shape = %v", y.Data.Shape())
+	}
+	if len(l.Params()) != 2 {
+		t.Fatalf("params = %d", len(l.Params()))
+	}
+	noBias := NewLinear("fc2", 4, 3, false, rng)
+	if len(noBias.Params()) != 1 {
+		t.Fatal("bias-less linear should expose one param")
+	}
+}
+
+func TestConvLayersForwardShape(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	x := rng.Normal(0, 1, 2, 3, 8, 8)
+	conv := NewConv2d("c", 3, 5, 3, 2, 1, true, rng)
+	g := autograd.NewGraph()
+	y := conv.Forward(g, g.Input(x, "x"))
+	if y.Data.Dim(1) != 5 || y.Data.Dim(2) != 4 {
+		t.Fatalf("conv shape = %v", y.Data.Shape())
+	}
+	ws := NewWSConv2d("w", 3, 5, 3, 1, 1, false, rng)
+	g2 := autograd.NewGraph()
+	y2 := ws.Forward(g2, g2.Input(x, "x"))
+	if y2.Data.Dim(2) != 8 {
+		t.Fatalf("wsconv shape = %v", y2.Data.Shape())
+	}
+}
+
+func TestWSConvStandardizesKernels(t *testing.T) {
+	// The effective kernel of a WSConv has ~zero mean per output channel:
+	// feeding a constant image through a 1-channel WSConv (no bias) with
+	// full padding yields near-zero interior responses.
+	rng := tensor.NewRNG(3)
+	ws := NewWSConv2d("w", 1, 1, 3, 1, 1, false, rng)
+	g := autograd.NewGraph()
+	x := tensor.Full(5, 1, 1, 8, 8)
+	y := ws.Forward(g, g.Input(x, "x"))
+	// Interior output (away from padding) = 5 * sum(standardized kernel) ≈ 0.
+	if v := math.Abs(float64(y.Data.At(0, 0, 4, 4))); v > 1e-4 {
+		t.Fatalf("interior response %v, want ~0 for standardized kernel", v)
+	}
+}
+
+func TestNormLayersPreserveShape(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	g := autograd.NewGraph()
+	ln := NewLayerNorm("ln", 6)
+	x := g.Input(rng.Normal(3, 2, 4, 6), "x")
+	y := ln.Forward(g, x)
+	if !y.Data.SameShape(x.Data) {
+		t.Fatal("layernorm changed shape")
+	}
+	// Normalized rows have ~zero mean.
+	row := y.Data.Row(0)
+	if m := tensor.Mean(row.Reshape(1, 6)); math.Abs(m) > 1e-4 {
+		t.Fatalf("row mean = %v", m)
+	}
+
+	img := rng.Normal(0, 1, 2, 4, 3, 3)
+	bn := NewBatchNorm2d("bn", 4)
+	gn := NewGroupNorm2d("gn", 4, 2)
+	g2 := autograd.NewGraph()
+	in := g2.Input(img, "x")
+	if !bn.Forward(g2, in, true).Data.SameShape(img) {
+		t.Fatal("batchnorm changed shape")
+	}
+	if !gn.Forward(g2, in).Data.SameShape(img) {
+		t.Fatal("groupnorm changed shape")
+	}
+}
+
+func TestGroupNormRejectsBadGroups(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 4 channels / 3 groups")
+		}
+	}()
+	NewGroupNorm2d("gn", 4, 3)
+}
+
+func TestMHSAAttentionRecorded(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	m := NewMHSA("attn", 8, 2, rng)
+	g := autograd.NewGraph()
+	y := m.Forward(g, g.Input(rng.Normal(0, 1, 2, 5, 8), "x"))
+	if !y.Data.SameShape(tensor.New(2, 5, 8)) {
+		t.Fatalf("attn out shape = %v", y.Data.Shape())
+	}
+	if m.LastAttn == nil {
+		t.Fatal("attention probabilities not recorded")
+	}
+	if m.LastAttn.Data.Dim(0) != 4 { // B*heads
+		t.Fatalf("attn shape = %v", m.LastAttn.Data.Shape())
+	}
+	if len(m.Params()) != 8 {
+		t.Fatalf("params = %d, want 8 (4 linears × W,b)", len(m.Params()))
+	}
+}
+
+func TestMHSARejectsIndivisibleHeads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for dim 7, heads 2")
+		}
+	}()
+	NewMHSA("bad", 7, 2, tensor.NewRNG(1))
+}
+
+func TestEncoderBlockResidualProperty(t *testing.T) {
+	// With zeroed output projections the block must be the identity.
+	rng := tensor.NewRNG(6)
+	e := NewEncoderBlock("blk", 8, 2, 16, rng)
+	e.Attn.Wo.W.Data.Zero()
+	e.Attn.Wo.B.Data.Zero()
+	e.FC2.W.Data.Zero()
+	e.FC2.B.Data.Zero()
+	g := autograd.NewGraph()
+	x := rng.Normal(0, 1, 1, 3, 8)
+	y := e.Forward(g, g.Input(x, "x"))
+	if !y.Data.AllClose(x, 1e-6) {
+		t.Fatal("zeroed-projection encoder block should be the identity (pre-norm residual)")
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	p := autograd.NewParam("w", tensor.FromSlice([]float32{1, 2}, 2))
+	p.Grad.CopyFrom(tensor.FromSlice([]float32{1, -1}, 2))
+	opt := NewSGD([]*autograd.Param{p}, 0.5, 0, 0)
+	opt.Step()
+	if p.Data.Data()[0] != 0.5 || p.Data.Data()[1] != 2.5 {
+		t.Fatalf("after step: %v", p.Data.Data())
+	}
+	if p.Grad.Data()[0] != 0 {
+		t.Fatal("grad not cleared")
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := autograd.NewParam("w", tensor.FromSlice([]float32{0}, 1))
+	opt := NewSGD([]*autograd.Param{p}, 1, 0.9, 0)
+	// Two identical unit gradients: second step moves 1.9.
+	p.Grad.Fill(1)
+	opt.Step()
+	first := p.Data.Data()[0]
+	p.Grad.Fill(1)
+	opt.Step()
+	second := p.Data.Data()[0] - first
+	if math.Abs(float64(first)+1) > 1e-6 {
+		t.Fatalf("first step = %v, want -1", first)
+	}
+	if math.Abs(float64(second)+1.9) > 1e-6 {
+		t.Fatalf("second step = %v, want -1.9", second)
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	p := autograd.NewParam("w", tensor.FromSlice([]float32{10}, 1))
+	opt := NewSGD([]*autograd.Param{p}, 0.1, 0, 0.5)
+	opt.Step() // grad 0 + decay 0.5*10 = 5; w -= 0.1*5
+	if math.Abs(float64(p.Data.Data()[0])-9.5) > 1e-5 {
+		t.Fatalf("w = %v, want 9.5", p.Data.Data()[0])
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w-3)² with Adam.
+	p := autograd.NewParam("w", tensor.FromSlice([]float32{0}, 1))
+	opt := NewAdam([]*autograd.Param{p}, 0.1)
+	for i := 0; i < 300; i++ {
+		w := p.Data.Data()[0]
+		p.Grad.Data()[0] = 2 * (w - 3)
+		opt.Step()
+	}
+	if w := p.Data.Data()[0]; math.Abs(float64(w)-3) > 0.05 {
+		t.Fatalf("Adam converged to %v, want 3", w)
+	}
+}
+
+func TestXavierUniformBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		w := XavierUniform(rng, 8, 12)
+		bound := math.Sqrt(6.0 / 20.0)
+		for _, v := range w.Data() {
+			if float64(v) < -bound || float64(v) >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeNormalVariance(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	w := HeNormal(rng, 64, 16, 3, 3)
+	var sum, sq float64
+	for _, v := range w.Data() {
+		sum += float64(v)
+		sq += float64(v) * float64(v)
+	}
+	n := float64(w.Len())
+	variance := sq/n - (sum/n)*(sum/n)
+	want := 2.0 / (16 * 9)
+	if variance < want/2 || variance > want*2 {
+		t.Fatalf("He variance = %v, want ≈ %v", variance, want)
+	}
+}
+
+func TestTruncNormalWithinBounds(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	w := TruncNormal(rng, 0.02, 1000)
+	for _, v := range w.Data() {
+		if math.Abs(float64(v)) > 0.04 {
+			t.Fatalf("value %v outside ±2σ", v)
+		}
+	}
+}
+
+func TestCollectParamsAndBytes(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	a := NewLinear("a", 2, 3, true, rng)  // 6 + 3 params
+	b := NewLinear("b", 3, 1, false, rng) // 3 params
+	ps := CollectParams(a, b)
+	if len(ps) != 3 {
+		t.Fatalf("collected %d params", len(ps))
+	}
+	if got := ParamBytes(ps); got != (6+3+3)*4 {
+		t.Fatalf("ParamBytes = %d", got)
+	}
+}

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"math"
+
+	"pelta/internal/autograd"
+	"pelta/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears the gradients.
+	Step()
+	// ZeroGrad clears gradients without updating.
+	ZeroGrad()
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight decay.
+type SGD struct {
+	params   []*autograd.Param
+	lr       float32
+	momentum float32
+	decay    float32
+	velocity []*tensor.Tensor
+}
+
+// NewSGD creates an SGD optimizer over params.
+func NewSGD(params []*autograd.Param, lr, momentum, weightDecay float32) *SGD {
+	s := &SGD{params: params, lr: lr, momentum: momentum, decay: weightDecay}
+	if momentum != 0 {
+		s.velocity = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.New(p.Data.Shape()...)
+		}
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		g := p.Grad
+		if s.decay != 0 {
+			tensor.AddScaledIn(g, s.decay, p.Data)
+		}
+		if s.velocity != nil {
+			v := s.velocity[i]
+			tensor.ScaleIn(v, s.momentum)
+			tensor.AddIn(v, g)
+			g = v
+		}
+		tensor.AddScaledIn(p.Data, -s.lr, g)
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (s *SGD) ZeroGrad() {
+	for _, p := range s.params {
+		p.ZeroGrad()
+	}
+}
+
+// SetLR changes the learning rate (step-decay schedules).
+func (s *SGD) SetLR(lr float32) { s.lr = lr }
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	params []*autograd.Param
+	lr     float64
+	beta1  float64
+	beta2  float64
+	eps    float64
+	t      int
+	m, v   []*tensor.Tensor
+}
+
+// NewAdam creates an Adam optimizer with standard betas (0.9, 0.999).
+func NewAdam(params []*autograd.Param, lr float64) *Adam {
+	a := &Adam{params: params, lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Data.Shape()...)
+		a.v[i] = tensor.New(p.Data.Shape()...)
+	}
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for i, p := range a.params {
+		m, v, g := a.m[i].Data(), a.v[i].Data(), p.Grad.Data()
+		w := p.Data.Data()
+		for j := range g {
+			gj := float64(g[j])
+			mj := a.beta1*float64(m[j]) + (1-a.beta1)*gj
+			vj := a.beta2*float64(v[j]) + (1-a.beta2)*gj*gj
+			m[j], v[j] = float32(mj), float32(vj)
+			w[j] -= float32(a.lr * (mj / bc1) / (math.Sqrt(vj/bc2) + a.eps))
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.params {
+		p.ZeroGrad()
+	}
+}

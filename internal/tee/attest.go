@@ -1,0 +1,91 @@
+package tee
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// AttestationReport proves an enclave's identity to a verifier (the FL
+// server establishing that a client really runs the Pelta shield). It
+// follows the WaTZ-style remote-attestation flow the paper cites [22]:
+// nonce-challenged measurement signed by a device key.
+type AttestationReport struct {
+	Measurement [32]byte
+	Nonce       [16]byte
+	MAC         [32]byte
+}
+
+// ErrAttestationFailed reports a report that does not verify.
+var ErrAttestationFailed = errors.New("tee: attestation verification failed")
+
+// deviceKey stands in for the hardware-fused attestation key shared with
+// the verifier through the manufacturer PKI.
+type deviceKey [32]byte
+
+// Attestor issues reports for an enclave.
+type Attestor struct {
+	enclave *Enclave
+	key     deviceKey
+}
+
+// Verifier checks reports against an expected measurement.
+type Verifier struct {
+	expected [32]byte
+	key      deviceKey
+}
+
+// NewAttestationPair returns an attestor for e and the matching verifier,
+// sharing a freshly provisioned device key.
+func NewAttestationPair(e *Enclave) (*Attestor, *Verifier, error) {
+	var key deviceKey
+	if _, err := rand.Read(key[:]); err != nil {
+		return nil, nil, fmt.Errorf("tee: provisioning device key: %w", err)
+	}
+	return &Attestor{enclave: e, key: key},
+		&Verifier{expected: e.Measurement(), key: key}, nil
+}
+
+// NewNonce returns a fresh challenge.
+func NewNonce() ([16]byte, error) {
+	var n [16]byte
+	if _, err := rand.Read(n[:]); err != nil {
+		return n, fmt.Errorf("tee: generating nonce: %w", err)
+	}
+	return n, nil
+}
+
+// Attest answers a challenge with a signed report.
+func (a *Attestor) Attest(nonce [16]byte) AttestationReport {
+	r := AttestationReport{Measurement: a.enclave.Measurement(), Nonce: nonce}
+	r.MAC = a.mac(r)
+	return r
+}
+
+func (a *Attestor) mac(r AttestationReport) [32]byte {
+	h := hmac.New(sha256.New, a.key[:])
+	h.Write(r.Measurement[:])
+	h.Write(r.Nonce[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Verify checks the report's MAC, measurement and nonce.
+func (v *Verifier) Verify(r AttestationReport, nonce [16]byte) error {
+	if r.Nonce != nonce {
+		return fmt.Errorf("%w: stale nonce", ErrAttestationFailed)
+	}
+	if r.Measurement != v.expected {
+		return fmt.Errorf("%w: unexpected measurement", ErrAttestationFailed)
+	}
+	h := hmac.New(sha256.New, v.key[:])
+	h.Write(r.Measurement[:])
+	h.Write(r.Nonce[:])
+	if !hmac.Equal(h.Sum(nil), r.MAC[:]) {
+		return fmt.Errorf("%w: bad MAC", ErrAttestationFailed)
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package tensor
+
+import "fmt"
+
+// ConvOut returns the output spatial size of a convolution with the given
+// input size, kernel, stride, and symmetric zero padding.
+func ConvOut(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col lowers one [C,H,W] image into a [outH*outW, C*kh*kw] matrix where
+// every row holds the receptive field of one output position. Zero padding
+// is applied implicitly.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if len(x.shape) != 3 {
+		panic(fmt.Sprintf("tensor: Im2Col requires [C,H,W], got %v", x.shape))
+	}
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	cols := New(oh*ow, c*kh*kw)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := cols.data[(oy*ow+ox)*c*kh*kw:]
+			idx := 0
+			for ch := 0; ch < c; ch++ {
+				plane := x.data[ch*h*w:]
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride - pad + ky
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride - pad + kx
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							row[idx] = plane[iy*w+ix]
+						} else {
+							row[idx] = 0
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im scatters a [outH*outW, C*kh*kw] matrix back onto a [C,H,W] image,
+// accumulating overlapping contributions. It is the adjoint of Im2Col and is
+// used in convolution backward passes and transposed convolutions.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	if cols.shape[0] != oh*ow || cols.shape[1] != c*kh*kw {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v incompatible with image [%d,%d,%d] k=%dx%d s=%d p=%d", cols.shape, c, h, w, kh, kw, stride, pad))
+	}
+	img := New(c, h, w)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := cols.data[(oy*ow+ox)*c*kh*kw:]
+			idx := 0
+			for ch := 0; ch < c; ch++ {
+				plane := img.data[ch*h*w:]
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride - pad + ky
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride - pad + kx
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							plane[iy*w+ix] += row[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return img
+}
+
+// Conv2d performs a batched 2-D convolution.
+// x is [B,C,H,W], weight is [outC, C, kh, kw], bias is [outC] or nil.
+// Returns [B, outC, outH, outW].
+func Conv2d(x, weight, bias *Tensor, stride, pad int) *Tensor {
+	if len(x.shape) != 4 || len(weight.shape) != 4 {
+		panic(fmt.Sprintf("tensor: Conv2d requires x [B,C,H,W] and weight [O,C,kh,kw], got %v and %v", x.shape, weight.shape))
+	}
+	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oc, kc, kh, kw := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
+	if kc != c {
+		panic(fmt.Sprintf("tensor: Conv2d channel mismatch x=%v weight=%v", x.shape, weight.shape))
+	}
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	out := New(b, oc, oh, ow)
+	wmat := weight.Reshape(oc, c*kh*kw)
+	for i := 0; i < b; i++ {
+		cols := Im2Col(x.Slice(i), kh, kw, stride, pad) // [oh*ow, c*kh*kw]
+		prod := MatMulTransB(cols, wmat)                // [oh*ow, oc]
+		dst := out.Slice(i)                             // [oc, oh, ow]
+		for p := 0; p < oh*ow; p++ {
+			for o := 0; o < oc; o++ {
+				dst.data[o*oh*ow+p] = prod.data[p*oc+o]
+			}
+		}
+		if bias != nil {
+			for o := 0; o < oc; o++ {
+				plane := dst.data[o*oh*ow : (o+1)*oh*ow]
+				bv := bias.data[o]
+				for j := range plane {
+					plane[j] += bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2dBackward computes the gradients of a Conv2d given the upstream
+// gradient gy [B,outC,outH,outW]. It returns (gx, gw, gb); gb is nil when
+// bias was nil.
+func Conv2dBackward(x, weight *Tensor, hasBias bool, gy *Tensor, stride, pad int) (gx, gw, gb *Tensor) {
+	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oc, kh, kw := weight.shape[0], weight.shape[2], weight.shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	wmat := weight.Reshape(oc, c*kh*kw)
+
+	gx = New(b, c, h, w)
+	gw = New(oc, c, kh, kw)
+	gwmat := gw.Reshape(oc, c*kh*kw)
+	if hasBias {
+		gb = New(oc)
+	}
+	for i := 0; i < b; i++ {
+		gyi := gy.Slice(i) // [oc, oh, ow]
+		// gyMat [oh*ow, oc]
+		gyMat := New(oh*ow, oc)
+		for o := 0; o < oc; o++ {
+			plane := gyi.data[o*oh*ow : (o+1)*oh*ow]
+			for p, v := range plane {
+				gyMat.data[p*oc+o] = v
+			}
+			if gb != nil {
+				var s float32
+				for _, v := range plane {
+					s += v
+				}
+				gb.data[o] += s
+			}
+		}
+		// gw += gyMatᵀ @ cols
+		cols := Im2Col(x.Slice(i), kh, kw, stride, pad)
+		AddIn(gwmat, MatMulTransA(gyMat, cols))
+		// gcols = gyMat @ wmat, then scatter back
+		gcols := MatMul(gyMat, wmat)
+		gx.Slice(i).CopyFrom(Col2Im(gcols, c, h, w, kh, kw, stride, pad))
+	}
+	return gx, gw, gb
+}
+
+// ConvTranspose2d applies a transposed convolution (fractionally-strided
+// convolution) mapping [B,C,H,W] with kernel [C, outC, kh, kw] to
+// [B, outC, outH, outW] where outH = (H-1)*stride - 2*pad + kh. This is the
+// geometric upsampling used by the BPDA-style attack on the adjoint (§V-B).
+func ConvTranspose2d(x, weight *Tensor, stride, pad int) *Tensor {
+	if len(x.shape) != 4 || len(weight.shape) != 4 {
+		panic(fmt.Sprintf("tensor: ConvTranspose2d requires x [B,C,H,W] and weight [C,O,kh,kw], got %v and %v", x.shape, weight.shape))
+	}
+	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	wc, oc, kh, kw := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
+	if wc != c {
+		panic(fmt.Sprintf("tensor: ConvTranspose2d channel mismatch x=%v weight=%v", x.shape, weight.shape))
+	}
+	oh := (h-1)*stride - 2*pad + kh
+	ow := (w-1)*stride - 2*pad + kw
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: ConvTranspose2d output would be empty (%dx%d)", oh, ow))
+	}
+	out := New(b, oc, oh, ow)
+	for i := 0; i < b; i++ {
+		xi := x.Slice(i)
+		dst := out.Slice(i)
+		for iy := 0; iy < h; iy++ {
+			for ix := 0; ix < w; ix++ {
+				for ch := 0; ch < c; ch++ {
+					v := xi.data[ch*h*w+iy*w+ix]
+					if v == 0 {
+						continue
+					}
+					kern := weight.data[ch*oc*kh*kw:]
+					for o := 0; o < oc; o++ {
+						plane := dst.data[o*oh*ow : (o+1)*oh*ow]
+						for ky := 0; ky < kh; ky++ {
+							oy := iy*stride - pad + ky
+							if oy < 0 || oy >= oh {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								ox := ix*stride - pad + kx
+								if ox < 0 || ox >= ow {
+									continue
+								}
+								plane[oy*ow+ox] += v * kern[o*kh*kw+ky*kw+kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2d applies max pooling with square window k and stride s over a
+// [B,C,H,W] tensor. It returns the pooled tensor and the flat argmax index
+// (within each sample's [C,H,W] layout) of every output element, used by the
+// backward pass.
+func MaxPool2d(x *Tensor, k, s int) (*Tensor, []int) {
+	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := ConvOut(h, k, s, 0), ConvOut(w, k, s, 0)
+	out := New(b, c, oh, ow)
+	idx := make([]int, b*c*oh*ow)
+	for i := 0; i < b; i++ {
+		xi := x.Slice(i)
+		oi := out.Slice(i)
+		for ch := 0; ch < c; ch++ {
+			plane := xi.data[ch*h*w:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestIdx := -1
+					var best float32
+					for ky := 0; ky < k; ky++ {
+						iy := oy*s + ky
+						if iy >= h {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*s + kx
+							if ix >= w {
+								continue
+							}
+							v := plane[iy*w+ix]
+							if bestIdx < 0 || v > best {
+								best, bestIdx = v, ch*h*w+iy*w+ix
+							}
+						}
+					}
+					o := ch*oh*ow + oy*ow + ox
+					oi.data[o] = best
+					idx[i*c*oh*ow+o] = bestIdx
+				}
+			}
+		}
+	}
+	return out, idx
+}
+
+// AvgPool2dGlobal averages each channel plane of [B,C,H,W] to [B,C].
+func AvgPool2dGlobal(x *Tensor) *Tensor {
+	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out := New(b, c)
+	inv := 1 / float32(h*w)
+	for i := 0; i < b; i++ {
+		xi := x.Slice(i)
+		for ch := 0; ch < c; ch++ {
+			plane := xi.data[ch*h*w : (ch+1)*h*w]
+			var s float32
+			for _, v := range plane {
+				s += v
+			}
+			out.data[i*c+ch] = s * inv
+		}
+	}
+	return out
+}
+
+// Pad2d zero-pads the spatial dimensions of [B,C,H,W] by p on every side.
+func Pad2d(x *Tensor, p int) *Tensor {
+	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := h+2*p, w+2*p
+	out := New(b, c, oh, ow)
+	for i := 0; i < b; i++ {
+		xi, oi := x.Slice(i), out.Slice(i)
+		for ch := 0; ch < c; ch++ {
+			for y := 0; y < h; y++ {
+				src := xi.data[ch*h*w+y*w : ch*h*w+(y+1)*w]
+				dst := oi.data[ch*oh*ow+(y+p)*ow+p:]
+				copy(dst[:w], src)
+			}
+		}
+	}
+	return out
+}
+
+// Unpad2d removes p rows/cols from every side of the spatial dims, the
+// adjoint of Pad2d.
+func Unpad2d(x *Tensor, p int) *Tensor {
+	b, c, oh, ow := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	h, w := oh-2*p, ow-2*p
+	out := New(b, c, h, w)
+	for i := 0; i < b; i++ {
+		xi, oi := x.Slice(i), out.Slice(i)
+		for ch := 0; ch < c; ch++ {
+			for y := 0; y < h; y++ {
+				src := xi.data[ch*oh*ow+(y+p)*ow+p:]
+				copy(oi.data[ch*h*w+y*w:ch*h*w+(y+1)*w], src[:w])
+			}
+		}
+	}
+	return out
+}

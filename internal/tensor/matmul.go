@@ -1,0 +1,136 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of multiply-adds below which matmul runs
+// serially; spawning goroutines for tiny products costs more than it saves.
+const parallelThreshold = 1 << 16
+
+// MatMul returns the matrix product a@b for 2-D tensors [m,k]x[k,n] -> [m,n].
+// Large products are parallelized across rows.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul(a, b, false, false)
+	out := New(m, n)
+	matMulInto(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// MatMulTransB returns a@bᵀ for a [m,k] and b [n,k] -> [m,n]. Used by
+// backward passes to avoid materializing transposes.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul(a, b, false, true)
+	out := New(m, n)
+	rows := func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			ar := a.data[i*k : (i+1)*k]
+			for j := 0; j < n; j++ {
+				br := b.data[j*k : (j+1)*k]
+				var s float32
+				for p := 0; p < k; p++ {
+					s += ar[p] * br[p]
+				}
+				out.data[i*n+j] = s
+			}
+		}
+	}
+	parallelRows(m, m*k*n, rows)
+	return out
+}
+
+// MatMulTransA returns aᵀ@b for a [k,m] and b [k,n] -> [m,n].
+func MatMulTransA(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul(a, b, true, false)
+	out := New(m, n)
+	// Accumulate k outer products; parallelize over output rows to keep
+	// writes disjoint.
+	rows := func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			or := out.data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a.data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				br := b.data[p*n : (p+1)*n]
+				for j := range or {
+					or[j] += av * br[j]
+				}
+			}
+		}
+	}
+	parallelRows(m, m*k*n, rows)
+	return out
+}
+
+func checkMatMul(a, b *Tensor, transA, transB bool) (m, k, n int) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	am, ak := a.shape[0], a.shape[1]
+	if transA {
+		am, ak = ak, am
+	}
+	bk, bn := b.shape[0], b.shape[1]
+	if transB {
+		bk, bn = bn, bk
+	}
+	if ak != bk {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v (transA=%v transB=%v)", a.shape, b.shape, transA, transB))
+	}
+	return am, ak, bn
+}
+
+// matMulInto computes out = a@b with a [m,k], b [k,n] row-major.
+func matMulInto(out, a, b []float32, m, k, n int) {
+	rows := func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			or := out[i*n : (i+1)*n]
+			for j := range or {
+				or[j] = 0
+			}
+			ar := a[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := ar[p]
+				if av == 0 {
+					continue
+				}
+				br := b[p*n : (p+1)*n]
+				for j := range or {
+					or[j] += av * br[j]
+				}
+			}
+		}
+	}
+	parallelRows(m, m*k*n, rows)
+}
+
+// parallelRows splits [0,m) into chunks and runs body on each chunk in
+// parallel when the work (multiply-add count) is large enough.
+func parallelRows(m, work int, body func(r0, r1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers <= 1 || m < 2 {
+		body(0, m)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for r0 := 0; r0 < m; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > m {
+			r1 = m
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			body(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
