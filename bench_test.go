@@ -105,6 +105,7 @@ func BenchmarkTable3IndividualModels(b *testing.B) {
 		b.Fatal(err)
 	}
 	pgd := &attack.PGD{Eps: benchSet.Eps, Step: benchSet.EpsStep, Steps: 5}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pgd.Perturb(shield, x, y); err != nil {
@@ -133,9 +134,74 @@ func BenchmarkTable4EnsembleSAGA(b *testing.B) {
 	vitO := &attack.ClearOracle{M: blk.ViT}
 	bitO := &attack.ClearOracle{M: blk.BiT}
 	rollout := &attack.ViTRollout{V: blk.ViT}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := saga.Perturb(vitO, rollout, bitO, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOracleGradCE times the attack-iteration primitive — one gradient
+// query against the clear ViT oracle — and reports allocations so pooling
+// regressions are visible.
+func BenchmarkOracleGradCE(b *testing.B) {
+	blk := benchBlock(b)
+	x, y, err := eval.SelectCorrect([]models.Model{blk.ViT}, blk.Val, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := &attack.ClearOracle{M: blk.ViT}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := o.GradCE(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOracleGradCEShielded times one restricted-white-box gradient
+// query: a shielded Query plus the upsampled adjoint.
+func BenchmarkOracleGradCEShielded(b *testing.B) {
+	blk := benchBlock(b)
+	x, y, err := eval.SelectCorrect([]models.Model{blk.ViT}, blk.Val, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm, err := core.NewShieldedModel(blk.ViT, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := attack.NewShieldedOracle(sm, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := o.GradCE(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAPGDClearOracle times full APGD runs (10 steps, 4 samples)
+// against the clear ViT — the iterative-attack wall-clock the pooled engine
+// targets.
+func BenchmarkAPGDClearOracle(b *testing.B) {
+	blk := benchBlock(b)
+	x, y, err := eval.SelectCorrect([]models.Model{blk.ViT}, blk.Val, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := &attack.ClearOracle{M: blk.ViT}
+	apgd := &attack.APGD{Eps: benchSet.Eps, Steps: 10, Rho: 0.75, Restarts: 1, Seed: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := apgd.Perturb(o, x, y); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -324,6 +390,7 @@ func BenchmarkAblationSAGAAlpha(b *testing.B) {
 		b.Fatal(err)
 	}
 	saga := &attack.SAGA{Eps: benchSet.Eps, Step: benchSet.EpsStep, Steps: 3, AlphaK: 0.5}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := saga.Perturb(vitO, rollout, bitO, xs, ys); err != nil {
@@ -358,6 +425,7 @@ func BenchmarkNegativeControlSquare(b *testing.B) {
 	fmt.Printf("Square (200 queries) robust accuracy: %.1f%% — the shield cannot help here\n",
 		100*eval.RobustAccuracy(blk.ViT, xadv, y))
 	smallSq := &attack.Square{Eps: benchSet.Eps, Queries: 10, Seed: 5}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := smallSq.Perturb(shielded, x, y); err != nil {

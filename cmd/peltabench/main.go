@@ -46,6 +46,7 @@ type options struct {
 	seed     int64
 	classes  int
 	overhead bool
+	workers  int
 }
 
 func run() error {
@@ -64,7 +65,9 @@ func run() error {
 	flag.Int64Var(&o.seed, "seed", 1, "experiment seed")
 	flag.IntVar(&o.classes, "classes", 0, "override class count (0 = dataset default, capped at 20 for quick runs)")
 	flag.BoolVar(&o.overhead, "overhead", false, "measure the §VI TEE overheads per defender")
+	flag.IntVar(&o.workers, "workers", 0, "attack-oracle worker pool size (0 = one per core)")
 	flag.Parse()
+	eval.SetOracleWorkers(o.workers)
 
 	if o.tables == "" && o.figs == "" {
 		o.tables, o.figs = "all", "all"

@@ -1,0 +1,3 @@
+module pelta
+
+go 1.22

@@ -73,6 +73,12 @@ func (a *APGD) checkpoints() []int {
 	return ws
 }
 
+// run executes one APGD restart. Every iteration issues exactly one fused
+// gradient query: GradCE returns both the step direction for the next
+// iterate and the per-sample losses used by the checkpoint bookkeeping, so
+// the separate loss-probing forward pass of the textbook formulation
+// disappears. The visited iterates, losses and returned adversarial batch
+// are identical to the two-pass formulation.
 func (a *APGD) run(o Oracle, x0 *tensor.Tensor, y []int, seed int64) (*tensor.Tensor, []float64, error) {
 	b := len(y)
 	n := x0.Len() / b
@@ -84,10 +90,11 @@ func (a *APGD) run(o Oracle, x0 *tensor.Tensor, y []int, seed int64) (*tensor.Te
 	projectLinf(x, x0, a.Eps)
 	xPrev := x.Clone()
 
-	loss, err := perSampleCE(o, x, y)
+	grad, loss, err := o.GradCE(x, y)
 	if err != nil {
 		return nil, nil, err
 	}
+	loss = append([]float64(nil), loss...)
 	xBest := x.Clone()
 	lossBest := append([]float64(nil), loss...)
 
@@ -102,13 +109,10 @@ func (a *APGD) run(o Oracle, x0 *tensor.Tensor, y []int, seed int64) (*tensor.Te
 	cps := a.checkpoints()
 	nextCP := 1
 
+	z := tensor.New(x.Shape()...)
 	for k := 0; k < a.Steps; k++ {
-		grad, _, err := o.GradCE(x, y)
-		if err != nil {
-			return nil, nil, err
-		}
 		// z = P(x + η·sign(grad)); x⁺ = P(x + α(z−x) + (1−α)(x−x_prev))
-		z := x.Clone()
+		z.CopyFrom(x)
 		gd, zd := grad.Data(), z.Data()
 		for i := range zd {
 			s := eta[i/n]
@@ -120,7 +124,7 @@ func (a *APGD) run(o Oracle, x0 *tensor.Tensor, y []int, seed int64) (*tensor.Te
 			}
 		}
 		projectLinf(z, x0, a.Eps)
-		xNew := tensor.New(x.Shape()...)
+		xNew := xPrev // recycle the oldest iterate's buffer
 		xd, xpd, xnd := x.Data(), xPrev.Data(), xNew.Data()
 		for i := range xnd {
 			xnd[i] = xd[i] + apgdAlpha*(zd[i]-xd[i]) + (1-apgdAlpha)*(xd[i]-xpd[i])
@@ -129,10 +133,13 @@ func (a *APGD) run(o Oracle, x0 *tensor.Tensor, y []int, seed int64) (*tensor.Te
 		xPrev = x
 		x = xNew
 
-		newLoss, err := perSampleCE(o, x, y)
+		// One fused query: the loss at the fresh iterate for bookkeeping
+		// and its gradient for the next step.
+		g2, newLoss, err := o.GradCE(x, y)
 		if err != nil {
 			return nil, nil, err
 		}
+		grad = g2
 		for i := range y {
 			if newLoss[i] > loss[i] {
 				improved[i]++
@@ -141,11 +148,12 @@ func (a *APGD) run(o Oracle, x0 *tensor.Tensor, y []int, seed int64) (*tensor.Te
 				lossBest[i] = newLoss[i]
 				xBest.Slice(i).CopyFrom(x.Slice(i))
 			}
+			loss[i] = newLoss[i]
 		}
-		loss = newLoss
 
 		if nextCP < len(cps) && k+1 == cps[nextCP] {
 			span := cps[nextCP] - cps[nextCP-1]
+			restarted := false
 			for i := range y {
 				cond1 := float64(improved[i]) < a.Rho*float64(span)
 				cond2 := etaPrev[i] == eta[i] && lossBestPrev[i] == lossBest[i]
@@ -154,32 +162,23 @@ func (a *APGD) run(o Oracle, x0 *tensor.Tensor, y []int, seed int64) (*tensor.Te
 					// Restart this sample from its best point.
 					x.Slice(i).CopyFrom(xBest.Slice(i))
 					xPrev.Slice(i).CopyFrom(xBest.Slice(i))
+					restarted = true
 				}
 				improved[i] = 0
 				etaPrev[i] = eta[i]
 				lossBestPrev[i] = lossBest[i]
 			}
+			if restarted && k+1 < a.Steps {
+				// The cached gradient belongs to the abandoned iterate;
+				// refresh it at the (partially) restarted point. The stale
+				// bookkeeping loss is kept, exactly as in the two-pass
+				// formulation.
+				if grad, _, err = o.GradCE(x, y); err != nil {
+					return nil, nil, err
+				}
+			}
 			nextCP++
 		}
 	}
 	return xBest, lossBest, nil
-}
-
-// perSampleCE computes each sample's cross-entropy from the oracle's clear
-// logits (always attacker-computable, shielded or not).
-func perSampleCE(o Oracle, x *tensor.Tensor, y []int) ([]float64, error) {
-	logits, err := o.Logits(x)
-	if err != nil {
-		return nil, err
-	}
-	probs := tensor.SoftmaxRows(logits)
-	out := make([]float64, len(y))
-	for i, yi := range y {
-		p := float64(probs.At(i, yi))
-		if p < 1e-12 {
-			p = 1e-12
-		}
-		out[i] = -math.Log(p)
-	}
-	return out, nil
 }

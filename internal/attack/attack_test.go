@@ -22,6 +22,9 @@ var (
 
 func setup(t *testing.T) (*models.ViT, *tensor.Tensor, []int) {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-reproduction attack suite skipped in -short mode")
+	}
 	setupOnce.Do(func() {
 		cfg := dataset.SynthCIFAR10(16, 21)
 		cfg.Classes = 6

@@ -20,8 +20,8 @@ func (o *constOracle) Classes() int      { return o.logits.Dim(1) }
 func (o *constOracle) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return o.logits.Clone(), nil
 }
-func (o *constOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, float64, error) {
-	return o.grad.Clone(), 1, nil
+func (o *constOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, []float64, error) {
+	return o.grad.Clone(), make([]float64, len(y)), nil
 }
 func (o *constOracle) GradCW(x *tensor.Tensor, y []int, x0 *tensor.Tensor, kappa, c float32) (*tensor.Tensor, float64, error) {
 	return o.grad.Clone(), 1, nil
@@ -115,8 +115,8 @@ func (o *switchOracle) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
 	l := tensor.New(x.Dim(0), 2)
 	return l, nil
 }
-func (o *switchOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, float64, error) {
-	return o.fn(), 1, nil
+func (o *switchOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, []float64, error) {
+	return o.fn(), make([]float64, len(y)), nil
 }
 func (o *switchOracle) GradCW(x *tensor.Tensor, y []int, x0 *tensor.Tensor, kappa, c float32) (*tensor.Tensor, float64, error) {
 	return o.fn(), 1, nil

@@ -1,0 +1,35 @@
+package attack
+
+import (
+	"testing"
+
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+// BenchmarkGradCEMicro isolates the oracle gradient query on an untrained
+// small ViT (weights don't affect cost), so profiles see only the engine.
+func BenchmarkGradCEMicro(b *testing.B) {
+	m := models.NewViT(models.SmallViT("prof-vit", 6, 16, 4), tensor.NewRNG(1))
+	benchGradCE(b, NewClearOracle(m))
+}
+
+// BenchmarkGradCEMicroBiT is the convolutional counterpart (weight-
+// standardized conv + group norm path).
+func BenchmarkGradCEMicroBiT(b *testing.B) {
+	m := models.NewBiT(models.SmallBiT("prof-bit", 6, 16), tensor.NewRNG(1))
+	benchGradCE(b, NewClearOracle(m))
+}
+
+func benchGradCE(b *testing.B, o Oracle) {
+	b.Helper()
+	x := tensor.NewRNG(2).Uniform(0, 1, 4, 3, 16, 16)
+	y := []int{0, 1, 2, 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := o.GradCE(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,10 +7,18 @@
 // ∇xL; the shielded oracle can only observe the adjoint δ_{L+1} of the
 // shallowest clear layer and substitutes a BPDA-style transposed-convolution
 // upsampling for the masked shallow backward (§IV-C, §V-B).
+//
+// Oracles run on the pooled execution engine: each oracle owns a
+// tensor.Pool-backed graph arena that is recycled wholesale between queries,
+// so the hundreds of gradient queries of an iterative attack are
+// allocation-free in steady state. The price of reuse is a lifetime rule —
+// tensors returned by an oracle are valid only until its next query; callers
+// that need them longer must Clone them.
 package attack
 
 import (
 	"fmt"
+	"math"
 
 	"pelta/internal/autograd"
 	"pelta/internal/core"
@@ -20,6 +28,10 @@ import (
 
 // Oracle answers the gradient queries of an attacker probing its local
 // model copy.
+//
+// Tensors returned by Logits, GradCE and GradCW belong to the oracle and
+// are overwritten by its next query (of any kind). Implementations need not
+// be safe for concurrent use; fan a batch out with ParallelOracle instead.
 type Oracle interface {
 	// Name identifies the defender.
 	Name() string
@@ -30,19 +42,71 @@ type Oracle interface {
 	// Logits runs inference on a batch.
 	Logits(x *tensor.Tensor) (*tensor.Tensor, error)
 	// GradCE returns the gradient w.r.t. x of the summed cross-entropy
-	// loss and the loss value (the objective of FGSM/PGD/MIM/APGD/SAGA).
-	GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, float64, error)
+	// loss (the objective of FGSM/PGD/MIM/APGD/SAGA) together with the
+	// per-sample losses of the same pass, so adaptive attacks like APGD
+	// track progress without a second forward pass.
+	GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, []float64, error)
 	// GradCW returns the gradient of the summed C&W objective
 	// margin_κ(x,y) + c·‖x−x0‖² and its value.
 	GradCW(x *tensor.Tensor, y []int, x0 *tensor.Tensor, kappa, c float32) (*tensor.Tensor, float64, error)
 }
 
+// RolloutGradOracle is implemented by oracles that can serve the SAGA
+// attention rollout (Eq. 4) from the same pass as the gradient query,
+// saving the separate rollout forward.
+type RolloutGradOracle interface {
+	Oracle
+	// CanRollout reports whether the wrapped defender records attention
+	// maps (i.e. is a ViT); callers must check it before GradCERollout.
+	CanRollout() bool
+	// GradCERollout returns ∇x of the summed CE loss, the attention
+	// rollout map [B,C,H,W] (before the ⊙x modulation), and the per-sample
+	// losses, all from one pass.
+	GradCERollout(x *tensor.Tensor, y []int) (grad, rollout *tensor.Tensor, per []float64, err error)
+}
+
 // ClearOracle exposes a non-shielded model: the plain white-box of §III.
+// The zero value with only M set is ready to use; the arena initializes
+// lazily on the first query.
 type ClearOracle struct {
 	M models.Model
+
+	g *autograd.Graph
+	// gradBuf/logitsBuf/rolloutBuf persist across queries so the arena can
+	// be released before returning; each is overwritten by the next query
+	// of its kind.
+	gradBuf    *tensor.Tensor
+	logitsBuf  *tensor.Tensor
+	rolloutBuf *tensor.Tensor
 }
 
 var _ Oracle = (*ClearOracle)(nil)
+
+// NewClearOracle wraps m in a pooled gradient oracle.
+func NewClearOracle(m models.Model) *ClearOracle { return &ClearOracle{M: m} }
+
+// arena returns the oracle's reusable graph, recycling the previous pass's
+// tensors. Probing must not perturb the defender's optimizer state, so
+// parameter-gradient tracking is off — which also skips computing the
+// weight-gradient products, roughly halving the backward pass.
+func (o *ClearOracle) arena() *autograd.Graph {
+	if o.g == nil {
+		o.g = autograd.NewGraphWithPool(tensor.NewPool())
+		o.g.SetTrackParamGrads(false)
+	}
+	o.g.Release()
+	return o.g
+}
+
+// stash copies src into buf (reallocating on shape change) and returns it.
+func stash(buf **tensor.Tensor, src *tensor.Tensor) *tensor.Tensor {
+	if *buf == nil || !(*buf).SameShape(src) {
+		*buf = src.Clone()
+	} else {
+		(*buf).CopyFrom(src)
+	}
+	return *buf
+}
 
 // Name implements Oracle.
 func (o *ClearOracle) Name() string { return o.M.Name() }
@@ -55,38 +119,69 @@ func (o *ClearOracle) Classes() int { return o.M.Classes() }
 
 // Logits implements Oracle.
 func (o *ClearOracle) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
-	return models.Logits(o.M, x), nil
+	g := o.arena()
+	_, logits := o.M.Forward(g, g.Input(x, "x"))
+	return stash(&o.logitsBuf, logits.Data), nil
 }
 
 // GradCE implements Oracle.
-func (o *ClearOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, float64, error) {
-	g := autograd.NewGraph()
+func (o *ClearOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, []float64, error) {
+	g := o.arena()
 	in := g.Input(x, "x")
 	_, logits := o.M.Forward(g, in)
-	loss, _ := g.CrossEntropy(logits, y, autograd.ReduceSum)
+	loss, info := g.CrossEntropy(logits, y, autograd.ReduceSum)
 	g.Backward(loss)
-	defer clearParamGrads(o.M)
-	return in.Grad.Clone(), float64(loss.Data.Data()[0]), nil
+	return stash(&o.gradBuf, in.Grad), info.PerSample, nil
+}
+
+// CanRollout implements RolloutGradOracle.
+func (o *ClearOracle) CanRollout() bool {
+	_, ok := o.M.(*models.ViT)
+	return ok
+}
+
+// GradCERollout implements RolloutGradOracle for ViT defenders: the
+// attention maps recorded during the gradient pass feed the rollout
+// directly, so SAGA needs no second forward.
+func (o *ClearOracle) GradCERollout(x *tensor.Tensor, y []int) (*tensor.Tensor, *tensor.Tensor, []float64, error) {
+	vit, ok := o.M.(*models.ViT)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("attack: %s records no attention maps", o.M.Name())
+	}
+	g := o.arena()
+	in := g.Input(x, "x")
+	_, logits := o.M.Forward(g, in)
+	loss, info := g.CrossEntropy(logits, y, autograd.ReduceSum)
+	g.Backward(loss)
+	maps := vit.AttentionMaps(g)
+	if len(maps) == 0 {
+		return nil, nil, nil, fmt.Errorf("attack: ViT recorded no attention maps")
+	}
+	if o.rolloutBuf == nil || !o.rolloutBuf.SameShape(x) {
+		o.rolloutBuf = tensor.New(x.Shape()...)
+	}
+	if err := RolloutFromMaps(mapData(maps), vit.Cfg.Heads, o.rolloutBuf); err != nil {
+		return nil, nil, nil, err
+	}
+	return stash(&o.gradBuf, in.Grad), o.rolloutBuf, info.PerSample, nil
+}
+
+func mapData(maps []*autograd.Value) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(maps))
+	for i, m := range maps {
+		out[i] = m.Data
+	}
+	return out
 }
 
 // GradCW implements Oracle.
 func (o *ClearOracle) GradCW(x *tensor.Tensor, y []int, x0 *tensor.Tensor, kappa, c float32) (*tensor.Tensor, float64, error) {
-	g := autograd.NewGraph()
+	g := o.arena()
 	in := g.Input(x, "x")
 	_, logits := o.M.Forward(g, in)
 	obj := g.Add(g.CWMargin(logits, y, kappa), g.Scale(g.SqDistSum(in, x0), c))
 	g.Backward(obj)
-	defer clearParamGrads(o.M)
-	return in.Grad.Clone(), float64(obj.Data.Data()[0]), nil
-}
-
-// clearParamGrads discards gradients an attack pass accumulated into the
-// model's persistent parameters: probing must not perturb the defender's
-// optimizer state.
-func clearParamGrads(m models.Model) {
-	for _, p := range m.Params() {
-		p.ZeroGrad()
-	}
+	return stash(&o.gradBuf, in.Grad), float64(obj.Data.Data()[0]), nil
 }
 
 // ShieldedOracle exposes a Pelta-shielded model: gradient queries return the
@@ -141,16 +236,18 @@ func (o *ShieldedOracle) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
 
 // GradCE implements Oracle: the true shallow backward is masked, so the
 // surrogate gradient is the transposed-convolution upsampling of δ_{L+1}.
-func (o *ShieldedOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, float64, error) {
+// The per-sample losses come from the clear logits, which the attacker can
+// always read.
+func (o *ShieldedOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, []float64, error) {
 	res, err := o.SM.Query(x, core.CrossEntropyLoss(y))
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
 	grad, err := o.up.Apply(res.Adjoint)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
-	return grad, res.Loss, nil
+	return grad, perSampleFromLogits(res.Logits, y), nil
 }
 
 // GradCW implements Oracle. The ‖x−x0‖² term involves only the attacker's
@@ -172,6 +269,32 @@ func (o *ShieldedOracle) GradCW(x *tensor.Tensor, y []int, x0 *tensor.Tensor, ka
 	tensor.AddScaledIn(grad, 2*c, diff)
 	obj := res.Loss + float64(c)*tensor.Dot(diff, diff)
 	return grad, obj, nil
+}
+
+// perSampleFromLogits computes each sample's cross-entropy from clear
+// logits — always attacker-computable, shielded or not.
+func perSampleFromLogits(logits *tensor.Tensor, y []int) []float64 {
+	probs := tensor.SoftmaxRows(logits)
+	out := make([]float64, len(y))
+	for i, yi := range y {
+		p := float64(probs.At(i, yi))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		out[i] = -math.Log(p)
+	}
+	return out
+}
+
+// perSampleCE computes each sample's cross-entropy through a forward-only
+// oracle query (used by attacks that need losses at points where no
+// gradient is wanted, e.g. Square).
+func perSampleCE(o Oracle, x *tensor.Tensor, y []int) ([]float64, error) {
+	logits, err := o.Logits(x)
+	if err != nil {
+		return nil, err
+	}
+	return perSampleFromLogits(logits, y), nil
 }
 
 // PredictOracle returns argmax predictions through any oracle.

@@ -1,0 +1,236 @@
+package attack
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+// ParallelOracle fans the independent samples of a batch out across a
+// bounded pool of worker oracles. Per-sample gradients of a summed
+// objective are independent (inference-mode networks couple nothing across
+// the batch dimension), so chunked answers are bit-identical to the
+// full-batch ones while using every core.
+//
+// Each worker owns a private oracle — its own graph arena, pool and output
+// buffers — so no synchronization happens on the hot path. With one worker
+// the oracle degenerates to a plain delegate with zero overhead.
+type ParallelOracle struct {
+	workers []Oracle
+
+	gradBuf    *tensor.Tensor
+	logitsBuf  *tensor.Tensor
+	rolloutBuf *tensor.Tensor
+}
+
+var _ Oracle = (*ParallelOracle)(nil)
+
+// NewParallelOracle builds a batched oracle over `workers` instances
+// produced by factory (one per worker; workers < 1 selects GOMAXPROCS).
+func NewParallelOracle(workers int, factory func() (Oracle, error)) (*ParallelOracle, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &ParallelOracle{}
+	for i := 0; i < workers; i++ {
+		o, err := factory()
+		if err != nil {
+			return nil, fmt.Errorf("attack: building worker oracle %d: %w", i, err)
+		}
+		p.workers = append(p.workers, o)
+	}
+	return p, nil
+}
+
+// NewParallelClearOracle fans gradient queries for m across `workers`
+// pooled clear oracles sharing m's weights (read-only in inference mode).
+// workers < 1 selects GOMAXPROCS, so on a single-core host this is exactly
+// a pooled ClearOracle.
+func NewParallelClearOracle(m models.Model, workers int) *ParallelOracle {
+	p, _ := NewParallelOracle(workers, func() (Oracle, error) { return NewClearOracle(m), nil })
+	return p
+}
+
+// Name implements Oracle.
+func (p *ParallelOracle) Name() string { return p.workers[0].Name() }
+
+// InputShape implements Oracle.
+func (p *ParallelOracle) InputShape() []int { return p.workers[0].InputShape() }
+
+// Classes implements Oracle.
+func (p *ParallelOracle) Classes() int { return p.workers[0].Classes() }
+
+// chunks splits b samples into at most len(p.workers) contiguous ranges.
+func (p *ParallelOracle) chunks(b int) [][2]int {
+	w := len(p.workers)
+	if w > b {
+		w = b
+	}
+	out := make([][2]int, 0, w)
+	for i := 0; i < w; i++ {
+		lo, hi := i*b/w, (i+1)*b/w
+		if hi > lo {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// fanOut runs fn(worker, chunkIndex, lo, hi) over the sample chunks and
+// returns the first error.
+func (p *ParallelOracle) fanOut(b int, fn func(o Oracle, idx, lo, hi int) error) error {
+	cs := p.chunks(b)
+	if len(cs) == 1 {
+		return fn(p.workers[0], 0, 0, b)
+	}
+	errs := make([]error, len(cs))
+	var wg sync.WaitGroup
+	for i, c := range cs {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			errs[i] = fn(p.workers[i], i, lo, hi)
+		}(i, c[0], c[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Logits implements Oracle.
+func (p *ParallelOracle) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
+	b := x.Dim(0)
+	if b == 0 {
+		return nil, fmt.Errorf("attack: empty batch")
+	}
+	if len(p.workers) == 1 || b == 1 {
+		return p.workers[0].Logits(x)
+	}
+	out := ensureShape(&p.logitsBuf, b, p.Classes())
+	err := p.fanOut(b, func(o Oracle, _, lo, hi int) error {
+		l, err := o.Logits(x.SliceRange(lo, hi))
+		if err != nil {
+			return err
+		}
+		out.SliceRange(lo, hi).CopyFrom(l)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GradCE implements Oracle.
+func (p *ParallelOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, []float64, error) {
+	b := len(y)
+	if len(p.workers) == 1 || b == 1 {
+		return p.workers[0].GradCE(x, y)
+	}
+	out := ensureShape(&p.gradBuf, x.Shape()...)
+	per := make([]float64, b)
+	err := p.fanOut(b, func(o Oracle, _, lo, hi int) error {
+		g, pw, err := o.GradCE(x.SliceRange(lo, hi), y[lo:hi])
+		if err != nil {
+			return err
+		}
+		out.SliceRange(lo, hi).CopyFrom(g)
+		copy(per[lo:hi], pw)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, per, nil
+}
+
+var _ RolloutGradOracle = (*ParallelOracle)(nil)
+
+// CanRollout implements RolloutGradOracle: true when every worker can serve
+// fused rollout queries.
+func (p *ParallelOracle) CanRollout() bool {
+	for _, w := range p.workers {
+		r, ok := w.(RolloutGradOracle)
+		if !ok || !r.CanRollout() {
+			return false
+		}
+	}
+	return true
+}
+
+// GradCERollout implements RolloutGradOracle, fanning the fused
+// gradient+rollout query across the workers. Rollout rows are per-sample
+// independent, so chunked results compose exactly.
+func (p *ParallelOracle) GradCERollout(x *tensor.Tensor, y []int) (*tensor.Tensor, *tensor.Tensor, []float64, error) {
+	b := len(y)
+	if len(p.workers) == 1 || b == 1 {
+		return p.workers[0].(RolloutGradOracle).GradCERollout(x, y)
+	}
+	out := ensureShape(&p.gradBuf, x.Shape()...)
+	roll := ensureShape(&p.rolloutBuf, x.Shape()...)
+	per := make([]float64, b)
+	err := p.fanOut(b, func(o Oracle, _, lo, hi int) error {
+		g, r, pw, err := o.(RolloutGradOracle).GradCERollout(x.SliceRange(lo, hi), y[lo:hi])
+		if err != nil {
+			return err
+		}
+		out.SliceRange(lo, hi).CopyFrom(g)
+		roll.SliceRange(lo, hi).CopyFrom(r)
+		copy(per[lo:hi], pw)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return out, roll, per, nil
+}
+
+// GradCW implements Oracle.
+func (p *ParallelOracle) GradCW(x *tensor.Tensor, y []int, x0 *tensor.Tensor, kappa, c float32) (*tensor.Tensor, float64, error) {
+	b := len(y)
+	if len(p.workers) == 1 || b == 1 {
+		return p.workers[0].GradCW(x, y, x0, kappa, c)
+	}
+	out := ensureShape(&p.gradBuf, x.Shape()...)
+	objs := make([]float64, len(p.workers))
+	err := p.fanOut(b, func(o Oracle, idx, lo, hi int) error {
+		g, obj, err := o.GradCW(x.SliceRange(lo, hi), y[lo:hi], x0.SliceRange(lo, hi), kappa, c)
+		if err != nil {
+			return err
+		}
+		out.SliceRange(lo, hi).CopyFrom(g)
+		objs[idx] = obj
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	total := 0.0
+	for _, o := range objs {
+		total += o
+	}
+	return out, total, nil
+}
+
+// ensureShape reuses buf when its shape matches, else reallocates.
+func ensureShape(buf **tensor.Tensor, shape ...int) *tensor.Tensor {
+	if *buf != nil {
+		t := *buf
+		same := t.Rank() == len(shape)
+		for i := 0; same && i < len(shape); i++ {
+			same = t.Dim(i) == shape[i]
+		}
+		if same {
+			return t
+		}
+	}
+	*buf = tensor.New(shape...)
+	return *buf
+}

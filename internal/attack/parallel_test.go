@@ -1,0 +1,84 @@
+package attack
+
+import (
+	"testing"
+
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+// TestParallelOracleMatchesSingleWorker checks the fan-out contract:
+// chunked per-sample queries across several workers must reproduce the
+// single-oracle batch answers bit-for-bit (inference-mode passes couple
+// nothing across the batch dimension).
+func TestParallelOracleMatchesSingleWorker(t *testing.T) {
+	vit := models.NewViT(models.SmallViT("par-vit", 5, 16, 4), tensor.NewRNG(8))
+	x := tensor.NewRNG(9).Uniform(0, 1, 6, 3, 16, 16)
+	y := []int{0, 1, 2, 3, 4, 0}
+
+	single := NewClearOracle(vit)
+	par := NewParallelClearOracle(vit, 3)
+
+	wantLogits, err := single.Logits(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLogits, err := par.Logits(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotLogits.AllClose(wantLogits, 0) {
+		t.Fatal("parallel logits differ from single-worker logits")
+	}
+
+	wantGrad, wantPer, err := single.GradCE(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGrad = wantGrad.Clone()
+	gotGrad, gotPer, err := par.GradCE(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotGrad.AllClose(wantGrad, 0) {
+		t.Fatal("parallel ∇x differs from single-worker ∇x")
+	}
+	for i := range wantPer {
+		if wantPer[i] != gotPer[i] {
+			t.Fatalf("per-sample loss %d: %v vs %v", i, gotPer[i], wantPer[i])
+		}
+	}
+
+	// Fused rollout fan-out composes per-sample as well.
+	if !par.CanRollout() {
+		t.Fatal("parallel ViT oracle should support rollouts")
+	}
+	sGrad, sRoll, _, err := single.GradCERollout(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sGrad, sRoll = sGrad.Clone(), sRoll.Clone()
+	pGrad, pRoll, _, err := par.GradCERollout(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pGrad.AllClose(sGrad, 0) || !pRoll.AllClose(sRoll, 0) {
+		t.Fatal("parallel fused rollout differs from single-worker result")
+	}
+
+	// GradCW: gradients bit-identical; the scalar objective may differ only
+	// by float addition order across chunks.
+	x0 := x.Clone()
+	wantCW, _, err := single.GradCW(x, y, x0, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCW = wantCW.Clone()
+	gotCW, _, err := par.GradCW(x, y, x0, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotCW.AllClose(wantCW, 0) {
+		t.Fatal("parallel C&W gradient differs from single-worker gradient")
+	}
+}

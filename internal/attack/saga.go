@@ -19,35 +19,62 @@ type RolloutProvider interface {
 	AttentionRollout(x *tensor.Tensor) (*tensor.Tensor, error)
 }
 
-// ViTRollout reads attention maps from a ViT defender.
+// ViTRollout reads attention maps from a ViT defender. It owns a pooled
+// graph arena, so repeated rollouts are allocation-free in steady state;
+// the returned map is valid until the next AttentionRollout call.
 type ViTRollout struct {
 	V *models.ViT
+
+	g   *autograd.Graph
+	buf *tensor.Tensor
 }
 
 var _ RolloutProvider = (*ViTRollout)(nil)
 
 // AttentionRollout implements RolloutProvider, returning [B,C,H,W].
 func (r *ViTRollout) AttentionRollout(x *tensor.Tensor) (*tensor.Tensor, error) {
-	g := autograd.NewGraph()
-	if _, _ = r.V.Forward(g, g.Input(x, "x")); len(r.V.AttentionMaps()) == 0 {
+	if r.g == nil {
+		r.g = autograd.NewGraphWithPool(tensor.NewPool())
+		r.g.SetTrackParamGrads(false)
+	}
+	r.g.Release()
+	r.V.Forward(r.g, r.g.Input(x, "x"))
+	maps := r.V.AttentionMaps(r.g)
+	if len(maps) == 0 {
 		return nil, fmt.Errorf("attack: ViT recorded no attention maps")
 	}
-	maps := r.V.AttentionMaps()
-	b := x.Dim(0)
-	heads := r.V.Cfg.Heads
-	t := maps[0].Data.Dim(1)
+	if r.buf == nil || !r.buf.SameShape(x) {
+		r.buf = tensor.New(x.Shape()...)
+	}
+	if err := RolloutFromMaps(mapData(maps), r.V.Cfg.Heads, r.buf); err != nil {
+		return nil, err
+	}
+	return r.buf, nil
+}
+
+// RolloutFromMaps computes the SAGA attention rollout (Eq. 4) from per-block
+// attention probabilities (each [B*heads, T, T]) into dst [B,C,H,W]:
+// R = ∏_l [ Σ_heads (0.5·W_l + 0.5·I) ], class-token row normalized to max 1
+// and nearest-neighbour-upsampled over the patch grid.
+func RolloutFromMaps(maps []*tensor.Tensor, heads int, dst *tensor.Tensor) error {
+	if len(maps) == 0 {
+		return fmt.Errorf("attack: rollout needs at least one attention map")
+	}
+	b, c, h, w := dst.Dim(0), dst.Dim(1), dst.Dim(2), dst.Dim(3)
+	t := maps[0].Dim(1)
 	n := t - 1
 	grid := int(math.Round(math.Sqrt(float64(n))))
-	c, h, w := r.V.Cfg.InputC, r.V.Cfg.InputHW, r.V.Cfg.InputHW
-	out := tensor.New(b, c, h, w)
-
+	if grid*grid != n {
+		return fmt.Errorf("attack: token count %d is not a square grid + class token", t)
+	}
+	layer := tensor.New(t, t)
 	for i := 0; i < b; i++ {
 		// R = ∏_l [ Σ_heads (0.5·W_l + 0.5·I) ]
 		r2 := identity(t)
 		for _, m := range maps {
-			layer := tensor.New(t, t)
+			layer.Zero()
 			for hd := 0; hd < heads; hd++ {
-				att := m.Data.Slice(i*heads + hd) // [T,T]
+				att := m.Slice(i*heads + hd) // [T,T]
 				for j := 0; j < t*t; j++ {
 					layer.Data()[j] += 0.5 * att.Data()[j]
 				}
@@ -69,7 +96,7 @@ func (r *ViTRollout) AttentionRollout(x *tensor.Tensor) (*tensor.Tensor, error) 
 			mx = 1
 		}
 		// Nearest-neighbour upsample of the patch grid to H×W.
-		dst := out.Slice(i)
+		dsti := dst.Slice(i)
 		ph, pw := h/grid, w/grid
 		for y := 0; y < h; y++ {
 			py := y / ph
@@ -83,12 +110,12 @@ func (r *ViTRollout) AttentionRollout(x *tensor.Tensor) (*tensor.Tensor, error) 
 				}
 				v := row[py*grid+px] / mx
 				for ch := 0; ch < c; ch++ {
-					dst.Data()[ch*h*w+y*w+xx] = v
+					dsti.Data()[ch*h*w+y*w+xx] = v
 				}
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 func identity(n int) *tensor.Tensor {
@@ -114,30 +141,50 @@ type SAGA struct {
 func (a *SAGA) Name() string { return "SAGA" }
 
 // Perturb runs the attack. vit and cnn answer gradient queries for the two
-// ensemble members (either may be shielded); rollout provides ϕ_v.
+// ensemble members (either may be shielded); rollout provides ϕ_v. When the
+// ViT oracle can serve the rollout from its own gradient pass
+// (RolloutGradOracle), the separate rollout forward is skipped entirely.
 func (a *SAGA) Perturb(vit Oracle, rollout RolloutProvider, cnn Oracle, x *tensor.Tensor, y []int) (*tensor.Tensor, error) {
 	if err := checkBatch(x, y); err != nil {
 		return nil, err
 	}
+	fused, _ := vit.(RolloutGradOracle)
+	if fused != nil && !fused.CanRollout() {
+		fused = nil
+	}
 	alphaV := 1 - a.AlphaK
 	xadv := x.Clone()
+	blend := tensor.New(x.Shape()...)
+	phiBuf := tensor.New(x.Shape()...)
 	for k := 0; k < a.Steps; k++ {
 		gradK, _, err := cnn.GradCE(xadv, y)
 		if err != nil {
 			return nil, fmt.Errorf("attack: SAGA CNN gradient: %w", err)
 		}
-		gradV, _, err := vit.GradCE(xadv, y)
-		if err != nil {
-			return nil, fmt.Errorf("attack: SAGA ViT gradient: %w", err)
+		// gradK is only valid until the next cnn query; blending consumes it
+		// immediately, so stage it into the blend buffer first.
+		tensor.ScaleInto(blend, gradK, a.AlphaK)
+
+		var gradV, phi *tensor.Tensor
+		if fused != nil {
+			gradV, phi, _, err = fused.GradCERollout(xadv, y)
+			if err != nil {
+				return nil, fmt.Errorf("attack: SAGA ViT gradient+rollout: %w", err)
+			}
+		} else {
+			gradV, _, err = vit.GradCE(xadv, y)
+			if err != nil {
+				return nil, fmt.Errorf("attack: SAGA ViT gradient: %w", err)
+			}
+			phi, err = rollout.AttentionRollout(xadv)
+			if err != nil {
+				return nil, fmt.Errorf("attack: SAGA rollout: %w", err)
+			}
 		}
-		phi, err := rollout.AttentionRollout(xadv)
-		if err != nil {
-			return nil, fmt.Errorf("attack: SAGA rollout: %w", err)
-		}
-		// ϕ_v = rollout ⊙ x^(i)  (Eq. 4), then G_blend (Eq. 3).
-		tensor.MulIn(phi, xadv)
-		blend := tensor.Scale(gradK, a.AlphaK)
-		pd, gv, bd := phi.Data(), gradV.Data(), blend.Data()
+		// ϕ_v = rollout ⊙ x^(i)  (Eq. 4), then G_blend (Eq. 3). phi may be
+		// an oracle-owned buffer, so modulate into a private copy.
+		tensor.MulInto(phiBuf, phi, xadv)
+		pd, gv, bd := phiBuf.Data(), gradV.Data(), blend.Data()
 		for i := range bd {
 			bd[i] += alphaV * pd[i] * gv[i]
 		}

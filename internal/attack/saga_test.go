@@ -21,6 +21,9 @@ var (
 
 func setupSAGA(t *testing.T) {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-reproduction SAGA suite skipped in -short mode")
+	}
 	sagaOnce.Do(func() {
 		cfg := dataset.SynthCIFAR10(16, 31)
 		cfg.Classes = 5

@@ -25,6 +25,9 @@ type SubstituteStemOracle struct {
 	// substitute is a full ViT: a freshly initialized stem grafted onto a
 	// copy of the victim's clear blocks.
 	substitute *models.ViT
+	// sub answers gradient queries through the substitute with a pooled
+	// arena reused across the attack's iterations.
+	sub *ClearOracle
 }
 
 var _ Oracle = (*SubstituteStemOracle)(nil)
@@ -55,7 +58,7 @@ func NewSubstituteStemOracle(victim *core.ShieldedModel, vit *models.ViT, x *ten
 	sub := models.NewViT(vit.Cfg, tensor.NewRNG(budget.Seed))
 	copyClearLayers(sub, vit)
 
-	o := &SubstituteStemOracle{victim: victim, substitute: sub}
+	o := &SubstituteStemOracle{victim: victim, substitute: sub, sub: NewClearOracle(sub)}
 	if err := o.distill(x, budget); err != nil {
 		return nil, err
 	}
@@ -145,11 +148,11 @@ func (o *SubstituteStemOracle) Logits(x *tensor.Tensor) (*tensor.Tensor, error) 
 }
 
 // GradCE implements Oracle through the substitute's backward pass.
-func (o *SubstituteStemOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, float64, error) {
-	return (&ClearOracle{M: o.substitute}).GradCE(x, y)
+func (o *SubstituteStemOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, []float64, error) {
+	return o.sub.GradCE(x, y)
 }
 
 // GradCW implements Oracle through the substitute's backward pass.
 func (o *SubstituteStemOracle) GradCW(x *tensor.Tensor, y []int, x0 *tensor.Tensor, kappa, c float32) (*tensor.Tensor, float64, error) {
-	return (&ClearOracle{M: o.substitute}).GradCW(x, y, x0, kappa, c)
+	return o.sub.GradCW(x, y, x0, kappa, c)
 }

@@ -8,6 +8,15 @@
 // structure to decide which vertices and local jacobians to move into the
 // enclave, so vertex identity, op labels and parent edges are first-class
 // here rather than hidden inside closures.
+//
+// Graphs can run in two allocation regimes. A plain NewGraph allocates every
+// forward/backward tensor from the Go heap, exactly as before. A graph built
+// with NewGraphWithPool borrows every tensor from a tensor.Pool instead and
+// hands them all back in one sweep when Release is called after the pass —
+// the arena discipline that makes iterative attacks and training loops
+// allocation-free in steady state. Vertices scrubbed into the Pelta enclave
+// are exempt from the sweep: their buffers are withdrawn from the arena at
+// Scrub time and are never recycled (see Release).
 package autograd
 
 import (
@@ -40,6 +49,7 @@ type Value struct {
 	op      string
 	name    string
 	parents []*Value
+	graph   *Graph
 
 	// Data is the forward result u_i. Grad is dL/du_i, allocated during
 	// Backward. Either may be nil after Pelta scrubs a shielded vertex.
@@ -82,8 +92,24 @@ func (v *Value) SetShielded(s bool) { v.shielded = s }
 
 // Scrub removes the vertex's tensors from normal-world memory. Subsequent
 // reads observe nil, modelling the physical inaccessibility of the enclave.
+// On a pooled graph the buffers are withdrawn from the arena so a later
+// Release can never recycle memory that conceptually lives in the enclave.
 func (v *Value) Scrub() {
+	if v.graph != nil {
+		v.graph.retain(v.Data)
+		v.graph.retain(v.Grad)
+	}
 	v.Data = nil
+	v.Grad = nil
+}
+
+// ScrubGrad removes only the vertex's gradient — the input-jacobian case of
+// Algorithm 1, where ∇xL is masked but the input x itself stays with its
+// owner. Like Scrub, the buffer is withdrawn from a pooled graph's arena.
+func (v *Value) ScrubGrad() {
+	if v.graph != nil {
+		v.graph.retain(v.Grad)
+	}
 	v.Grad = nil
 }
 
@@ -91,17 +117,180 @@ func (v *Value) String() string {
 	return fmt.Sprintf("u%d(%s%s)", v.id, v.op, map[bool]string{true: ":" + v.name, false: ""}[v.name != ""])
 }
 
-// Graph records one forward pass. Create a fresh graph per pass; parameters
-// are shared across graphs via Param.
+// Graph records one forward pass. Parameters are shared across graphs via
+// Param. A graph is either single-use (NewGraph, one pass then garbage
+// collected) or a reusable arena (NewGraphWithPool, one pass per
+// Release cycle).
 type Graph struct {
 	nodes      []*Value
 	paramNodes map[*Param]*Value
+
+	// pool, when non-nil, backs every tensor the graph's ops allocate;
+	// owned maps the first element of each borrowed buffer to the borrowed
+	// tensor so Release can return them (and Scrub can withdraw them).
+	pool  *tensor.Pool
+	owned map[*float32]*tensor.Tensor
+
+	// trackParamGrads controls whether backward accumulates into the
+	// persistent Param.Grad buffers. Attack oracles disable it: probing
+	// needs ∇x only, and skipping the weight-gradient products roughly
+	// halves the backward pass.
+	trackParamGrads bool
+
+	// recorded holds graph-scoped artifacts tagged by ops or models during
+	// the pass (e.g. attention probabilities for the SAGA rollout). Keeping
+	// them here rather than on the model keeps concurrent forward passes on
+	// shared weights race-free.
+	recorded map[string][]*Value
+
+	// freeVals recycles Value structs (and their parent slices) across
+	// Release cycles, so steady-state graph recording allocates no vertex
+	// objects. Only populated on pooled graphs.
+	freeVals []*Value
+
+	// ownedInts tracks borrowed integer buffers (max-pool argmax maps),
+	// swept back alongside the tensors.
+	ownedInts [][]int
 }
 
-// NewGraph returns an empty graph.
+// NewGraph returns an empty graph allocating from the Go heap.
 func NewGraph() *Graph {
-	return &Graph{paramNodes: make(map[*Param]*Value)}
+	return &Graph{paramNodes: make(map[*Param]*Value), trackParamGrads: true}
 }
+
+// NewGraphWithPool returns an empty reusable graph that borrows every
+// forward/backward tensor from p. After consuming a pass's results, call
+// Release to return the borrowed memory and make the graph ready for the
+// next pass.
+func NewGraphWithPool(p *tensor.Pool) *Graph {
+	g := NewGraph()
+	g.pool = p
+	g.owned = make(map[*float32]*tensor.Tensor)
+	return g
+}
+
+// Pool returns the pool backing this graph, or nil for a heap graph.
+func (g *Graph) Pool() *tensor.Pool { return g.pool }
+
+// SetTrackParamGrads toggles accumulation into persistent parameter
+// gradients. Disabling it (attack oracles) skips both the accumulation and
+// the computation of weight-gradient products in every op's backward.
+func (g *Graph) SetTrackParamGrads(t bool) { g.trackParamGrads = t }
+
+// Release returns every buffer the graph borrowed from its pool and resets
+// the graph for the next pass. Buffers of vertices scrubbed into the Pelta
+// enclave were withdrawn at Scrub time and are NOT returned: recycling them
+// would alias normal-world tensors with enclave-held state. On a heap graph
+// Release only resets the recording state.
+func (g *Graph) Release() {
+	if g.pool != nil {
+		for _, t := range g.owned {
+			g.pool.Put(t)
+		}
+		clear(g.owned)
+		for _, buf := range g.ownedInts {
+			g.pool.PutInts(buf)
+		}
+		g.ownedInts = g.ownedInts[:0]
+		// Recycle the vertex objects; any Value reference held across
+		// Release is invalid by contract.
+		for _, v := range g.nodes {
+			parents := v.parents[:0]
+			*v = Value{parents: parents}
+			g.freeVals = append(g.freeVals, v)
+		}
+	}
+	g.nodes = g.nodes[:0]
+	clear(g.paramNodes)
+	for k := range g.recorded {
+		g.recorded[k] = g.recorded[k][:0]
+	}
+}
+
+// alloc borrows an uninitialized tensor for an op output that overwrites
+// every element. Heap graphs fall back to a fresh zeroed tensor.
+func (g *Graph) alloc(shape ...int) *tensor.Tensor {
+	if g.pool == nil {
+		return tensor.New(shape...)
+	}
+	t := g.pool.Get(shape...)
+	g.adopt(t)
+	return t
+}
+
+// allocZero borrows a zero-filled tensor for ops that accumulate into their
+// output or write it partially.
+func (g *Graph) allocZero(shape ...int) *tensor.Tensor {
+	if g.pool == nil {
+		return tensor.New(shape...)
+	}
+	t := g.pool.GetZero(shape...)
+	g.adopt(t)
+	return t
+}
+
+// allocInts borrows an integer buffer that lives until Release.
+func (g *Graph) allocInts(n int) []int {
+	if g.pool == nil {
+		return make([]int, n)
+	}
+	buf := g.pool.GetInts(n)
+	g.ownedInts = append(g.ownedInts, buf)
+	return buf
+}
+
+// adopt registers a pool-borrowed tensor as owned by this graph's arena.
+func (g *Graph) adopt(t *tensor.Tensor) {
+	if d := t.Data(); len(d) > 0 {
+		g.owned[&d[0]] = t
+	}
+}
+
+// free returns a borrowed temporary to the pool immediately (backward-pass
+// scratch that no vertex retains).
+func (g *Graph) free(t *tensor.Tensor) {
+	if g.pool == nil || t == nil {
+		return
+	}
+	d := t.Data()
+	if len(d) == 0 {
+		return
+	}
+	if _, ok := g.owned[&d[0]]; ok {
+		delete(g.owned, &d[0])
+		g.pool.Put(t)
+	}
+}
+
+// retain withdraws a buffer from the arena without returning it to the
+// pool: the memory now belongs to someone else (the enclave, or a caller
+// that must outlive Release).
+func (g *Graph) retain(t *tensor.Tensor) {
+	if g.pool == nil || t == nil {
+		return
+	}
+	if d := t.Data(); len(d) > 0 {
+		delete(g.owned, &d[0])
+	}
+}
+
+// Record tags v as a graph-scoped artifact under key (e.g. the attention
+// probabilities consumed by the SAGA rollout). Recorded values live until
+// Release.
+func (g *Graph) Record(key string, v *Value) {
+	if g.recorded == nil {
+		g.recorded = make(map[string][]*Value)
+	}
+	g.recorded[key] = append(g.recorded[key], v)
+}
+
+// Recorded returns the values tagged under key during the current pass, in
+// recording order.
+func (g *Graph) Recorded(key string) []*Value { return g.recorded[key] }
+
+// RecordAttention is the Record key under which attention layers store their
+// per-block probability vertices ([B*heads, T, T]).
+const RecordAttention = "attention"
 
 // Nodes returns the vertices in creation (topological) order.
 func (g *Graph) Nodes() []*Value { return g.nodes }
@@ -109,46 +298,97 @@ func (g *Graph) Nodes() []*Value { return g.nodes }
 // Len returns the number of vertices.
 func (g *Graph) Len() int { return len(g.nodes) }
 
-func (g *Graph) add(v *Value) *Value {
+// newValue takes a vertex object from the freelist (or the heap) and
+// registers it.
+func (g *Graph) newValue(op string, parents ...*Value) *Value {
+	var v *Value
+	if n := len(g.freeVals); n > 0 {
+		v = g.freeVals[n-1]
+		g.freeVals[n-1] = nil
+		g.freeVals = g.freeVals[:n-1]
+		v.op = op
+		v.parents = append(v.parents[:0], parents...)
+	} else {
+		v = &Value{op: op, parents: parents}
+	}
 	v.id = len(g.nodes)
+	v.graph = g
 	g.nodes = append(g.nodes, v)
 	return v
 }
 
 // node creates and registers an interior vertex.
 func (g *Graph) node(op string, data *tensor.Tensor, parents ...*Value) *Value {
-	return g.add(&Value{op: op, Data: data, parents: parents})
+	v := g.newValue(op, parents...)
+	v.Data = data
+	return v
 }
 
 // Input registers x as the model-input leaf u_0 — the quantity an
 // adversarial attack treats as trainable.
 func (g *Graph) Input(x *tensor.Tensor, name string) *Value {
-	v := g.add(&Value{op: "input", name: name, Data: x, isInput: true})
+	v := g.newValue("input")
+	v.name = name
+	v.Data = x
+	v.isInput = true
 	return v
 }
 
 // Const registers a non-trainable leaf (e.g. a fixed target); no gradient
 // flows into it.
 func (g *Graph) Const(x *tensor.Tensor, name string) *Value {
-	return g.add(&Value{op: "const", name: name, Data: x})
+	v := g.newValue("const")
+	v.name = name
+	v.Data = x
+	return v
 }
 
 // Param registers (or reuses) the leaf vertex for p within this graph.
-// Gradients accumulate directly into p.Grad.
+// When parameter-gradient tracking is on, gradients accumulate directly
+// into p.Grad; otherwise the leaf carries no gradient and backward passes
+// skip the weight-gradient products entirely.
 func (g *Graph) Param(p *Param) *Value {
 	if v, ok := g.paramNodes[p]; ok {
 		return v
 	}
-	v := g.add(&Value{op: "param", name: p.Name, Data: p.Data, Grad: p.Grad, param: p})
+	v := g.newValue("param")
+	v.name = p.Name
+	v.Data = p.Data
+	v.param = p
+	if g.trackParamGrads {
+		v.Grad = p.Grad
+	}
 	g.paramNodes[p] = v
 	return v
 }
 
-// accum adds g into v.Grad, allocating it on first use. Parameter leaves
+// needs reports whether backward must produce a gradient for parent v.
+// Interior vertices and inputs always need one; parameter leaves only when
+// tracking is on; const leaves never.
+func (g *Graph) needs(v *Value) bool {
+	if v.param != nil {
+		return g.trackParamGrads
+	}
+	return v.op != "const"
+}
+
+// accum adds grad into v.Grad, allocating it on first use. Parameter leaves
 // alias their Param's persistent gradient, so accumulation trains them.
-func accum(v *Value, grad *tensor.Tensor) {
+// The gradient buffer always carries the vertex's own shape — children may
+// hand in equal-length tensors with a different header (e.g. a reshape's
+// upstream adjoint).
+func (g *Graph) accum(v *Value, grad *tensor.Tensor) {
 	if v.Grad == nil {
-		v.Grad = grad.Clone()
+		shape := grad.Shape()
+		if v.Data != nil {
+			shape = v.Data.Shape()
+		}
+		if v.param == nil && g.pool != nil {
+			v.Grad = g.alloc(shape...)
+		} else {
+			v.Grad = tensor.New(shape...)
+		}
+		v.Grad.CopyFrom(grad)
 		return
 	}
 	tensor.AddIn(v.Grad, grad)
@@ -162,7 +402,8 @@ func (g *Graph) Backward(loss *Value) {
 		panic(fmt.Sprintf("autograd: Backward requires a scalar loss, got shape %v", loss.Data.Shape()))
 	}
 	if loss.Grad == nil {
-		loss.Grad = tensor.Ones(loss.Data.Shape()...)
+		loss.Grad = g.alloc(loss.Data.Shape()...)
+		loss.Grad.Fill(1)
 	}
 	for i := len(g.nodes) - 1; i >= 0; i-- {
 		v := g.nodes[i]

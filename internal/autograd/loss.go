@@ -27,7 +27,8 @@ func (g *Graph) CrossEntropy(logits *Value, labels []int, red Reduction) (*Value
 		panic(fmt.Sprintf("autograd: CrossEntropy logits %v vs %d labels", ls, len(labels)))
 	}
 	b, c := ls[0], ls[1]
-	probs := tensor.SoftmaxRows(logits.Data)
+	probs := g.alloc(b, c)
+	tensor.SoftmaxRowsInto(probs, logits.Data)
 	per := make([]float64, b)
 	total := 0.0
 	for i, y := range labels {
@@ -44,23 +45,29 @@ func (g *Graph) CrossEntropy(logits *Value, labels []int, red Reduction) (*Value
 	if red == ReduceMean {
 		total /= float64(b)
 	}
-	out := g.node("cross_entropy", tensor.Scalar(float32(total)), logits)
+	out := g.node("cross_entropy", g.scalar(float32(total)), logits)
 	out.backward = func() {
 		scale := out.Grad.Data()[0]
 		if red == ReduceMean {
 			scale /= float32(b)
 		}
-		gl := probs.Clone()
+		gl := g.alloc(b, c)
+		gl.CopyFrom(probs)
 		for i, y := range labels {
 			gl.Data()[i*c+y] -= 1
 		}
 		tensor.ScaleIn(gl, scale)
-		accum(logits, gl)
+		g.accum(logits, gl)
+		g.free(gl)
 	}
 	return out, &CrossEntropyInfo{PerSample: per, Probs: probs}
 }
 
 // CrossEntropyInfo carries forward-pass byproducts of CrossEntropy.
+//
+// On a pooled graph, Probs borrows arena memory and is only valid until the
+// graph's Release; callers that need it longer must Clone it. PerSample is
+// always heap-allocated and safe to retain.
 type CrossEntropyInfo struct {
 	// PerSample holds the loss of each sample.
 	PerSample []float64
@@ -102,10 +109,10 @@ func (g *Graph) CWMargin(logits *Value, labels []int, kappa float32) *Value {
 			total += float64(-kappa)
 		}
 	}
-	out := g.node("cw_margin", tensor.Scalar(float32(total)), logits)
+	out := g.node("cw_margin", g.scalar(float32(total)), logits)
 	out.backward = func() {
 		scale := out.Grad.Data()[0]
-		gl := tensor.New(ls...)
+		gl := g.allocZero(ls...)
 		for i, y := range labels {
 			if !active[i] {
 				continue
@@ -113,7 +120,8 @@ func (g *Graph) CWMargin(logits *Value, labels []int, kappa float32) *Value {
 			gl.Data()[i*c+y] += scale
 			gl.Data()[i*c+best[i]] -= scale
 		}
-		accum(logits, gl)
+		g.accum(logits, gl)
+		g.free(gl)
 	}
 	return out
 }
@@ -124,11 +132,14 @@ func (g *Graph) SqDistSum(x *Value, ref *tensor.Tensor) *Value {
 	if x.Data.Len() != ref.Len() {
 		panic(fmt.Sprintf("autograd: SqDistSum size mismatch %v vs %v", x.Data.Shape(), ref.Shape()))
 	}
-	diff := tensor.Sub(x.Data, ref)
-	out := g.node("sqdist", tensor.Scalar(float32(tensor.Dot(diff, diff))), x)
+	diff := g.alloc(x.Data.Shape()...)
+	tensor.SubInto(diff, x.Data, ref)
+	out := g.node("sqdist", g.scalar(float32(tensor.Dot(diff, diff))), x)
 	out.backward = func() {
-		gx := tensor.Scale(diff, 2*out.Grad.Data()[0])
-		accum(x, gx)
+		gx := g.alloc(diff.Shape()...)
+		tensor.ScaleInto(gx, diff, 2*out.Grad.Data()[0])
+		g.accum(x, gx)
+		g.free(gx)
 	}
 	return out
 }

@@ -16,16 +16,39 @@ func (g *Graph) Conv2d(x, w, b *Value, stride, pad int) *Value {
 		bias = b.Data
 		parents = append(parents, b)
 	}
-	out := g.node("conv2d", tensor.Conv2d(x.Data, w.Data, bias, stride, pad), parents...)
+	xs, ws := x.Data.Shape(), w.Data.Shape()
+	oh := tensor.ConvOut(xs[2], ws[2], stride, pad)
+	ow := tensor.ConvOut(xs[3], ws[3], stride, pad)
+	out := g.node("conv2d", g.alloc(xs[0], ws[0], oh, ow), parents...)
+	tensor.Conv2dInto(g.pool, out.Data, x.Data, w.Data, bias, stride, pad)
 	out.backward = func() {
-		gx, gw, gb := tensor.Conv2dBackward(x.Data, w.Data, b != nil, out.Grad, stride, pad)
-		accum(x, gx)
-		accum(w, gw)
-		if b != nil {
-			accum(b, gb)
+		gx, gw, gb := g.convGrads(x, w, b, w.Data, out.Grad, stride, pad)
+		g.accum(x, gx)
+		g.free(gx)
+		if gw != nil {
+			g.accum(w, gw)
+			g.free(gw)
+		}
+		if gb != nil {
+			g.accum(b, gb)
+			g.free(gb)
 		}
 	}
 	return out
+}
+
+// convGrads runs the convolution backward kernel with arena buffers,
+// skipping the weight/bias gradients when parameter tracking is off.
+func (g *Graph) convGrads(x, w, b *Value, kernel, gy *tensor.Tensor, stride, pad int) (gx, gw, gb *tensor.Tensor) {
+	gx = g.alloc(x.Data.Shape()...)
+	if g.needs(w) {
+		gw = g.alloc(kernel.Shape()...)
+	}
+	if b != nil && g.needs(b) {
+		gb = g.allocZero(kernel.Dim(0))
+	}
+	tensor.Conv2dBackwardInto(g.pool, gx, gw, gb, x.Data, kernel, gy, stride, pad)
+	return gx, gw, gb
 }
 
 // WSConv2d applies a weight-standardized convolution (BiT / ResNet-v2 stem):
@@ -40,7 +63,7 @@ func (g *Graph) WSConv2d(x, w, b *Value, stride, pad int) *Value {
 
 	mean := make([]float64, oc)
 	std := make([]float64, oc)
-	wHat := tensor.New(ws...)
+	wHat := g.alloc(ws...)
 	for o := 0; o < oc; o++ {
 		seg := w.Data.Data()[o*fan : (o+1)*fan]
 		var m float64
@@ -67,31 +90,41 @@ func (g *Graph) WSConv2d(x, w, b *Value, stride, pad int) *Value {
 		bias = b.Data
 		parents = append(parents, b)
 	}
-	out := g.node("wsconv2d", tensor.Conv2d(x.Data, wHat, bias, stride, pad), parents...)
+	xs := x.Data.Shape()
+	oh := tensor.ConvOut(xs[2], ws[2], stride, pad)
+	ow := tensor.ConvOut(xs[3], ws[3], stride, pad)
+	out := g.node("wsconv2d", g.alloc(xs[0], oc, oh, ow), parents...)
+	tensor.Conv2dInto(g.pool, out.Data, x.Data, wHat, bias, stride, pad)
 	out.backward = func() {
-		gx, gwHat, gb := tensor.Conv2dBackward(x.Data, wHat, b != nil, out.Grad, stride, pad)
-		accum(x, gx)
-		// Chain through standardization:
-		// gW = (gŴ − mean(gŴ) − Ŵ·mean(gŴ⊙Ŵ)) / σ, per output channel.
-		gw := tensor.New(ws...)
-		for o := 0; o < oc; o++ {
-			gh := gwHat.Data()[o*fan : (o+1)*fan]
-			wh := wHat.Data()[o*fan : (o+1)*fan]
-			var mg, mgw float64
-			for i := range gh {
-				mg += float64(gh[i])
-				mgw += float64(gh[i]) * float64(wh[i])
+		gx, gwHat, gb := g.convGrads(x, w, b, wHat, out.Grad, stride, pad)
+		g.accum(x, gx)
+		g.free(gx)
+		if gwHat != nil {
+			// Chain through standardization:
+			// gW = (gŴ − mean(gŴ) − Ŵ·mean(gŴ⊙Ŵ)) / σ, per output channel.
+			gw := g.alloc(ws...)
+			for o := 0; o < oc; o++ {
+				gh := gwHat.Data()[o*fan : (o+1)*fan]
+				wh := wHat.Data()[o*fan : (o+1)*fan]
+				var mg, mgw float64
+				for i := range gh {
+					mg += float64(gh[i])
+					mgw += float64(gh[i]) * float64(wh[i])
+				}
+				mg /= float64(fan)
+				mgw /= float64(fan)
+				dst := gw.Data()[o*fan : (o+1)*fan]
+				for i := range gh {
+					dst[i] = float32((float64(gh[i]) - mg - float64(wh[i])*mgw) / std[o])
+				}
 			}
-			mg /= float64(fan)
-			mgw /= float64(fan)
-			dst := gw.Data()[o*fan : (o+1)*fan]
-			for i := range gh {
-				dst[i] = float32((float64(gh[i]) - mg - float64(wh[i])*mgw) / std[o])
-			}
+			g.accum(w, gw)
+			g.free(gw)
+			g.free(gwHat)
 		}
-		accum(w, gw)
-		if b != nil {
-			accum(b, gb)
+		if gb != nil {
+			g.accum(b, gb)
+			g.free(gb)
 		}
 	}
 	return out
@@ -99,22 +132,31 @@ func (g *Graph) WSConv2d(x, w, b *Value, stride, pad int) *Value {
 
 // Pad2d zero-pads the spatial dims of [B,C,H,W] by p on all sides.
 func (g *Graph) Pad2d(x *Value, p int) *Value {
-	out := g.node("pad2d", tensor.Pad2d(x.Data, p), x)
+	xs := x.Data.Shape()
+	out := g.node("pad2d", g.allocZero(xs[0], xs[1], xs[2]+2*p, xs[3]+2*p), x)
+	tensor.Pad2dInto(out.Data, x.Data, p)
 	out.backward = func() {
-		accum(x, tensor.Unpad2d(out.Grad, p))
+		gx := g.alloc(xs...)
+		tensor.Unpad2dInto(gx, out.Grad, p)
+		g.accum(x, gx)
+		g.free(gx)
 	}
 	return out
 }
 
 // MaxPool2d applies k×k max pooling with stride s.
 func (g *Graph) MaxPool2d(x *Value, k, s int) *Value {
-	pooled, idx := tensor.MaxPool2d(x.Data, k, s)
+	xs := x.Data.Shape()
+	oh, ow := tensor.ConvOut(xs[2], k, s, 0), tensor.ConvOut(xs[3], k, s, 0)
+	pooled := g.alloc(xs[0], xs[1], oh, ow)
+	idx := g.allocInts(xs[0] * xs[1] * oh * ow)
+	tensor.MaxPool2dIdxInto(pooled, x.Data, k, s, idx)
 	out := g.node("maxpool2d", pooled, x)
-	bs := x.Data.Dim(0)
+	bs := xs[0]
 	sampleLen := x.Data.Len() / bs
 	outSample := pooled.Len() / bs
 	out.backward = func() {
-		gx := tensor.New(x.Data.Shape()...)
+		gx := g.allocZero(xs...)
 		gy := out.Grad.Data()
 		for i := 0; i < bs; i++ {
 			base := i * sampleLen
@@ -122,7 +164,8 @@ func (g *Graph) MaxPool2d(x *Value, k, s int) *Value {
 				gx.Data()[base+idx[i*outSample+o]] += gy[i*outSample+o]
 			}
 		}
-		accum(x, gx)
+		g.accum(x, gx)
+		g.free(gx)
 	}
 	return out
 }
@@ -130,21 +173,24 @@ func (g *Graph) MaxPool2d(x *Value, k, s int) *Value {
 // AvgPoolGlobal averages each channel plane of [B,C,H,W] to [B,C].
 func (g *Graph) AvgPoolGlobal(x *Value) *Value {
 	xs := x.Data.Shape()
-	out := g.node("avgpool_global", tensor.AvgPool2dGlobal(x.Data), x)
+	out := g.node("avgpool_global", g.alloc(xs[0], xs[1]), x)
+	tensor.AvgPool2dGlobalInto(out.Data, x.Data)
 	out.backward = func() {
 		b, c, h, w := xs[0], xs[1], xs[2], xs[3]
-		gx := tensor.New(xs...)
+		gx := g.alloc(xs...)
+		gxd, gyd := gx.Data(), out.Grad.Data()
 		inv := 1 / float32(h*w)
 		for i := 0; i < b; i++ {
 			for ch := 0; ch < c; ch++ {
-				gv := out.Grad.At(i, ch) * inv
-				plane := gx.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
+				gv := gyd[i*c+ch] * inv
+				plane := gxd[i*c*h*w+ch*h*w : i*c*h*w+(ch+1)*h*w]
 				for j := range plane {
 					plane[j] = gv
 				}
 			}
 		}
-		accum(x, gx)
+		g.accum(x, gx)
+		g.free(gx)
 	}
 	return out
 }
@@ -159,9 +205,10 @@ func (g *Graph) LayerNorm(x, gamma, beta *Value) *Value {
 		panic(fmt.Sprintf("autograd: LayerNorm affine params must have length %d", d))
 	}
 	const eps = 1e-5
-	xhat := tensor.New(xs...)
-	invStd := make([]float32, rows)
-	out := g.node("layernorm", tensor.New(xs...), x, gamma, beta)
+	xhat := g.alloc(xs...)
+	invStdT := g.alloc(rows)
+	invStd := invStdT.Data()
+	out := g.node("layernorm", g.alloc(xs...), x, gamma, beta)
 	xd, hd, od := x.Data.Data(), xhat.Data(), out.Data.Data()
 	gmd, btd := gamma.Data.Data(), beta.Data.Data()
 	for r := 0; r < rows; r++ {
@@ -186,9 +233,13 @@ func (g *Graph) LayerNorm(x, gamma, beta *Value) *Value {
 		}
 	}
 	out.backward = func() {
-		gx := tensor.New(xs...)
-		ggamma := tensor.New(d)
-		gbeta := tensor.New(d)
+		track := g.needs(gamma) || g.needs(beta)
+		gx := g.alloc(xs...)
+		var ggamma, gbeta *tensor.Tensor
+		if track {
+			ggamma = g.allocZero(d)
+			gbeta = g.allocZero(d)
+		}
 		gy := out.Grad.Data()
 		for r := 0; r < rows; r++ {
 			var mg, mgh float64
@@ -197,8 +248,10 @@ func (g *Graph) LayerNorm(x, gamma, beta *Value) *Value {
 				h := hd[r*d+i]
 				mg += float64(gi)
 				mgh += float64(gi) * float64(h)
-				ggamma.Data()[i] += gy[r*d+i] * h
-				gbeta.Data()[i] += gy[r*d+i]
+				if track {
+					ggamma.Data()[i] += gy[r*d+i] * h
+					gbeta.Data()[i] += gy[r*d+i]
+				}
 			}
 			mg /= float64(d)
 			mgh /= float64(d)
@@ -208,9 +261,18 @@ func (g *Graph) LayerNorm(x, gamma, beta *Value) *Value {
 				gx.Data()[r*d+i] = invStd[r] * float32(gi-mg-h*mgh)
 			}
 		}
-		accum(x, gx)
-		accum(gamma, ggamma)
-		accum(beta, gbeta)
+		g.accum(x, gx)
+		g.free(gx)
+		if track {
+			if g.needs(gamma) {
+				g.accum(gamma, ggamma)
+			}
+			if g.needs(beta) {
+				g.accum(beta, gbeta)
+			}
+			g.free(ggamma)
+			g.free(gbeta)
+		}
 	}
 	return out
 }
@@ -249,10 +311,11 @@ func (g *Graph) BatchNorm2d(x, gamma, beta *Value, st *BatchNormState, training 
 	mean := make([]float64, c)
 	varr := make([]float64, c)
 	if training {
+		xd := x.Data.Data()
 		for ch := 0; ch < c; ch++ {
 			var m float64
 			for i := 0; i < b; i++ {
-				plane := x.Data.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
+				plane := xd[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
 				for _, v := range plane {
 					m += float64(v)
 				}
@@ -260,7 +323,7 @@ func (g *Graph) BatchNorm2d(x, gamma, beta *Value, st *BatchNormState, training 
 			m /= float64(n)
 			var vr float64
 			for i := 0; i < b; i++ {
-				plane := x.Data.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
+				plane := xd[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
 				for _, v := range plane {
 					d := float64(v) - m
 					vr += d * d
@@ -280,11 +343,14 @@ func (g *Graph) BatchNorm2d(x, gamma, beta *Value, st *BatchNormState, training 
 	for ch := 0; ch < c; ch++ {
 		invStd[ch] = float32(1 / math.Sqrt(varr[ch]+eps))
 	}
-	xhat := tensor.New(xs...)
-	out := g.node("batchnorm2d", tensor.New(xs...), x, gamma, beta)
+	xhat := g.alloc(xs...)
+	out := g.node("batchnorm2d", g.alloc(xs...), x, gamma, beta)
 	gmd, btd := gamma.Data.Data(), beta.Data.Data()
+	sample := c * h * w
 	for i := 0; i < b; i++ {
-		src, hdst, odst := x.Data.Slice(i).Data(), xhat.Slice(i).Data(), out.Data.Slice(i).Data()
+		src := x.Data.Data()[i*sample : (i+1)*sample]
+		hdst := xhat.Data()[i*sample : (i+1)*sample]
+		odst := out.Data.Data()[i*sample : (i+1)*sample]
 		for ch := 0; ch < c; ch++ {
 			m32, is := float32(mean[ch]), invStd[ch]
 			for j := ch * h * w; j < (ch+1)*h*w; j++ {
@@ -295,29 +361,42 @@ func (g *Graph) BatchNorm2d(x, gamma, beta *Value, st *BatchNormState, training 
 		}
 	}
 	out.backward = func() {
-		gx := tensor.New(xs...)
-		ggamma := tensor.New(c)
-		gbeta := tensor.New(c)
+		track := g.needs(gamma) || g.needs(beta)
+		gx := g.alloc(xs...)
+		var ggamma, gbeta *tensor.Tensor
+		if track {
+			ggamma = g.allocZero(c)
+			gbeta = g.allocZero(c)
+		}
+		sample := c * h * w
+		gyAll, hhAll, gxAll := out.Grad.Data(), xhat.Data(), gx.Data()
 		for ch := 0; ch < c; ch++ {
+			gscale := float64(gmd[ch]) * float64(invStd[ch])
+			// The channel sums feed the gamma/beta gradients always, and the
+			// input gradient only in training mode; skip them when neither
+			// consumer is active.
 			var sumG, sumGH float64
-			for i := 0; i < b; i++ {
-				gy := out.Grad.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
-				hh := xhat.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
-				for j := range gy {
-					sumG += float64(gy[j])
-					sumGH += float64(gy[j]) * float64(hh[j])
+			if track || training {
+				for i := 0; i < b; i++ {
+					gy := gyAll[i*sample+ch*h*w : i*sample+(ch+1)*h*w]
+					hh := hhAll[i*sample+ch*h*w : i*sample+(ch+1)*h*w]
+					for j := range gy {
+						sumG += float64(gy[j])
+						sumGH += float64(gy[j]) * float64(hh[j])
+					}
 				}
 			}
-			ggamma.Data()[ch] = float32(sumGH)
-			gbeta.Data()[ch] = float32(sumG)
-			gscale := float64(gmd[ch]) * float64(invStd[ch])
+			if track {
+				ggamma.Data()[ch] = float32(sumGH)
+				gbeta.Data()[ch] = float32(sumG)
+			}
 			if training {
 				mg := sumG / float64(n)
 				mgh := sumGH / float64(n)
 				for i := 0; i < b; i++ {
-					gy := out.Grad.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
-					hh := xhat.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
-					dst := gx.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
+					gy := gyAll[i*sample+ch*h*w : i*sample+(ch+1)*h*w]
+					hh := hhAll[i*sample+ch*h*w : i*sample+(ch+1)*h*w]
+					dst := gxAll[i*sample+ch*h*w : i*sample+(ch+1)*h*w]
 					for j := range gy {
 						dst[j] = float32(gscale * (float64(gy[j]) - mg - float64(hh[j])*mgh))
 					}
@@ -325,17 +404,26 @@ func (g *Graph) BatchNorm2d(x, gamma, beta *Value, st *BatchNormState, training 
 			} else {
 				// Eval mode: y is an affine map of x, so gx = γ/σ · gy.
 				for i := 0; i < b; i++ {
-					gy := out.Grad.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
-					dst := gx.Slice(i).Data()[ch*h*w : (ch+1)*h*w]
+					gy := gyAll[i*sample+ch*h*w : i*sample+(ch+1)*h*w]
+					dst := gxAll[i*sample+ch*h*w : i*sample+(ch+1)*h*w]
 					for j := range gy {
 						dst[j] = float32(gscale) * gy[j]
 					}
 				}
 			}
 		}
-		accum(x, gx)
-		accum(gamma, ggamma)
-		accum(beta, gbeta)
+		g.accum(x, gx)
+		g.free(gx)
+		if track {
+			if g.needs(gamma) {
+				g.accum(gamma, ggamma)
+			}
+			if g.needs(beta) {
+				g.accum(beta, gbeta)
+			}
+			g.free(ggamma)
+			g.free(gbeta)
+		}
 	}
 	return out
 }
@@ -352,12 +440,16 @@ func (g *Graph) GroupNorm2d(x, gamma, beta *Value, groups int) *Value {
 	gn := cg * h * w
 	const eps = 1e-5
 
-	xhat := tensor.New(xs...)
-	invStd := make([]float32, b*groups)
-	out := g.node("groupnorm2d", tensor.New(xs...), x, gamma, beta)
+	xhat := g.alloc(xs...)
+	invStdT := g.alloc(b * groups)
+	invStd := invStdT.Data()
+	out := g.node("groupnorm2d", g.alloc(xs...), x, gamma, beta)
 	gmd, btd := gamma.Data.Data(), beta.Data.Data()
+	sample := c * h * w
 	for i := 0; i < b; i++ {
-		src, hdst, odst := x.Data.Slice(i).Data(), xhat.Slice(i).Data(), out.Data.Slice(i).Data()
+		src := x.Data.Data()[i*sample : (i+1)*sample]
+		hdst := xhat.Data()[i*sample : (i+1)*sample]
+		odst := out.Data.Data()[i*sample : (i+1)*sample]
 		for gr := 0; gr < groups; gr++ {
 			lo, hi := gr*cg*h*w, (gr+1)*cg*h*w
 			var m float64
@@ -382,13 +474,17 @@ func (g *Graph) GroupNorm2d(x, gamma, beta *Value, groups int) *Value {
 		}
 	}
 	out.backward = func() {
-		gx := tensor.New(xs...)
-		ggamma := tensor.New(c)
-		gbeta := tensor.New(c)
+		track := g.needs(gamma) || g.needs(beta)
+		gx := g.alloc(xs...)
+		var ggamma, gbeta *tensor.Tensor
+		if track {
+			ggamma = g.allocZero(c)
+			gbeta = g.allocZero(c)
+		}
 		for i := 0; i < b; i++ {
-			gy := out.Grad.Slice(i).Data()
-			hh := xhat.Slice(i).Data()
-			dst := gx.Slice(i).Data()
+			gy := out.Grad.Data()[i*sample : (i+1)*sample]
+			hh := xhat.Data()[i*sample : (i+1)*sample]
+			dst := gx.Data()[i*sample : (i+1)*sample]
 			for gr := 0; gr < groups; gr++ {
 				lo, hi := gr*cg*h*w, (gr+1)*cg*h*w
 				var mg, mgh float64
@@ -397,8 +493,10 @@ func (g *Graph) GroupNorm2d(x, gamma, beta *Value, groups int) *Value {
 					gi := gy[j] * gmd[ch]
 					mg += float64(gi)
 					mgh += float64(gi) * float64(hh[j])
-					ggamma.Data()[ch] += gy[j] * hh[j]
-					gbeta.Data()[ch] += gy[j]
+					if track {
+						ggamma.Data()[ch] += gy[j] * hh[j]
+						gbeta.Data()[ch] += gy[j]
+					}
 				}
 				mg /= float64(gn)
 				mgh /= float64(gn)
@@ -410,9 +508,18 @@ func (g *Graph) GroupNorm2d(x, gamma, beta *Value, groups int) *Value {
 				}
 			}
 		}
-		accum(x, gx)
-		accum(gamma, ggamma)
-		accum(beta, gbeta)
+		g.accum(x, gx)
+		g.free(gx)
+		if track {
+			if g.needs(gamma) {
+				g.accum(gamma, ggamma)
+			}
+			if g.needs(beta) {
+				g.accum(beta, gbeta)
+			}
+			g.free(ggamma)
+			g.free(gbeta)
+		}
 	}
 	return out
 }

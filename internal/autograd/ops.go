@@ -9,39 +9,67 @@ import (
 
 // Add returns a+b (same shape).
 func (g *Graph) Add(a, b *Value) *Value {
-	out := g.node("add", tensor.Add(a.Data, b.Data), a, b)
+	out := g.node("add", g.alloc(a.Data.Shape()...), a, b)
+	tensor.AddInto(out.Data, a.Data, b.Data)
 	out.backward = func() {
-		accum(a, out.Grad)
-		accum(b, out.Grad)
+		if g.needs(a) {
+			g.accum(a, out.Grad)
+		}
+		if g.needs(b) {
+			g.accum(b, out.Grad)
+		}
 	}
 	return out
 }
 
 // Sub returns a-b (same shape).
 func (g *Graph) Sub(a, b *Value) *Value {
-	out := g.node("sub", tensor.Sub(a.Data, b.Data), a, b)
+	out := g.node("sub", g.alloc(a.Data.Shape()...), a, b)
+	tensor.SubInto(out.Data, a.Data, b.Data)
 	out.backward = func() {
-		accum(a, out.Grad)
-		accum(b, tensor.Neg(out.Grad))
+		if g.needs(a) {
+			g.accum(a, out.Grad)
+		}
+		if g.needs(b) {
+			t := g.alloc(out.Grad.Shape()...)
+			tensor.ScaleInto(t, out.Grad, -1)
+			g.accum(b, t)
+			g.free(t)
+		}
 	}
 	return out
 }
 
 // Mul returns the Hadamard product a⊙b.
 func (g *Graph) Mul(a, b *Value) *Value {
-	out := g.node("mul", tensor.Mul(a.Data, b.Data), a, b)
+	out := g.node("mul", g.alloc(a.Data.Shape()...), a, b)
+	tensor.MulInto(out.Data, a.Data, b.Data)
 	out.backward = func() {
-		accum(a, tensor.Mul(out.Grad, b.Data))
-		accum(b, tensor.Mul(out.Grad, a.Data))
+		t := g.alloc(out.Grad.Shape()...)
+		if g.needs(a) {
+			tensor.MulInto(t, out.Grad, b.Data)
+			g.accum(a, t)
+		}
+		if g.needs(b) {
+			tensor.MulInto(t, out.Grad, a.Data)
+			g.accum(b, t)
+		}
+		g.free(t)
 	}
 	return out
 }
 
 // Scale returns alpha*a for a constant alpha.
 func (g *Graph) Scale(a *Value, alpha float32) *Value {
-	out := g.node("scale", tensor.Scale(a.Data, alpha), a)
+	out := g.node("scale", g.alloc(a.Data.Shape()...), a)
+	tensor.ScaleInto(out.Data, a.Data, alpha)
 	out.backward = func() {
-		accum(a, tensor.Scale(out.Grad, alpha))
+		if g.needs(a) {
+			t := g.alloc(out.Grad.Shape()...)
+			tensor.ScaleInto(t, out.Grad, alpha)
+			g.accum(a, t)
+			g.free(t)
+		}
 	}
 	return out
 }
@@ -54,7 +82,8 @@ func (g *Graph) AddBroadcast(a, b *Value) *Value {
 		panic(fmt.Sprintf("autograd: AddBroadcast shapes %v and %v incompatible", a.Data.Shape(), b.Data.Shape()))
 	}
 	reps := an / bn
-	data := a.Data.Clone()
+	data := g.alloc(a.Data.Shape()...)
+	data.CopyFrom(a.Data)
 	for r := 0; r < reps; r++ {
 		seg := data.Data()[r*bn : (r+1)*bn]
 		for i, v := range b.Data.Data() {
@@ -63,25 +92,41 @@ func (g *Graph) AddBroadcast(a, b *Value) *Value {
 	}
 	out := g.node("addbroadcast", data, a, b)
 	out.backward = func() {
-		accum(a, out.Grad)
-		gb := tensor.New(b.Data.Shape()...)
-		for r := 0; r < reps; r++ {
-			seg := out.Grad.Data()[r*bn : (r+1)*bn]
-			for i := range gb.Data() {
-				gb.Data()[i] += seg[i]
-			}
+		if g.needs(a) {
+			g.accum(a, out.Grad)
 		}
-		accum(b, gb)
+		if g.needs(b) {
+			gb := g.allocZero(b.Data.Shape()...)
+			for r := 0; r < reps; r++ {
+				seg := out.Grad.Data()[r*bn : (r+1)*bn]
+				for i := range gb.Data() {
+					gb.Data()[i] += seg[i]
+				}
+			}
+			g.accum(b, gb)
+			g.free(gb)
+		}
 	}
 	return out
 }
 
 // MatMul returns the 2-D product a@b.
 func (g *Graph) MatMul(a, b *Value) *Value {
-	out := g.node("matmul", tensor.MatMul(a.Data, b.Data), a, b)
+	out := g.node("matmul", g.alloc(a.Data.Dim(0), b.Data.Dim(1)), a, b)
+	tensor.MatMulInto(out.Data, a.Data, b.Data)
 	out.backward = func() {
-		accum(a, tensor.MatMulTransB(out.Grad, b.Data))
-		accum(b, tensor.MatMulTransA(a.Data, out.Grad))
+		if g.needs(a) {
+			t := g.alloc(a.Data.Shape()...)
+			tensor.MatMulTransBInto(t, out.Grad, b.Data)
+			g.accum(a, t)
+			g.free(t)
+		}
+		if g.needs(b) {
+			t := g.alloc(b.Data.Shape()...)
+			tensor.MatMulTransAInto(t, a.Data, out.Grad)
+			g.accum(b, t)
+			g.free(t)
+		}
 	}
 	return out
 }
@@ -96,23 +141,37 @@ func (g *Graph) Linear(x, w, b *Value) *Value {
 	if w.Data.Dim(1) != in {
 		panic(fmt.Sprintf("autograd: Linear weight %v incompatible with input %v", w.Data.Shape(), xs))
 	}
-	x2 := x.Data.Reshape(rows, in)
-	y2 := tensor.MatMulTransB(x2, w.Data) // [rows, out]
-	if b != nil {
-		tensor.AddRowVectorIn(y2, b.Data)
-	}
 	outShape := append(append([]int(nil), xs[:len(xs)-1]...), outF)
 	parents := []*Value{x, w}
 	if b != nil {
 		parents = append(parents, b)
 	}
-	out := g.node("linear", y2.Reshape(outShape...), parents...)
+	// The raw kernels view x and the output as [rows, in]/[rows, outF]
+	// without materializing 2-D view tensors.
+	out := g.node("linear", g.alloc(outShape...), parents...)
+	tensor.MatMulTransBRaw(out.Data.Data(), x.Data.Data(), w.Data.Data(), rows, in, outF)
+	if b != nil {
+		tensor.AddRowVectorRaw(out.Data.Data(), rows, outF, b.Data.Data())
+	}
 	out.backward = func() {
-		gy := out.Grad.Reshape(rows, outF)
-		accum(x, tensor.MatMul(gy, w.Data).Reshape(xs...))
-		accum(w, tensor.MatMulTransA(gy, x2))
-		if b != nil {
-			accum(b, tensor.SumRows(gy))
+		gy := out.Grad.Data()
+		if g.needs(x) {
+			t := g.alloc(xs...)
+			tensor.MatMulRaw(t.Data(), gy, w.Data.Data(), rows, outF, in)
+			g.accum(x, t)
+			g.free(t)
+		}
+		if g.needs(w) {
+			t := g.allocZero(outF, in)
+			tensor.MatMulTransAAddRaw(t.Data(), gy, x.Data.Data(), outF, rows, in)
+			g.accum(w, t)
+			g.free(t)
+		}
+		if b != nil && g.needs(b) {
+			t := g.alloc(outF)
+			tensor.SumRowsRaw(t.Data(), gy, rows, outF)
+			g.accum(b, t)
+			g.free(t)
 		}
 	}
 	return out
@@ -126,41 +185,52 @@ func (g *Graph) BMM(a, b *Value) *Value {
 		panic(fmt.Sprintf("autograd: BMM shapes %v x %v invalid", as, bs))
 	}
 	G, m, n := as[0], as[1], bs[2]
-	out := g.node("bmm", tensor.New(G, m, n), a, b)
-	for i := 0; i < G; i++ {
-		out.Data.Slice(i).CopyFrom(tensor.MatMul(a.Data.Slice(i), b.Data.Slice(i)))
-	}
+	out := g.node("bmm", g.alloc(G, m, n), a, b)
+	tensor.BMMInto(out.Data, a.Data, b.Data)
 	out.backward = func() {
-		ga := tensor.New(as...)
-		gb := tensor.New(bs...)
-		for i := 0; i < G; i++ {
-			gy := out.Grad.Slice(i)
-			ga.Slice(i).CopyFrom(tensor.MatMulTransB(gy, b.Data.Slice(i)))
-			gb.Slice(i).CopyFrom(tensor.MatMulTransA(a.Data.Slice(i), gy))
+		needA, needB := g.needs(a), g.needs(b)
+		var ga, gb *tensor.Tensor
+		if needA {
+			ga = g.alloc(as...)
+			tensor.BMMTransBInto(ga, out.Grad, b.Data)
 		}
-		accum(a, ga)
-		accum(b, gb)
+		if needB {
+			gb = g.allocZero(bs...)
+			tensor.BMMTransAAddInto(gb, a.Data, out.Grad)
+		}
+		if needA {
+			g.accum(a, ga)
+			g.free(ga)
+		}
+		if needB {
+			g.accum(b, gb)
+			g.free(gb)
+		}
 	}
 	return out
 }
 
 // ReLU applies max(0,x).
 func (g *Graph) ReLU(x *Value) *Value {
-	out := g.node("relu", tensor.Apply(x.Data, func(v float32) float32 {
+	out := g.node("relu", g.alloc(x.Data.Shape()...), x)
+	tensor.ApplyInto(out.Data, x.Data, func(v float32) float32 {
 		if v > 0 {
 			return v
 		}
 		return 0
-	}), x)
+	})
 	out.backward = func() {
-		gx := tensor.New(x.Data.Shape()...)
+		gx := g.alloc(x.Data.Shape()...)
 		xd, gy, gd := x.Data.Data(), out.Grad.Data(), gx.Data()
 		for i := range gd {
 			if xd[i] > 0 {
 				gd[i] = gy[i]
+			} else {
+				gd[i] = 0
 			}
 		}
-		accum(x, gx)
+		g.accum(x, gx)
+		g.free(gx)
 	}
 	return out
 }
@@ -172,12 +242,13 @@ const (
 
 // GELU applies the tanh approximation of the Gaussian error linear unit.
 func (g *Graph) GELU(x *Value) *Value {
-	out := g.node("gelu", tensor.Apply(x.Data, func(v float32) float32 {
+	out := g.node("gelu", g.alloc(x.Data.Shape()...), x)
+	tensor.ApplyInto(out.Data, x.Data, func(v float32) float32 {
 		f := float64(v)
 		return float32(0.5 * f * (1 + math.Tanh(geluC*(f+geluA*f*f*f))))
-	}), x)
+	})
 	out.backward = func() {
-		gx := tensor.New(x.Data.Shape()...)
+		gx := g.alloc(x.Data.Shape()...)
 		xd, gy, gd := x.Data.Data(), out.Grad.Data(), gx.Data()
 		for i := range gd {
 			f := float64(xd[i])
@@ -187,7 +258,8 @@ func (g *Graph) GELU(x *Value) *Value {
 			d := 0.5*(1+t) + 0.5*f*(1-t*t)*du
 			gd[i] = gy[i] * float32(d)
 		}
-		accum(x, gx)
+		g.accum(x, gx)
+		g.free(gx)
 	}
 	return out
 }
@@ -195,23 +267,29 @@ func (g *Graph) GELU(x *Value) *Value {
 // Tanh applies the hyperbolic tangent elementwise (used by the C&W change
 // of variables).
 func (g *Graph) Tanh(x *Value) *Value {
-	out := g.node("tanh", tensor.Tanh(x.Data), x)
+	out := g.node("tanh", g.alloc(x.Data.Shape()...), x)
+	tensor.ApplyInto(out.Data, x.Data, func(v float32) float32 { return float32(math.Tanh(float64(v))) })
 	out.backward = func() {
-		gx := tensor.New(x.Data.Shape()...)
+		gx := g.alloc(x.Data.Shape()...)
 		yd, gy, gd := out.Data.Data(), out.Grad.Data(), gx.Data()
 		for i := range gd {
 			gd[i] = gy[i] * (1 - yd[i]*yd[i])
 		}
-		accum(x, gx)
+		g.accum(x, gx)
+		g.free(gx)
 	}
 	return out
 }
 
 // Affine applies alpha*x + beta elementwise for constants.
 func (g *Graph) Affine(x *Value, alpha, beta float32) *Value {
-	out := g.node("affine", tensor.Apply(x.Data, func(v float32) float32 { return alpha*v + beta }), x)
+	out := g.node("affine", g.alloc(x.Data.Shape()...), x)
+	tensor.ApplyInto(out.Data, x.Data, func(v float32) float32 { return alpha*v + beta })
 	out.backward = func() {
-		accum(x, tensor.Scale(out.Grad, alpha))
+		t := g.alloc(out.Grad.Shape()...)
+		tensor.ScaleInto(t, out.Grad, alpha)
+		g.accum(x, t)
+		g.free(t)
 	}
 	return out
 }
@@ -221,10 +299,11 @@ func (g *Graph) SoftmaxLastDim(x *Value) *Value {
 	xs := x.Data.Shape()
 	cols := xs[len(xs)-1]
 	rows := x.Data.Len() / cols
-	probs := tensor.SoftmaxRows(x.Data.Reshape(rows, cols)).Reshape(xs...)
+	probs := g.alloc(xs...)
+	tensor.SoftmaxRowsRaw(probs.Data(), x.Data.Data(), rows, cols)
 	out := g.node("softmax", probs, x)
 	out.backward = func() {
-		gx := tensor.New(xs...)
+		gx := g.alloc(xs...)
 		p, gy, gd := out.Data.Data(), out.Grad.Data(), gx.Data()
 		for r := 0; r < rows; r++ {
 			off := r * cols
@@ -236,16 +315,20 @@ func (g *Graph) SoftmaxLastDim(x *Value) *Value {
 				gd[off+c] = p[off+c] * (gy[off+c] - dot)
 			}
 		}
-		accum(x, gx)
+		g.accum(x, gx)
+		g.free(gx)
 	}
 	return out
 }
 
 // Sum reduces all elements to a scalar.
 func (g *Graph) Sum(x *Value) *Value {
-	out := g.node("sum", tensor.Scalar(float32(tensor.Sum(x.Data))), x)
+	out := g.node("sum", g.scalar(float32(tensor.Sum(x.Data))), x)
 	out.backward = func() {
-		accum(x, tensor.Full(out.Grad.Data()[0], x.Data.Shape()...))
+		t := g.alloc(x.Data.Shape()...)
+		t.Fill(out.Grad.Data()[0])
+		g.accum(x, t)
+		g.free(t)
 	}
 	return out
 }
@@ -253,9 +336,19 @@ func (g *Graph) Sum(x *Value) *Value {
 // Mean reduces all elements to their scalar mean.
 func (g *Graph) Mean(x *Value) *Value {
 	n := float32(x.Data.Len())
-	out := g.node("mean", tensor.Scalar(float32(tensor.Mean(x.Data))), x)
+	out := g.node("mean", g.scalar(float32(tensor.Mean(x.Data))), x)
 	out.backward = func() {
-		accum(x, tensor.Full(out.Grad.Data()[0]/n, x.Data.Shape()...))
+		t := g.alloc(x.Data.Shape()...)
+		t.Fill(out.Grad.Data()[0] / n)
+		g.accum(x, t)
+		g.free(t)
 	}
 	return out
+}
+
+// scalar allocates a 1-element tensor holding v from the graph's arena.
+func (g *Graph) scalar(v float32) *tensor.Tensor {
+	t := g.alloc(1)
+	t.Data()[0] = v
+	return t
 }

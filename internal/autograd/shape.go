@@ -7,12 +7,40 @@ import (
 )
 
 // Reshape returns a vertex viewing x with a new shape. Data is copied so the
-// graph's vertices stay independent for shielding purposes.
+// graph's vertices stay independent for shielding purposes. One dimension
+// may be -1 to be inferred.
 func (g *Graph) Reshape(x *Value, shape ...int) *Value {
-	xs := append([]int(nil), x.Data.Shape()...)
-	out := g.node("reshape", x.Data.Clone().Reshape(shape...), x)
+	n := x.Data.Len()
+	infer, known := -1, 1
+	for i, d := range shape {
+		if d == -1 {
+			if infer >= 0 {
+				panic("autograd: multiple -1 dims in Reshape")
+			}
+			infer = i
+			continue
+		}
+		known *= d
+	}
+	if infer >= 0 {
+		if known == 0 || n%known != 0 {
+			panic(fmt.Sprintf("autograd: cannot infer dim reshaping %v to %v", x.Data.Shape(), shape))
+		}
+		// Copy before writing the inferred dim: the variadic slice may be a
+		// caller-owned slice reused across calls.
+		shape = append([]int(nil), shape...)
+		shape[infer] = n / known
+		known *= shape[infer]
+	}
+	if known != n {
+		panic(fmt.Sprintf("autograd: cannot reshape %v (%d elems) to %v", x.Data.Shape(), n, shape))
+	}
+	out := g.node("reshape", g.alloc(shape...), x)
+	out.Data.CopyFrom(x.Data)
 	out.backward = func() {
-		accum(x, out.Grad.Reshape(xs...))
+		// accum matches by element count; the shape header is irrelevant
+		// for interior adjoint accumulation.
+		g.accum(x, out.Grad)
 	}
 	return out
 }
@@ -20,27 +48,46 @@ func (g *Graph) Reshape(x *Value, shape ...int) *Value {
 // Permute reorders the dimensions of x by axes (a permutation of 0..rank-1),
 // materializing a contiguous result.
 func (g *Graph) Permute(x *Value, axes ...int) *Value {
-	out := g.node("permute", permute(x.Data, axes), x)
+	shape := x.Data.Shape()
+	outShape := make([]int, len(shape))
+	for i, a := range axes {
+		outShape[i] = shape[a]
+	}
+	data := g.alloc(outShape...)
+	permuteInto(data, x.Data, axes)
+	out := g.node("permute", data, x)
 	inv := make([]int, len(axes))
 	for i, a := range axes {
 		inv[a] = i
 	}
 	out.backward = func() {
-		accum(x, permute(out.Grad, inv))
+		t := g.alloc(shape...)
+		permuteInto(t, out.Grad, inv)
+		g.accum(x, t)
+		g.free(t)
 	}
 	return out
 }
 
-func permute(t *tensor.Tensor, axes []int) *tensor.Tensor {
+// permuteInto writes the axes-permutation of t into the pre-allocated out,
+// overwriting every element.
+func permuteInto(out, t *tensor.Tensor, axes []int) {
 	shape := t.Shape()
 	if len(axes) != len(shape) {
 		panic(fmt.Sprintf("autograd: permute axes %v do not match rank %d", axes, len(shape)))
 	}
-	outShape := make([]int, len(shape))
-	for i, a := range axes {
-		outShape[i] = shape[a]
+	// Fast paths for the attention layout shuffles, which dominate permute
+	// traffic: swapping the two middle axes of a rank-4 tensor and swapping
+	// the trailing axes of a rank-3 tensor.
+	if len(axes) == 4 && axes[0] == 0 && axes[1] == 2 && axes[2] == 1 && axes[3] == 3 {
+		swapMiddle4(out.Data(), t.Data(), shape[0], shape[1], shape[2], shape[3])
+		return
 	}
-	out := tensor.New(outShape...)
+	if len(axes) == 3 && axes[0] == 0 && axes[1] == 2 && axes[2] == 1 {
+		transposeLast2(out.Data(), t.Data(), shape[0], shape[1], shape[2])
+		return
+	}
+	outShape := out.Shape()
 	// Strides of the input.
 	inStride := make([]int, len(shape))
 	s := 1
@@ -65,7 +112,38 @@ func permute(t *tensor.Tensor, axes []int) *tensor.Tensor {
 			idx[d] = 0
 		}
 	}
-	return out
+}
+
+// swapMiddle4 writes src [a,b,c,d] as dst [a,c,b,d] (axes 0,2,1,3): the
+// head-split/merge shuffle of multi-head attention. Innermost runs of d
+// elements stay contiguous, so each moves with one copy.
+func swapMiddle4(dst, src []float32, a, b, c, d int) {
+	for i := 0; i < a; i++ {
+		sBase := i * b * c * d
+		dBase := i * c * b * d
+		for j := 0; j < b; j++ {
+			for k := 0; k < c; k++ {
+				s := sBase + (j*c+k)*d
+				t := dBase + (k*b+j)*d
+				copy(dst[t:t+d], src[s:s+d])
+			}
+		}
+	}
+}
+
+// transposeLast2 writes src [g,r,c] as dst [g,c,r] (axes 0,2,1): the K
+// transpose of attention scores.
+func transposeLast2(dst, src []float32, g, r, c int) {
+	for i := 0; i < g; i++ {
+		s := src[i*r*c : (i+1)*r*c]
+		d := dst[i*r*c : (i+1)*r*c]
+		for row := 0; row < r; row++ {
+			sr := s[row*c : (row+1)*c]
+			for col, v := range sr {
+				d[col*r+row] = v
+			}
+		}
+	}
 }
 
 // PrependToken prepends a learned [D] token to every sequence of a [B,T,D]
@@ -76,24 +154,32 @@ func (g *Graph) PrependToken(x, tok *Value) *Value {
 		panic(fmt.Sprintf("autograd: PrependToken needs [B,T,D] and [D], got %v and %v", xs, tok.Data.Shape()))
 	}
 	b, t, d := xs[0], xs[1], xs[2]
-	out := g.node("prepend_token", tensor.New(b, t+1, d), x, tok)
+	out := g.node("prepend_token", g.alloc(b, t+1, d), x, tok)
 	for i := 0; i < b; i++ {
 		dst := out.Data.Slice(i)
 		copy(dst.Data()[:d], tok.Data.Data())
 		copy(dst.Data()[d:], x.Data.Slice(i).Data())
 	}
 	out.backward = func() {
-		gx := tensor.New(b, t, d)
-		gtok := tensor.New(tok.Data.Shape()...)
-		for i := 0; i < b; i++ {
-			gslice := out.Grad.Slice(i)
-			for j := 0; j < d; j++ {
-				gtok.Data()[j] += gslice.Data()[j]
+		if g.needs(x) {
+			gx := g.alloc(b, t, d)
+			for i := 0; i < b; i++ {
+				copy(gx.Slice(i).Data(), out.Grad.Slice(i).Data()[d:])
 			}
-			copy(gx.Slice(i).Data(), gslice.Data()[d:])
+			g.accum(x, gx)
+			g.free(gx)
 		}
-		accum(x, gx)
-		accum(tok, gtok)
+		if g.needs(tok) {
+			gtok := g.allocZero(tok.Data.Shape()...)
+			for i := 0; i < b; i++ {
+				gslice := out.Grad.Slice(i)
+				for j := 0; j < d; j++ {
+					gtok.Data()[j] += gslice.Data()[j]
+				}
+			}
+			g.accum(tok, gtok)
+			g.free(gtok)
+		}
 	}
 	return out
 }
@@ -106,16 +192,17 @@ func (g *Graph) TakeToken(x *Value, t int) *Value {
 		panic(fmt.Sprintf("autograd: TakeToken(%d) invalid for shape %v", t, xs))
 	}
 	b, d := xs[0], xs[2]
-	out := g.node("take_token", tensor.New(b, d), x)
+	out := g.node("take_token", g.alloc(b, d), x)
 	for i := 0; i < b; i++ {
 		copy(out.Data.Slice(i).Data(), x.Data.Slice(i).Data()[t*d:(t+1)*d])
 	}
 	out.backward = func() {
-		gx := tensor.New(xs...)
+		gx := g.allocZero(xs...)
 		for i := 0; i < b; i++ {
 			copy(gx.Slice(i).Data()[t*d:(t+1)*d], out.Grad.Slice(i).Data())
 		}
-		accum(x, gx)
+		g.accum(x, gx)
+		g.free(gx)
 	}
 	return out
 }
@@ -131,7 +218,7 @@ func (g *Graph) Unpatchify(x *Value, c, h, w, p int) *Value {
 	}
 	b := xs[0]
 	d := c * p * p
-	out := g.node("unpatchify", tensor.New(b, c, h, w), x)
+	out := g.node("unpatchify", g.alloc(b, c, h, w), x)
 	move := func(img, patches *tensor.Tensor, toImage bool) {
 		for py := 0; py < gh; py++ {
 			for px := 0; px < gw; px++ {
@@ -156,11 +243,12 @@ func (g *Graph) Unpatchify(x *Value, c, h, w, p int) *Value {
 		move(out.Data.Slice(i), x.Data.Slice(i), true)
 	}
 	out.backward = func() {
-		gx := tensor.New(xs...)
+		gx := g.alloc(xs...)
 		for i := 0; i < b; i++ {
 			move(out.Grad.Slice(i), gx.Slice(i), false)
 		}
-		accum(x, gx)
+		g.accum(x, gx)
+		g.free(gx)
 	}
 	return out
 }
@@ -176,7 +264,7 @@ func (g *Graph) Patchify(x *Value, p int) *Value {
 	b, c, h, w := xs[0], xs[1], xs[2], xs[3]
 	gh, gw := h/p, w/p
 	n, d := gh*gw, c*p*p
-	out := g.node("patchify", tensor.New(b, n, d), x)
+	out := g.node("patchify", g.alloc(b, n, d), x)
 	scatter := func(dst, src *tensor.Tensor, forward bool) {
 		for py := 0; py < gh; py++ {
 			for px := 0; px < gw; px++ {
@@ -201,11 +289,12 @@ func (g *Graph) Patchify(x *Value, p int) *Value {
 		scatter(out.Data.Slice(i), x.Data.Slice(i), true)
 	}
 	out.backward = func() {
-		gx := tensor.New(xs...)
+		gx := g.allocZero(xs...)
 		for i := 0; i < b; i++ {
 			scatter(gx.Slice(i), out.Grad.Slice(i), false)
 		}
-		accum(x, gx)
+		g.accum(x, gx)
+		g.free(gx)
 	}
 	return out
 }

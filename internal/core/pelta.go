@@ -160,7 +160,9 @@ func (s *shielder) storeInputJacobian(input, child *autograd.Value) error {
 	s.report.Bytes += input.Grad.Bytes()
 	s.report.Keys = append(s.report.Keys, key)
 	// The normal world loses ∇xL; the attacker keeps x (their own sample).
-	input.Grad = nil
+	// ScrubGrad also withdraws the buffer from a pooled graph's arena so it
+	// can never be recycled into attacker-visible memory.
+	input.ScrubGrad()
 	return nil
 }
 

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"pelta/internal/autograd"
+	"pelta/internal/models"
+	"pelta/internal/tee"
+	"pelta/internal/tensor"
+)
+
+// shieldedPass runs one forward+backward for m on a pooled graph and
+// applies Algorithm 1 at the shield boundary. It returns the graph, its
+// pool, and the shapes + backing-array identities of every buffer the
+// shield scrubbed into the enclave.
+func shieldedPass(t *testing.T, m models.Model, pool *tensor.Pool) (*autograd.Graph, map[*float32][]int) {
+	t.Helper()
+	g := autograd.NewGraphWithPool(pool)
+	x := tensor.NewRNG(9).Uniform(0, 1, 1, 3, 16, 16)
+	in := g.Input(x, "x")
+	boundary, logits := m.Forward(g, in)
+	loss, _ := g.CrossEntropy(logits, []int{0}, autograd.ReduceSum)
+	g.Backward(loss)
+
+	// Record the backing arrays of everything Algorithm 1 is about to
+	// scrub: the boundary's ancestor chain (data + grads) and ∇x.
+	scrubbed := make(map[*float32][]int)
+	var walk func(v *autograd.Value)
+	seen := map[*autograd.Value]bool{}
+	walk = func(v *autograd.Value) {
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		if v.IsInput() {
+			if v.Grad != nil {
+				scrubbed[&v.Grad.Data()[0]] = v.Grad.Shape()
+			}
+			return
+		}
+		if v.Param() == nil && v.Data != nil {
+			scrubbed[&v.Data.Data()[0]] = v.Data.Shape()
+		}
+		if v.Param() == nil && v.Grad != nil {
+			scrubbed[&v.Grad.Data()[0]] = v.Grad.Shape()
+		}
+		for _, p := range v.Parents() {
+			walk(p)
+		}
+	}
+	walk(boundary)
+
+	enclave, _, err := tee.NewEnclave("pool-test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Protect(g, enclave, []*autograd.Value{boundary}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if bad := VerifyScrubbed([]*autograd.Value{boundary}); bad != nil {
+		t.Fatalf("vertex %v escaped the shield", bad)
+	}
+	return g, scrubbed
+}
+
+// TestReleaseNeverRecyclesShieldedBuffers is the memory-safety contract of
+// the pooled engine under Pelta: after Graph.Release, no buffer that
+// Algorithm 1 scrubbed into the enclave may ever be handed out by the pool
+// again — recycled enclave memory would alias attacker-visible tensors with
+// secure-world state.
+func TestReleaseNeverRecyclesShieldedBuffers(t *testing.T) {
+	m := models.NewViT(models.SmallViT("shield-pool-vit", 5, 16, 4), tensor.NewRNG(3))
+	pool := tensor.NewPool()
+	g, scrubbed := shieldedPass(t, m, pool)
+	if len(scrubbed) < 3 {
+		t.Fatalf("expected several scrubbed buffers, got %d", len(scrubbed))
+	}
+	g.Release()
+
+	// Drain the pool: repeatedly borrow buffers of exactly the scrubbed
+	// shapes. None may alias a scrubbed backing array.
+	for ptr, shape := range scrubbed {
+		for draw := 0; draw < 64; draw++ {
+			got := pool.Get(shape...)
+			if &got.Data()[0] == ptr {
+				t.Fatalf("pool recycled an enclave-held buffer (shape %v)", shape)
+			}
+		}
+	}
+}
+
+// TestReleaseDoesRecycleClearBuffers is the positive control: an identical
+// pass without shielding must recycle its buffers, proving the regression
+// test above can actually observe recycling.
+func TestReleaseDoesRecycleClearBuffers(t *testing.T) {
+	m := models.NewViT(models.SmallViT("clear-pool-vit", 5, 16, 4), tensor.NewRNG(3))
+	pool := tensor.NewPool()
+	g := autograd.NewGraphWithPool(pool)
+	x := tensor.NewRNG(9).Uniform(0, 1, 1, 3, 16, 16)
+	in := g.Input(x, "x")
+	boundary, logits := m.Forward(g, in)
+	loss, _ := g.CrossEntropy(logits, []int{0}, autograd.ReduceSum)
+	g.Backward(loss)
+	_ = in
+	ptr, shape := &boundary.Data.Data()[0], boundary.Data.Shape()
+	g.Release()
+
+	for draw := 0; draw < 4096; draw++ {
+		got := pool.Get(shape...)
+		if &got.Data()[0] == ptr {
+			return // recycled, as expected for a clear pass
+		}
+	}
+	t.Fatal("clear-pass buffer was never recycled; the pool sweep is broken")
+}
+
+// TestShieldedQueryStableAcrossArenaReuse runs many shielded queries on one
+// ShieldedModel (whose internal arena is recycled per query) and checks the
+// observable results stay identical to the first pass — recycled memory must
+// never bleed into attacker-visible quantities.
+func TestShieldedQueryStableAcrossArenaReuse(t *testing.T) {
+	m := models.NewViT(models.SmallViT("stable-vit", 5, 16, 4), tensor.NewRNG(4))
+	sm, err := NewShieldedModel(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRNG(10).Uniform(0, 1, 2, 3, 16, 16)
+	first, err := sm.Query(x, CrossEntropyLoss([]int{1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits0 := first.Logits.Clone()
+	adjoint0 := first.Adjoint.Clone()
+	for pass := 0; pass < 5; pass++ {
+		res, err := sm.Query(x, CrossEntropyLoss([]int{1, 2}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Logits.AllClose(logits0, 0) {
+			t.Fatalf("pass %d: logits drifted across arena reuse", pass)
+		}
+		if !res.Adjoint.AllClose(adjoint0, 0) {
+			t.Fatalf("pass %d: adjoint drifted across arena reuse", pass)
+		}
+	}
+}

@@ -47,6 +47,10 @@ type ShieldedModel struct {
 	enclave *tee.Enclave
 	token   tee.Token
 	pass    int
+	// g is the reusable pooled graph arena of the defender's passes. Buffers
+	// scrubbed into the enclave are withdrawn from the arena at Scrub time
+	// and never recycled; everything else is swept back per Query.
+	g *autograd.Graph
 }
 
 // NewShieldedModel shields m with a fresh enclave of the given byte limit
@@ -96,7 +100,11 @@ func (s *ShieldedModel) Query(x *tensor.Tensor, loss LossFn) (*QueryResult, erro
 	}
 	s.pass++
 
-	g := autograd.NewGraph()
+	if s.g == nil {
+		s.g = autograd.NewGraphWithPool(tensor.NewPool())
+	}
+	g := s.g
+	g.Release()
 	in := g.Input(x, "x")
 	boundary, logits := s.model.Forward(g, in)
 

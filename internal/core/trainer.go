@@ -39,6 +39,9 @@ type EnclaveTrainer struct {
 	// clear parameters live in the normal world.
 	step int
 	m, v map[string]*tensor.Tensor
+
+	// g is the trainer's reusable pooled graph arena, swept between steps.
+	g *autograd.Graph
 }
 
 // NewEnclaveTrainer wires a trainer to a shielded model. The enclave owner
@@ -105,7 +108,11 @@ func (t *EnclaveTrainer) Step(x *tensor.Tensor, y []int) (float64, error) {
 	m.SetTraining(true)
 	defer m.SetTraining(false)
 
-	g := autograd.NewGraph()
+	if t.g == nil {
+		t.g = autograd.NewGraphWithPool(tensor.NewPool())
+	}
+	g := t.g
+	g.Release()
 	_, logits := m.Forward(g, g.Input(x, "x"))
 	loss, _ := g.CrossEntropy(logits, y, autograd.ReduceMean)
 	g.Backward(loss)

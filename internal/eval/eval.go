@@ -104,7 +104,22 @@ func Median(vals []float64) float64 {
 	return vals[len(vals)/2]
 }
 
-// Oracles returns the clear and shielded gradient oracles for m.
+// oracleWorkers bounds the attack-oracle worker pool (0 = GOMAXPROCS).
+var oracleWorkers = 0
+
+// SetOracleWorkers bounds the per-oracle worker pool used by the evaluation
+// harness (0 restores the GOMAXPROCS default). Each worker owns a pooled
+// graph arena over the shared model weights.
+func SetOracleWorkers(n int) { oracleWorkers = n }
+
+// ClearOracleFor returns the harness's standard clear oracle for m: pooled
+// arenas fanned across the configured worker count.
+func ClearOracleFor(m models.Model) attack.Oracle {
+	return attack.NewParallelClearOracle(m, oracleWorkers)
+}
+
+// Oracles returns the clear and shielded gradient oracles for m. The clear
+// oracle fans batch queries across one pooled worker per core.
 func Oracles(m models.Model, seed int64) (clear attack.Oracle, shielded attack.Oracle, sm *core.ShieldedModel, err error) {
 	sm, err = core.NewShieldedModel(m, 0)
 	if err != nil {
@@ -114,5 +129,5 @@ func Oracles(m models.Model, seed int64) (clear attack.Oracle, shielded attack.O
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("eval: building shielded oracle for %s: %w", m.Name(), err)
 	}
-	return &attack.ClearOracle{M: m}, so, sm, nil
+	return ClearOracleFor(m), so, sm, nil
 }

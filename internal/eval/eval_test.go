@@ -21,6 +21,9 @@ var (
 // quickBlock trains the ensemble pair once for all eval tests.
 func quickBlock(t *testing.T) *Block {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-reproduction eval suite skipped in -short mode")
+	}
 	blockOnce.Do(func() {
 		cfg := QuickBlockConfig(dataset.SynthCIFAR10(16, 61))
 		cfg.Dataset.Classes = 6
@@ -201,11 +204,15 @@ func TestToy2DGradMatchesNumeric(t *testing.T) {
 		orig := x.Data()[i]
 		lossAt := func(v float32) float64 {
 			x.Data()[i] = v
-			_, l, err := toy.GradCE(x, y)
+			_, per, err := toy.GradCE(x, y)
 			if err != nil {
 				t.Fatal(err)
 			}
-			return l
+			total := 0.0
+			for _, l := range per {
+				total += l
+			}
+			return total
 		}
 		num := (lossAt(orig+eps) - lossAt(orig-eps)) / (2 * eps)
 		x.Data()[i] = orig

@@ -55,10 +55,10 @@ func (t Toy2D) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
 }
 
 // GradCE implements attack.Oracle analytically.
-func (t Toy2D) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, float64, error) {
+func (t Toy2D) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, []float64, error) {
 	b := x.Dim(0)
 	grad := tensor.New(x.Shape()...)
-	total := 0.0
+	per := make([]float64, b)
 	for i := 0; i < b; i++ {
 		p := x.Slice(i).Data()
 		x1, x2 := float64(p[0]), float64(p[1])
@@ -73,28 +73,32 @@ func (t Toy2D) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, float64, error
 		// d(−log p_y)/dx
 		var scale float64
 		if y[i] == 0 {
-			total += -math.Log(1 - p1 + 1e-12)
+			per[i] = -math.Log(1 - p1 + 1e-12)
 			scale = p1
 		} else {
-			total += -math.Log(p1 + 1e-12)
+			per[i] = -math.Log(p1 + 1e-12)
 			scale = -(1 - p1)
 		}
 		g := grad.Slice(i).Data()
 		g[0] = float32(scale * k * x1)
 		g[1] = float32(scale * k * x2)
 	}
-	return grad, total, nil
+	return grad, per, nil
 }
 
 // GradCW implements attack.Oracle (unused by the Fig. 3 attacks).
 func (t Toy2D) GradCW(x *tensor.Tensor, y []int, x0 *tensor.Tensor, kappa, c float32) (*tensor.Tensor, float64, error) {
-	g, l, err := t.GradCE(x, y)
+	g, per, err := t.GradCE(x, y)
 	if err != nil {
 		return nil, 0, err
 	}
+	total := 0.0
+	for _, l := range per {
+		total += l
+	}
 	diff := tensor.Sub(x, x0)
 	tensor.AddScaledIn(g, 2*c, diff)
-	return g, l + float64(c)*tensor.Dot(diff, diff), nil
+	return g, total + float64(c)*tensor.Dot(diff, diff), nil
 }
 
 // trajectoryOracle records every gradient query's position.
@@ -103,7 +107,7 @@ type trajectoryOracle struct {
 	points [][2]float64
 }
 
-func (o *trajectoryOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, float64, error) {
+func (o *trajectoryOracle) GradCE(x *tensor.Tensor, y []int) (*tensor.Tensor, []float64, error) {
 	p := x.Slice(0).Data()
 	o.points = append(o.points, [2]float64{float64(p[0]), float64(p[1])})
 	return o.Oracle.GradCE(x, y)

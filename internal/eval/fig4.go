@@ -42,8 +42,8 @@ func RunFig4(vit *models.ViT, bit *models.BiT, val *dataset.Dataset, set AttackS
 	saga := set.SAGA()
 	rollout := &attack.ViTRollout{V: vit}
 	for _, setting := range []ShieldSetting{ShieldNone, ShieldBiTOnly, ShieldViTOnly, ShieldBoth} {
-		vitO := attack.Oracle(&attack.ClearOracle{M: vit})
-		bitO := attack.Oracle(&attack.ClearOracle{M: bit})
+		vitO := ClearOracleFor(vit)
+		bitO := ClearOracleFor(bit)
 		if setting == ShieldViTOnly || setting == ShieldBoth {
 			_, so, _, err := Oracles(vit, set.Seed+int64(setting))
 			if err != nil {

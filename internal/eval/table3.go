@@ -37,7 +37,7 @@ func RunTable3Row(m models.Model, val *dataset.Dataset, n int, set AttackSet) (T
 	if err != nil {
 		return Table3Row{}, fmt.Errorf("eval: %s: %w", m.Name(), err)
 	}
-	clearO := &attack.ClearOracle{M: m}
+	clearO := ClearOracleFor(m)
 	// One shielded oracle per kernel draw.
 	shieldOs := make([]attack.Oracle, KernelDraws)
 	for k := range shieldOs {

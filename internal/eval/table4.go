@@ -91,8 +91,8 @@ func RunTable4(vit *models.ViT, bit *models.BiT, val *dataset.Dataset, n int, se
 		vitAcc := make([]float64, 0, draws)
 		bitAcc := make([]float64, 0, draws)
 		for k := 0; k < draws; k++ {
-			vitO := attack.Oracle(&attack.ClearOracle{M: vit})
-			bitO := attack.Oracle(&attack.ClearOracle{M: bit})
+			vitO := ClearOracleFor(vit)
+			bitO := ClearOracleFor(bit)
 			if setting == ShieldViTOnly || setting == ShieldBoth {
 				_, so, _, err := Oracles(vit, set.Seed+int64(setting)+int64(1000*k))
 				if err != nil {

@@ -34,10 +34,10 @@ func TestViTForwardShapes(t *testing.T) {
 	if boundary.Op() != "addbroadcast" {
 		t.Fatalf("boundary op = %q, want position-embedding sum", boundary.Op())
 	}
-	if len(v.AttentionMaps()) != 4 {
-		t.Fatalf("attention maps = %d, want one per block", len(v.AttentionMaps()))
+	if len(v.AttentionMaps(g)) != 4 {
+		t.Fatalf("attention maps = %d, want one per block", len(v.AttentionMaps(g)))
 	}
-	am := v.AttentionMaps()[0]
+	am := v.AttentionMaps(g)[0]
 	// [B*heads, T, T]
 	if am.Data.Dim(0) != 2*4 || am.Data.Dim(1) != 17 || am.Data.Dim(2) != 17 {
 		t.Fatalf("attention shape = %v", am.Data.Shape())

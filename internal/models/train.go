@@ -43,6 +43,13 @@ func Train(m Model, x *tensor.Tensor, y []int, cfg TrainConfig) []float64 {
 	m.SetTraining(true)
 	defer m.SetTraining(false)
 
+	// One pooled arena serves every batch: the graph's tensors are swept
+	// back between steps, so steady-state training is allocation-free.
+	pool := tensor.NewPool()
+	g := autograd.NewGraphWithPool(pool)
+	bx := tensor.New(append([]int{cfg.BatchSize}, x.Shape()[1:]...)...)
+	by := make([]int, cfg.BatchSize)
+
 	losses := make([]float64, 0, cfg.Epochs)
 	for ep := 0; ep < cfg.Epochs; ep++ {
 		perm := rng.Perm(n)
@@ -52,8 +59,13 @@ func Train(m Model, x *tensor.Tensor, y []int, cfg TrainConfig) []float64 {
 			if end > n {
 				end = n
 			}
-			bx, by := gatherBatch(x, y, perm[start:end])
-			g := autograd.NewGraph()
+			idx := perm[start:end]
+			if len(idx) != bx.Dim(0) {
+				bx = tensor.New(append([]int{len(idx)}, x.Shape()[1:]...)...)
+				by = make([]int, len(idx))
+			}
+			gatherBatchInto(bx, by, x, y, idx)
+			g.Release()
 			_, logits := m.Forward(g, g.Input(bx, "x"))
 			loss, _ := g.CrossEntropy(logits, by, autograd.ReduceMean)
 			g.Backward(loss)
@@ -66,6 +78,7 @@ func Train(m Model, x *tensor.Tensor, y []int, cfg TrainConfig) []float64 {
 			fmt.Printf("  %s epoch %d/%d: loss %.4f\n", m.Name(), ep+1, cfg.Epochs, losses[ep])
 		}
 	}
+	g.Release()
 	return losses
 }
 
@@ -74,11 +87,16 @@ func gatherBatch(x *tensor.Tensor, y []int, idx []int) (*tensor.Tensor, []int) {
 	shape := append([]int{len(idx)}, x.Shape()[1:]...)
 	bx := tensor.New(shape...)
 	by := make([]int, len(idx))
+	gatherBatchInto(bx, by, x, y, idx)
+	return bx, by
+}
+
+// gatherBatchInto copies the samples at idx into pre-allocated buffers.
+func gatherBatchInto(bx *tensor.Tensor, by []int, x *tensor.Tensor, y []int, idx []int) {
 	for i, j := range idx {
 		bx.Slice(i).CopyFrom(x.Slice(j))
 		by[i] = y[j]
 	}
-	return bx, by
 }
 
 // Batch exposes gatherBatch for evaluation code.

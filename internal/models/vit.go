@@ -56,10 +56,6 @@ type ViT struct {
 	Blocks   []*nn.EncoderBlock
 	Norm     *nn.LayerNorm
 	Head     *nn.Linear
-
-	// lastAttn holds the attention-probability vertices of the most recent
-	// forward pass, one per encoder block, for the SAGA attack (Eq. 4).
-	lastAttn []*autograd.Value
 }
 
 var _ Model = (*ViT)(nil)
@@ -102,19 +98,20 @@ func (v *ViT) Forward(g *autograd.Graph, x *autograd.Value) (boundary, logits *a
 	tok := g.PrependToken(emb, g.Param(v.ClassTok))
 	z := g.AddBroadcast(tok, g.Param(v.PosEmbed)) // z0 (+E_pos) — shield boundary
 	boundary = z
-	v.lastAttn = v.lastAttn[:0]
 	for _, blk := range v.Blocks {
 		z = blk.Forward(g, z)
-		v.lastAttn = append(v.lastAttn, blk.Attn.LastAttn)
 	}
 	z = v.Norm.Forward(g, z)
 	cls := g.TakeToken(z, 0)
 	return boundary, v.Head.Forward(g, cls)
 }
 
-// AttentionMaps returns the per-block attention probabilities of the most
-// recent forward pass, each shaped [B*heads, T, T].
-func (v *ViT) AttentionMaps() []*autograd.Value { return v.lastAttn }
+// AttentionMaps returns the per-block attention probabilities a forward
+// pass recorded into g, each shaped [B*heads, T, T]. The record is
+// graph-scoped, so concurrent passes on shared weights stay race-free.
+func (v *ViT) AttentionMaps(g *autograd.Graph) []*autograd.Value {
+	return g.Recorded(autograd.RecordAttention)
+}
 
 // Params implements Model.
 func (v *ViT) Params() []*autograd.Param {

@@ -8,18 +8,17 @@ import (
 )
 
 // MultiHeadSelfAttention implements the transformer self-attention block.
-// After every forward pass, LastAttn holds the softmax attention-probability
-// vertex ([B*heads, T, T]) — the W^(att) matrices consumed by the
-// Self-Attention Gradient Attack (Eq. 4).
+// Every forward pass records its softmax attention-probability vertex
+// ([B*heads, T, T]) — the W^(att) matrices consumed by the Self-Attention
+// Gradient Attack (Eq. 4) — into the pass's graph under
+// autograd.RecordAttention. Keeping the record graph-scoped (instead of on
+// the layer) lets concurrent passes share the same weights race-free, which
+// the parallel batched oracle relies on.
 type MultiHeadSelfAttention struct {
 	Heads int
 	Dim   int
 
 	Wq, Wk, Wv, Wo *Linear
-
-	// LastAttn is the attention-probability vertex of the most recent
-	// forward pass. It is graph-scoped: read it before the next forward.
-	LastAttn *autograd.Value
 }
 
 // NewMHSA creates a multi-head self-attention layer for dim features.
@@ -55,7 +54,7 @@ func (m *MultiHeadSelfAttention) Forward(g *autograd.Graph, x *autograd.Value) *
 	kT := g.Permute(k, 0, 2, 1)                                        // [B*h, dh, T]
 	scores := g.Scale(g.BMM(q, kT), float32(1/math.Sqrt(float64(dh)))) // [B*h, T, T]
 	attn := g.SoftmaxLastDim(scores)
-	m.LastAttn = attn
+	g.Record(autograd.RecordAttention, attn)
 	ctx := g.BMM(attn, v) // [B*h, T, dh]
 	// [B*h,T,dh] -> [B,h,T,dh] -> [B,T,h,dh] -> [B,T,D]
 	merged := g.Reshape(g.Permute(g.Reshape(ctx, b, h, t, dh), 0, 2, 1, 3), b, t, d)

@@ -103,11 +103,12 @@ func TestMHSAAttentionRecorded(t *testing.T) {
 	if !y.Data.SameShape(tensor.New(2, 5, 8)) {
 		t.Fatalf("attn out shape = %v", y.Data.Shape())
 	}
-	if m.LastAttn == nil {
-		t.Fatal("attention probabilities not recorded")
+	maps := g.Recorded(autograd.RecordAttention)
+	if len(maps) != 1 {
+		t.Fatalf("attention probabilities recorded = %d, want 1", len(maps))
 	}
-	if m.LastAttn.Data.Dim(0) != 4 { // B*heads
-		t.Fatalf("attn shape = %v", m.LastAttn.Data.Shape())
+	if maps[0].Data.Dim(0) != 4 { // B*heads
+		t.Fatalf("attn shape = %v", maps[0].Data.Shape())
 	}
 	if len(m.Params()) != 8 {
 		t.Fatalf("params = %d, want 8 (4 linears × W,b)", len(m.Params()))

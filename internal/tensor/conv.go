@@ -18,12 +18,33 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	c, h, w := x.shape[0], x.shape[1], x.shape[2]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
 	cols := New(oh*ow, c*kh*kw)
+	Im2ColInto(cols, x, kh, kw, stride, pad)
+	return cols
+}
+
+// Im2ColInto lowers x [C,H,W] into the pre-allocated cols matrix
+// [outH*outW, C*kh*kw], overwriting every element.
+func Im2ColInto(cols, x *Tensor, kh, kw, stride, pad int) {
+	if len(x.shape) != 3 {
+		panic(fmt.Sprintf("tensor: Im2ColInto requires [C,H,W], got %v", x.shape))
+	}
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	if len(cols.data) != oh*ow*c*kh*kw {
+		panic(fmt.Sprintf("tensor: Im2ColInto destination %v incompatible", cols.shape))
+	}
+	im2colRaw(cols.data, x.data, c, h, w, kh, kw, stride, pad)
+}
+
+// im2colRaw lowers one [C,H,W] raw image into cols [outH*outW, C*kh*kw].
+func im2colRaw(cols, x []float32, c, h, w, kh, kw, stride, pad int) {
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
-			row := cols.data[(oy*ow+ox)*c*kh*kw:]
+			row := cols[(oy*ow+ox)*c*kh*kw:]
 			idx := 0
 			for ch := 0; ch < c; ch++ {
-				plane := x.data[ch*h*w:]
+				plane := x[ch*h*w:]
 				for ky := 0; ky < kh; ky++ {
 					iy := oy*stride - pad + ky
 					for kx := 0; kx < kw; kx++ {
@@ -39,24 +60,44 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return cols
 }
 
 // Col2Im scatters a [outH*outW, C*kh*kw] matrix back onto a [C,H,W] image,
 // accumulating overlapping contributions. It is the adjoint of Im2Col and is
 // used in convolution backward passes and transposed convolutions.
 func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	img := New(c, h, w)
+	Col2ImInto(img, cols, kh, kw, stride, pad)
+	return img
+}
+
+// Col2ImInto scatters cols back onto the pre-allocated img [C,H,W],
+// overwriting it (img is zeroed first, then overlapping contributions are
+// accumulated).
+func Col2ImInto(img, cols *Tensor, kh, kw, stride, pad int) {
+	if len(img.shape) != 3 {
+		panic(fmt.Sprintf("tensor: Col2ImInto requires a [C,H,W] destination, got %v", img.shape))
+	}
+	c, h, w := img.shape[0], img.shape[1], img.shape[2]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
 	if cols.shape[0] != oh*ow || cols.shape[1] != c*kh*kw {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v incompatible with image [%d,%d,%d] k=%dx%d s=%d p=%d", cols.shape, c, h, w, kh, kw, stride, pad))
 	}
-	img := New(c, h, w)
+	col2imRaw(img.data, cols.data, c, h, w, kh, kw, stride, pad)
+}
+
+// col2imRaw scatters cols back onto a zeroed [C,H,W] raw image buffer.
+func col2imRaw(img, cols []float32, c, h, w, kh, kw, stride, pad int) {
+	for i := range img {
+		img[i] = 0
+	}
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
-			row := cols.data[(oy*ow+ox)*c*kh*kw:]
+			row := cols[(oy*ow+ox)*c*kh*kw:]
 			idx := 0
 			for ch := 0; ch < c; ch++ {
-				plane := img.data[ch*h*w:]
+				plane := img[ch*h*w:]
 				for ky := 0; ky < kh; ky++ {
 					iy := oy*stride - pad + ky
 					for kx := 0; kx < kw; kx++ {
@@ -70,13 +111,41 @@ func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return img
 }
 
 // Conv2d performs a batched 2-D convolution.
 // x is [B,C,H,W], weight is [outC, C, kh, kw], bias is [outC] or nil.
 // Returns [B, outC, outH, outW].
 func Conv2d(x, weight, bias *Tensor, stride, pad int) *Tensor {
+	b := x.shape[0]
+	oc, kh, kw := weight.shape[0], weight.shape[2], weight.shape[3]
+	oh, ow := ConvOut(x.shape[2], kh, stride, pad), ConvOut(x.shape[3], kw, stride, pad)
+	out := New(b, oc, oh, ow)
+	Conv2dInto(nil, out, x, weight, bias, stride, pad)
+	return out
+}
+
+// scratch borrows a tensor from p, or allocates fresh when p is nil.
+func scratch(p *Pool, shape ...int) *Tensor {
+	if p == nil {
+		return New(shape...)
+	}
+	return p.Get(shape...)
+}
+
+func unscratch(p *Pool, ts ...*Tensor) {
+	if p == nil {
+		return
+	}
+	for _, t := range ts {
+		p.Put(t)
+	}
+}
+
+// Conv2dInto performs a batched 2-D convolution into dst [B,outC,oh,ow],
+// overwriting it. Per-sample im2col scratch is borrowed from p when non-nil,
+// making the steady-state kernel allocation-free.
+func Conv2dInto(p *Pool, dst, x, weight, bias *Tensor, stride, pad int) {
 	if len(x.shape) != 4 || len(weight.shape) != 4 {
 		panic(fmt.Sprintf("tensor: Conv2d requires x [B,C,H,W] and weight [O,C,kh,kw], got %v and %v", x.shape, weight.shape))
 	}
@@ -86,20 +155,24 @@ func Conv2d(x, weight, bias *Tensor, stride, pad int) *Tensor {
 		panic(fmt.Sprintf("tensor: Conv2d channel mismatch x=%v weight=%v", x.shape, weight.shape))
 	}
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
-	out := New(b, oc, oh, ow)
+	if len(dst.data) != b*oc*oh*ow {
+		panic(fmt.Sprintf("tensor: Conv2dInto destination %v incompatible", dst.shape))
+	}
 	wmat := weight.Reshape(oc, c*kh*kw)
+	cols := scratch(p, oh*ow, c*kh*kw)
+	prod := scratch(p, oh*ow, oc)
 	for i := 0; i < b; i++ {
-		cols := Im2Col(x.Slice(i), kh, kw, stride, pad) // [oh*ow, c*kh*kw]
-		prod := MatMulTransB(cols, wmat)                // [oh*ow, oc]
-		dst := out.Slice(i)                             // [oc, oh, ow]
-		for p := 0; p < oh*ow; p++ {
+		im2colRaw(cols.data, x.data[i*c*h*w:(i+1)*c*h*w], c, h, w, kh, kw, stride, pad)
+		MatMulTransBInto(prod, cols, wmat)                // [oh*ow, oc]
+		dstData := dst.data[i*oc*oh*ow : (i+1)*oc*oh*ow]  // [oc, oh, ow]
+		for pp := 0; pp < oh*ow; pp++ {
 			for o := 0; o < oc; o++ {
-				dst.data[o*oh*ow+p] = prod.data[p*oc+o]
+				dstData[o*oh*ow+pp] = prod.data[pp*oc+o]
 			}
 		}
 		if bias != nil {
 			for o := 0; o < oc; o++ {
-				plane := dst.data[o*oh*ow : (o+1)*oh*ow]
+				plane := dstData[o*oh*ow : (o+1)*oh*ow]
 				bv := bias.data[o]
 				for j := range plane {
 					plane[j] += bv
@@ -107,7 +180,7 @@ func Conv2d(x, weight, bias *Tensor, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return out
+	unscratch(p, cols, prod)
 }
 
 // Conv2dBackward computes the gradients of a Conv2d given the upstream
@@ -116,23 +189,43 @@ func Conv2d(x, weight, bias *Tensor, stride, pad int) *Tensor {
 func Conv2dBackward(x, weight *Tensor, hasBias bool, gy *Tensor, stride, pad int) (gx, gw, gb *Tensor) {
 	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oc, kh, kw := weight.shape[0], weight.shape[2], weight.shape[3]
-	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
-	wmat := weight.Reshape(oc, c*kh*kw)
-
 	gx = New(b, c, h, w)
 	gw = New(oc, c, kh, kw)
-	gwmat := gw.Reshape(oc, c*kh*kw)
 	if hasBias {
 		gb = New(oc)
 	}
+	Conv2dBackwardInto(nil, gx, gw, gb, x, weight, gy, stride, pad)
+	return gx, gw, gb
+}
+
+// Conv2dBackwardInto computes convolution gradients into pre-allocated
+// gx [B,C,H,W] and gw [O,C,kh,kw] (both overwritten) and accumulates the
+// bias gradient into gb when non-nil (gb must be pre-zeroed by the caller or
+// freshly borrowed with GetZero). gw may be nil to skip the weight gradient
+// entirely (attack oracles differentiate w.r.t. the input only). Scratch is
+// borrowed from p when non-nil.
+func Conv2dBackwardInto(p *Pool, gx, gw, gb, x, weight, gy *Tensor, stride, pad int) {
+	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oc, kh, kw := weight.shape[0], weight.shape[2], weight.shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	wmat := weight.Reshape(oc, c*kh*kw)
+
+	var gwmat, gwTmp, cols *Tensor
+	if gw != nil {
+		gw.Zero()
+		gwmat = gw.Reshape(oc, c*kh*kw)
+		gwTmp = scratch(p, oc, c*kh*kw)
+		cols = scratch(p, oh*ow, c*kh*kw)
+	}
+	gyMat := scratch(p, oh*ow, oc)
+	gcols := scratch(p, oh*ow, c*kh*kw)
 	for i := 0; i < b; i++ {
-		gyi := gy.Slice(i) // [oc, oh, ow]
+		gyData := gy.data[i*oc*oh*ow : (i+1)*oc*oh*ow] // [oc, oh, ow]
 		// gyMat [oh*ow, oc]
-		gyMat := New(oh*ow, oc)
 		for o := 0; o < oc; o++ {
-			plane := gyi.data[o*oh*ow : (o+1)*oh*ow]
-			for p, v := range plane {
-				gyMat.data[p*oc+o] = v
+			plane := gyData[o*oh*ow : (o+1)*oh*ow]
+			for pp, v := range plane {
+				gyMat.data[pp*oc+o] = v
 			}
 			if gb != nil {
 				var s float32
@@ -142,14 +235,21 @@ func Conv2dBackward(x, weight *Tensor, hasBias bool, gy *Tensor, stride, pad int
 				gb.data[o] += s
 			}
 		}
-		// gw += gyMatᵀ @ cols
-		cols := Im2Col(x.Slice(i), kh, kw, stride, pad)
-		AddIn(gwmat, MatMulTransA(gyMat, cols))
+		if gw != nil {
+			// gw += gyMatᵀ @ cols (per-sample partial first, matching the
+			// historical accumulation order bit-for-bit)
+			im2colRaw(cols.data, x.data[i*c*h*w:(i+1)*c*h*w], c, h, w, kh, kw, stride, pad)
+			MatMulTransAInto(gwTmp, gyMat, cols)
+			AddIn(gwmat, gwTmp)
+		}
 		// gcols = gyMat @ wmat, then scatter back
-		gcols := MatMul(gyMat, wmat)
-		gx.Slice(i).CopyFrom(Col2Im(gcols, c, h, w, kh, kw, stride, pad))
+		MatMulInto(gcols, gyMat, wmat)
+		col2imRaw(gx.data[i*c*h*w:(i+1)*c*h*w], gcols.data, c, h, w, kh, kw, stride, pad)
 	}
-	return gx, gw, gb
+	unscratch(p, gyMat, gcols)
+	if gw != nil {
+		unscratch(p, gwTmp, cols)
+	}
 }
 
 // ConvTranspose2d applies a transposed convolution (fractionally-strided
@@ -210,15 +310,36 @@ func ConvTranspose2d(x, weight *Tensor, stride, pad int) *Tensor {
 // (within each sample's [C,H,W] layout) of every output element, used by the
 // backward pass.
 func MaxPool2d(x *Tensor, k, s int) (*Tensor, []int) {
+	b, c := x.shape[0], x.shape[1]
+	oh, ow := ConvOut(x.shape[2], k, s, 0), ConvOut(x.shape[3], k, s, 0)
+	out := New(b, c, oh, ow)
+	return out, MaxPool2dInto(out, x, k, s)
+}
+
+// MaxPool2dInto max-pools x into the pre-allocated out [B,C,oh,ow],
+// overwriting it, and returns the per-element argmax indices for the
+// backward pass.
+func MaxPool2dInto(out, x *Tensor, k, s int) []int {
+	b, c := x.shape[0], x.shape[1]
+	oh, ow := ConvOut(x.shape[2], k, s, 0), ConvOut(x.shape[3], k, s, 0)
+	idx := make([]int, b*c*oh*ow)
+	MaxPool2dIdxInto(out, x, k, s, idx)
+	return idx
+}
+
+// MaxPool2dIdxInto is MaxPool2dInto with a caller-provided (e.g. pooled)
+// argmax buffer of length B*C*oh*ow.
+func MaxPool2dIdxInto(out, x *Tensor, k, s int, idx []int) {
 	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oh, ow := ConvOut(h, k, s, 0), ConvOut(w, k, s, 0)
-	out := New(b, c, oh, ow)
-	idx := make([]int, b*c*oh*ow)
+	if len(out.data) != b*c*oh*ow || len(idx) != b*c*oh*ow {
+		panic(fmt.Sprintf("tensor: MaxPool2dIdxInto destination %v incompatible", out.shape))
+	}
 	for i := 0; i < b; i++ {
-		xi := x.Slice(i)
-		oi := out.Slice(i)
+		xi := x.data[i*c*h*w : (i+1)*c*h*w]
+		oi := out.data[i*c*oh*ow : (i+1)*c*oh*ow]
 		for ch := 0; ch < c; ch++ {
-			plane := xi.data[ch*h*w:]
+			plane := xi[ch*h*w:]
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
 					bestIdx := -1
@@ -240,24 +361,33 @@ func MaxPool2d(x *Tensor, k, s int) (*Tensor, []int) {
 						}
 					}
 					o := ch*oh*ow + oy*ow + ox
-					oi.data[o] = best
+					oi[o] = best
 					idx[i*c*oh*ow+o] = bestIdx
 				}
 			}
 		}
 	}
-	return out, idx
 }
 
 // AvgPool2dGlobal averages each channel plane of [B,C,H,W] to [B,C].
 func AvgPool2dGlobal(x *Tensor) *Tensor {
+	out := New(x.shape[0], x.shape[1])
+	AvgPool2dGlobalInto(out, x)
+	return out
+}
+
+// AvgPool2dGlobalInto averages each channel plane of x [B,C,H,W] into the
+// pre-allocated out [B,C], overwriting it.
+func AvgPool2dGlobalInto(out, x *Tensor) {
 	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	out := New(b, c)
+	if len(out.data) != b*c {
+		panic(fmt.Sprintf("tensor: AvgPool2dGlobalInto destination %v incompatible", out.shape))
+	}
 	inv := 1 / float32(h*w)
 	for i := 0; i < b; i++ {
-		xi := x.Slice(i)
+		xi := x.data[i*c*h*w : (i+1)*c*h*w]
 		for ch := 0; ch < c; ch++ {
-			plane := xi.data[ch*h*w : (ch+1)*h*w]
+			plane := xi[ch*h*w : (ch+1)*h*w]
 			var s float32
 			for _, v := range plane {
 				s += v
@@ -265,41 +395,62 @@ func AvgPool2dGlobal(x *Tensor) *Tensor {
 			out.data[i*c+ch] = s * inv
 		}
 	}
-	return out
 }
 
 // Pad2d zero-pads the spatial dimensions of [B,C,H,W] by p on every side.
 func Pad2d(x *Tensor, p int) *Tensor {
+	out := New(x.shape[0], x.shape[1], x.shape[2]+2*p, x.shape[3]+2*p)
+	Pad2dInto(out, x, p)
+	return out
+}
+
+// Pad2dInto copies x into the interior of the pre-allocated out
+// [B,C,H+2p,W+2p]. The padding border is NOT written: out must arrive
+// zeroed (freshly allocated or Pool.GetZero).
+func Pad2dInto(out, x *Tensor, p int) {
 	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oh, ow := h+2*p, w+2*p
-	out := New(b, c, oh, ow)
+	if len(out.data) != b*c*oh*ow {
+		panic(fmt.Sprintf("tensor: Pad2dInto destination %v incompatible", out.shape))
+	}
 	for i := 0; i < b; i++ {
-		xi, oi := x.Slice(i), out.Slice(i)
+		xi := x.data[i*c*h*w : (i+1)*c*h*w]
+		oi := out.data[i*c*oh*ow : (i+1)*c*oh*ow]
 		for ch := 0; ch < c; ch++ {
 			for y := 0; y < h; y++ {
-				src := xi.data[ch*h*w+y*w : ch*h*w+(y+1)*w]
-				dst := oi.data[ch*oh*ow+(y+p)*ow+p:]
+				src := xi[ch*h*w+y*w : ch*h*w+(y+1)*w]
+				dst := oi[ch*oh*ow+(y+p)*ow+p:]
 				copy(dst[:w], src)
 			}
 		}
 	}
-	return out
 }
 
 // Unpad2d removes p rows/cols from every side of the spatial dims, the
 // adjoint of Pad2d.
 func Unpad2d(x *Tensor, p int) *Tensor {
 	b, c, oh, ow := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out := New(b, c, oh-2*p, ow-2*p)
+	Unpad2dInto(out, x, p)
+	return out
+}
+
+// Unpad2dInto crops the p-wide border of x [B,C,H,W] into the pre-allocated
+// out [B,C,H-2p,W-2p], overwriting every element.
+func Unpad2dInto(out, x *Tensor, p int) {
+	b, c, oh, ow := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	h, w := oh-2*p, ow-2*p
-	out := New(b, c, h, w)
+	if len(out.data) != b*c*h*w {
+		panic(fmt.Sprintf("tensor: Unpad2dInto destination %v incompatible", out.shape))
+	}
 	for i := 0; i < b; i++ {
-		xi, oi := x.Slice(i), out.Slice(i)
+		xi := x.data[i*c*oh*ow : (i+1)*c*oh*ow]
+		oi := out.data[i*c*h*w : (i+1)*c*h*w]
 		for ch := 0; ch < c; ch++ {
 			for y := 0; y < h; y++ {
-				src := xi.data[ch*oh*ow+(y+p)*ow+p:]
-				copy(oi.data[ch*h*w+y*w:ch*h*w+(y+1)*w], src[:w])
+				src := xi[ch*oh*ow+(y+p)*ow+p:]
+				copy(oi[ch*h*w+y*w:ch*h*w+(y+1)*w], src[:w])
 			}
 		}
 	}
-	return out
 }

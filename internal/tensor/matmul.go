@@ -13,57 +13,192 @@ const parallelThreshold = 1 << 16
 // MatMul returns the matrix product a@b for 2-D tensors [m,k]x[k,n] -> [m,n].
 // Large products are parallelized across rows.
 func MatMul(a, b *Tensor) *Tensor {
-	m, k, n := checkMatMul(a, b, false, false)
+	m, _, n := checkMatMul(a, b, false, false)
 	out := New(m, n)
-	matMulInto(out.data, a.data, b.data, m, k, n)
+	MatMulInto(out, a, b)
 	return out
+}
+
+// MatMulInto stores a@b into dst [m,n]. dst must not alias the operands.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k, n := checkMatMul(a, b, false, false)
+	checkMatMulDst("MatMulInto", dst, m, n)
+	matMulInto(dst.data, a.data, b.data, m, k, n)
 }
 
 // MatMulTransB returns a@bᵀ for a [m,k] and b [n,k] -> [m,n]. Used by
 // backward passes to avoid materializing transposes.
 func MatMulTransB(a, b *Tensor) *Tensor {
-	m, k, n := checkMatMul(a, b, false, true)
+	m, _, n := checkMatMul(a, b, false, true)
 	out := New(m, n)
-	rows := func(r0, r1 int) {
-		for i := r0; i < r1; i++ {
-			ar := a.data[i*k : (i+1)*k]
-			for j := 0; j < n; j++ {
-				br := b.data[j*k : (j+1)*k]
-				var s float32
-				for p := 0; p < k; p++ {
-					s += ar[p] * br[p]
-				}
-				out.data[i*n+j] = s
+	MatMulTransBInto(out, a, b)
+	return out
+}
+
+// MatMulTransBInto stores a@bᵀ into dst. dst must not alias the operands.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	m, k, n := checkMatMul(a, b, false, true)
+	checkMatMulDst("MatMulTransBInto", dst, m, n)
+	MatMulTransBRaw(dst.data, a.data, b.data, m, k, n)
+}
+
+// dotRows computes out[i,j] = Σ_p a[i,p]·b[j,p] for a [m,k] and b [n,k].
+// Four output columns share each a-row load; every output element keeps the
+// plain sequential summation order over p, so results are bit-identical to
+// the naive loop.
+func dotRows(out, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ar := a[i*k : (i+1)*k]
+		or := out[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[j*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float32
+			for p, av := range ar {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
 			}
+			or[j], or[j+1], or[j+2], or[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			br := b[j*k : (j+1)*k]
+			var s float32
+			for p, av := range ar {
+				s += av * br[p]
+			}
+			or[j] = s
 		}
 	}
-	parallelRows(m, m*k*n, rows)
-	return out
 }
 
 // MatMulTransA returns aᵀ@b for a [k,m] and b [k,n] -> [m,n].
 func MatMulTransA(a, b *Tensor) *Tensor {
-	m, k, n := checkMatMul(a, b, true, false)
+	m, _, n := checkMatMul(a, b, true, false)
 	out := New(m, n)
-	// Accumulate k outer products; parallelize over output rows to keep
-	// writes disjoint.
-	rows := func(r0, r1 int) {
-		for i := r0; i < r1; i++ {
-			or := out.data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := a.data[p*m+i]
-				if av == 0 {
-					continue
-				}
-				br := b.data[p*n : (p+1)*n]
-				for j := range or {
-					or[j] += av * br[j]
-				}
+	matMulTransAInto(out, a, b, false)
+	return out
+}
+
+// MatMulTransAInto stores aᵀ@b into dst, overwriting it. dst must not alias
+// the operands.
+func MatMulTransAInto(dst, a, b *Tensor) { matMulTransAInto(dst, a, b, true) }
+
+// MatMulTransAAddInto accumulates aᵀ@b into dst (dst += aᵀ@b), the fused
+// form used by convolution weight gradients.
+func MatMulTransAAddInto(dst, a, b *Tensor) {
+	m, k, n := checkMatMul(a, b, true, false)
+	checkMatMulDst("MatMulTransAAddInto", dst, m, n)
+	transAOuter(dst.data, a.data, b.data, m, k, n)
+}
+
+func matMulTransAInto(dst, a, b *Tensor, zero bool) {
+	m, k, n := checkMatMul(a, b, true, false)
+	checkMatMulDst("MatMulTransAInto", dst, m, n)
+	if zero {
+		dst.Zero()
+	}
+	transAOuter(dst.data, a.data, b.data, m, k, n)
+}
+
+// transAOuter accumulates k outer products into out; parallelized over
+// output rows to keep writes disjoint. out must be pre-zeroed (or hold the
+// accumulation base).
+func transAOuter(out, a, b []float32, m, k, n int) {
+	if !shouldParallel(m, m*k*n) {
+		transARows(out, a, b, 0, m, m, k, n)
+		return
+	}
+	parallelRows(m, m*k*n, func(r0, r1 int) {
+		transARows(out, a, b, r0, r1, m, k, n)
+	})
+}
+
+func transARows(out, a, b []float32, r0, r1, m, k, n int) {
+	for i := r0; i < r1; i++ {
+		or := out[i*n : (i+1)*n]
+		p := 0
+		for ; p+2 <= k; p += 2 {
+			a1, a2 := a[p*m+i], a[(p+1)*m+i]
+			switch {
+			case a1 == 0 && a2 == 0:
+			case a2 == 0:
+				saxpy(or, b[p*n:(p+1)*n], a1)
+			case a1 == 0:
+				saxpy(or, b[(p+1)*n:(p+2)*n], a2)
+			default:
+				saxpy2(or, b[p*n:(p+1)*n], b[(p+1)*n:(p+2)*n], a1, a2)
+			}
+		}
+		if p < k {
+			if av := a[p*m+i]; av != 0 {
+				saxpy(or, b[p*n:(p+1)*n], av)
 			}
 		}
 	}
-	parallelRows(m, m*k*n, rows)
-	return out
+}
+
+func checkMatMulDst(op string, dst *Tensor, m, n int) {
+	if len(dst.data) != m*n {
+		panic(fmt.Sprintf("tensor: %s destination %v incompatible with [%d,%d]", op, dst.shape, m, n))
+	}
+}
+
+// checkBMM validates batched operands [G,m,k]x[G,k,n] -> dst [G,m,n] (with
+// the b operand transposed per-slice when transB is set) and returns the
+// dimensions.
+func checkBMM(op string, dst, a, b *Tensor, transA, transB bool) (G, m, k, n int) {
+	as, bs := a.shape, b.shape
+	if len(as) != 3 || len(bs) != 3 || as[0] != bs[0] {
+		panic(fmt.Sprintf("tensor: %s shapes %v x %v invalid", op, as, bs))
+	}
+	G = as[0]
+	m, k = as[1], as[2]
+	if transA {
+		m, k = k, m
+	}
+	bk, bn := bs[1], bs[2]
+	if transB {
+		bk, bn = bn, bk
+	}
+	if bk != k {
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %v x %v", op, as, bs))
+	}
+	if len(dst.data) != G*m*bn {
+		panic(fmt.Sprintf("tensor: %s destination %v incompatible", op, dst.shape))
+	}
+	return G, m, k, bn
+}
+
+// BMMInto stores the batched product a[G,m,k] @ b[G,k,n] into dst [G,m,n],
+// overwriting it. It walks raw offsets, so the hot attention loops allocate
+// nothing.
+func BMMInto(dst, a, b *Tensor) {
+	G, m, k, n := checkBMM("BMMInto", dst, a, b, false, false)
+	for i := 0; i < G; i++ {
+		matMulInto(dst.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*k*n:(i+1)*k*n], m, k, n)
+	}
+}
+
+// BMMTransBInto stores a[G,m,k] @ bᵀ[G,n,k] into dst [G,m,n].
+func BMMTransBInto(dst, a, b *Tensor) {
+	G, m, k, n := checkBMM("BMMTransBInto", dst, a, b, false, true)
+	for i := 0; i < G; i++ {
+		dotRows(dst.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*n*k:(i+1)*n*k], m, k, n)
+	}
+}
+
+// BMMTransAAddInto accumulates aᵀ[G,k,m] @ gy[G,k,n] into dst [G,m,n]
+// (dst += per slice; dst must hold the accumulation base, typically zeros).
+func BMMTransAAddInto(dst, a, b *Tensor) {
+	G, m, k, n := checkBMM("BMMTransAAddInto", dst, a, b, true, false)
+	for i := 0; i < G; i++ {
+		transAOuter(dst.data[i*m*n:(i+1)*m*n], a.data[i*k*m:(i+1)*k*m], b.data[i*k*n:(i+1)*k*n], m, k, n)
+	}
 }
 
 func checkMatMul(a, b *Tensor, transA, transB bool) (m, k, n int) {
@@ -84,28 +219,117 @@ func checkMatMul(a, b *Tensor, transA, transB bool) (m, k, n int) {
 	return am, ak, bn
 }
 
-// matMulInto computes out = a@b with a [m,k], b [k,n] row-major.
+// matMulInto computes out = a@b with a [m,k], b [k,n] row-major. The serial
+// path calls the row kernel directly so the hot loop allocates no closure.
 func matMulInto(out, a, b []float32, m, k, n int) {
-	rows := func(r0, r1 int) {
-		for i := r0; i < r1; i++ {
-			or := out[i*n : (i+1)*n]
-			for j := range or {
-				or[j] = 0
-			}
-			ar := a[i*k : (i+1)*k]
-			for p := 0; p < k; p++ {
-				av := ar[p]
-				if av == 0 {
-					continue
-				}
-				br := b[p*n : (p+1)*n]
-				for j := range or {
-					or[j] += av * br[j]
-				}
-			}
+	if !shouldParallel(m, m*k*n) {
+		matMulRows(out, a, b, 0, m, k, n)
+		return
+	}
+	parallelRows(m, m*k*n, func(r0, r1 int) {
+		matMulRows(out, a, b, r0, r1, k, n)
+	})
+}
+
+func matMulRows(out, a, b []float32, r0, r1, k, n int) {
+	for i := r0; i < r1; i++ {
+		or := out[i*n : (i+1)*n]
+		for j := range or {
+			or[j] = 0
+		}
+		saxpyRows(or, a[i*k:(i+1)*k], b, k, n)
+	}
+}
+
+// saxpyRows accumulates or += Σ_p ar[p]·b[p,:], pairing two p-rows per
+// sweep to halve the passes over or. The written association
+// ((or + a1·b1) + a2·b2) matches two sequential saxpy calls bit-for-bit.
+func saxpyRows(or, ar, b []float32, k, n int) {
+	p := 0
+	for ; p+2 <= k; p += 2 {
+		a1, a2 := ar[p], ar[p+1]
+		switch {
+		case a1 == 0 && a2 == 0:
+		case a2 == 0:
+			saxpy(or, b[p*n:(p+1)*n], a1)
+		case a1 == 0:
+			saxpy(or, b[(p+1)*n:(p+2)*n], a2)
+		default:
+			saxpy2(or, b[p*n:(p+1)*n], b[(p+1)*n:(p+2)*n], a1, a2)
 		}
 	}
-	parallelRows(m, m*k*n, rows)
+	if p < k {
+		if av := ar[p]; av != 0 {
+			saxpy(or, b[p*n:(p+1)*n], av)
+		}
+	}
+}
+
+// saxpy performs or += av·br elementwise, unrolled 4-wide. Elements are
+// independent, so results match the plain loop bit-for-bit.
+func saxpy(or, br []float32, av float32) {
+	n := len(or)
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		or[j] += av * br[j]
+		or[j+1] += av * br[j+1]
+		or[j+2] += av * br[j+2]
+		or[j+3] += av * br[j+3]
+	}
+	for ; j < n; j++ {
+		or[j] += av * br[j]
+	}
+}
+
+// saxpy2 performs or = (or + a1·b1) + a2·b2 elementwise, preserving the
+// association of two sequential saxpy calls exactly.
+func saxpy2(or, b1, b2 []float32, a1, a2 float32) {
+	n := len(or)
+	if len(b1) < n || len(b2) < n {
+		panic("tensor: saxpy2 operand too short")
+	}
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		t0 := or[j] + a1*b1[j]
+		t1 := or[j+1] + a1*b1[j+1]
+		t2 := or[j+2] + a1*b1[j+2]
+		t3 := or[j+3] + a1*b1[j+3]
+		or[j] = t0 + a2*b2[j]
+		or[j+1] = t1 + a2*b2[j+1]
+		or[j+2] = t2 + a2*b2[j+2]
+		or[j+3] = t3 + a2*b2[j+3]
+	}
+	for ; j < n; j++ {
+		or[j] = (or[j] + a1*b1[j]) + a2*b2[j]
+	}
+}
+
+// MatMulRaw computes out = a@b on raw row-major buffers: a [m,k], b [k,n],
+// out [m,n] (overwritten). The raw kernels let graph ops on higher-rank
+// tensors skip the 2-D view tensors entirely.
+func MatMulRaw(out, a, b []float32, m, k, n int) { matMulInto(out, a, b, m, k, n) }
+
+// MatMulTransBRaw computes out = a@bᵀ on raw buffers: a [m,k], b [n,k],
+// out [m,n] (overwritten).
+func MatMulTransBRaw(out, a, b []float32, m, k, n int) {
+	if !shouldParallel(m, m*k*n) {
+		dotRows(out, a, b, m, k, n)
+		return
+	}
+	parallelRows(m, m*k*n, func(r0, r1 int) {
+		dotRows(out[r0*n:r1*n], a[r0*k:r1*k], b, r1-r0, k, n)
+	})
+}
+
+// MatMulTransAAddRaw accumulates out += aᵀ@b on raw buffers: a [k,m],
+// b [k,n], out [m,n] (must hold the accumulation base, typically zeros).
+func MatMulTransAAddRaw(out, a, b []float32, m, k, n int) {
+	transAOuter(out, a, b, m, k, n)
+}
+
+// shouldParallel reports whether a row-parallel kernel is worth goroutines.
+func shouldParallel(m, work int) bool {
+	return work >= parallelThreshold && runtime.GOMAXPROCS(0) > 1 && m >= 2
 }
 
 // parallelRows splits [0,m) into chunks and runs body on each chunk in

@@ -345,6 +345,133 @@ func AddRowVectorIn(a, v *Tensor) {
 	}
 }
 
+// checkSameLen panics unless all operands have equal element counts.
+func checkSameLen(op string, dst *Tensor, srcs ...*Tensor) {
+	for _, s := range srcs {
+		if len(dst.data) != len(s.data) {
+			panic(fmt.Sprintf("tensor: %s size mismatch %v vs %v", op, dst.shape, s.shape))
+		}
+	}
+}
+
+// AddInto stores a + b into dst. dst may alias either operand.
+func AddInto(dst, a, b *Tensor) {
+	checkSameLen("AddInto", dst, a, b)
+	for i := range dst.data {
+		dst.data[i] = a.data[i] + b.data[i]
+	}
+}
+
+// SubInto stores a - b into dst. dst may alias either operand.
+func SubInto(dst, a, b *Tensor) {
+	checkSameLen("SubInto", dst, a, b)
+	for i := range dst.data {
+		dst.data[i] = a.data[i] - b.data[i]
+	}
+}
+
+// MulInto stores a ⊙ b into dst. dst may alias either operand.
+func MulInto(dst, a, b *Tensor) {
+	checkSameLen("MulInto", dst, a, b)
+	for i := range dst.data {
+		dst.data[i] = a.data[i] * b.data[i]
+	}
+}
+
+// ScaleInto stores alpha*a into dst. dst may alias a.
+func ScaleInto(dst, a *Tensor, alpha float32) {
+	checkSameLen("ScaleInto", dst, a)
+	for i := range dst.data {
+		dst.data[i] = alpha * a.data[i]
+	}
+}
+
+// ApplyInto stores f applied elementwise over a into dst. dst may alias a.
+func ApplyInto(dst, a *Tensor, f func(float32) float32) {
+	checkSameLen("ApplyInto", dst, a)
+	for i := range dst.data {
+		dst.data[i] = f(a.data[i])
+	}
+}
+
+// SoftmaxRowsInto stores the row-wise softmax of a 2-D tensor into dst,
+// numerically stabilized by the row max. dst may alias a.
+func SoftmaxRowsInto(dst, a *Tensor) {
+	if len(a.shape) != 2 {
+		panic("tensor: SoftmaxRowsInto requires a 2-D tensor")
+	}
+	checkSameLen("SoftmaxRowsInto", dst, a)
+	SoftmaxRowsRaw(dst.data, a.data, a.shape[0], a.shape[1])
+}
+
+// SoftmaxRowsRaw is SoftmaxRowsInto on raw buffers interpreted as
+// [rows, cols] row-major.
+func SoftmaxRowsRaw(dst, a []float32, rows, cols int) {
+	for r := 0; r < rows; r++ {
+		row := a[r*cols : (r+1)*cols]
+		mx := row[0]
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		sum := 0.0
+		o := dst[r*cols : (r+1)*cols]
+		for i, v := range row {
+			e := math.Exp(float64(v - mx))
+			o[i] = float32(e)
+			sum += e
+		}
+		inv := float32(1.0 / sum)
+		for i := range o {
+			o[i] *= inv
+		}
+	}
+}
+
+// AddRowVectorRaw adds a length-cols vector to every row of a [rows, cols]
+// raw buffer in place.
+func AddRowVectorRaw(a []float32, rows, cols int, v []float32) {
+	for r := 0; r < rows; r++ {
+		row := a[r*cols : (r+1)*cols]
+		for c := range row {
+			row[c] += v[c]
+		}
+	}
+}
+
+// SumRowsRaw stores the column-wise sum of a [rows, cols] raw buffer into
+// dst [cols], overwriting it.
+func SumRowsRaw(dst, a []float32, rows, cols int) {
+	for c := range dst {
+		dst[c] = 0
+	}
+	for r := 0; r < rows; r++ {
+		row := a[r*cols : (r+1)*cols]
+		for c, v := range row {
+			dst[c] += v
+		}
+	}
+}
+
+// SumRowsInto stores the column-wise sum of a 2-D tensor into dst [cols].
+func SumRowsInto(dst, a *Tensor) {
+	if len(a.shape) != 2 {
+		panic("tensor: SumRowsInto requires a 2-D tensor")
+	}
+	rows, cols := a.shape[0], a.shape[1]
+	if len(dst.data) != cols {
+		panic(fmt.Sprintf("tensor: SumRowsInto dst %v vs cols %d", dst.shape, cols))
+	}
+	dst.Zero()
+	for r := 0; r < rows; r++ {
+		row := a.data[r*cols : (r+1)*cols]
+		for c, v := range row {
+			dst.data[c] += v
+		}
+	}
+}
+
 // Transpose returns the transpose of a 2-D tensor.
 func Transpose(a *Tensor) *Tensor {
 	if len(a.shape) != 2 {

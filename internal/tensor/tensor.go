@@ -212,6 +212,22 @@ func (t *Tensor) Row(i int) *Tensor {
 	return &Tensor{shape: []int{c}, data: t.data[i*c : (i+1)*c]}
 }
 
+// SliceRange returns a view of sub-tensors [i,j) along the first dimension,
+// sharing backing data. For a [B,C,H,W] tensor, SliceRange(i, j) is the
+// [j-i,C,H,W] chunk of samples i..j-1 — the zero-copy unit the parallel
+// batched oracle hands to each worker.
+func (t *Tensor) SliceRange(i, j int) *Tensor {
+	if len(t.shape) < 1 {
+		panic("tensor: SliceRange requires rank >= 1")
+	}
+	if i < 0 || j < i || j > t.shape[0] {
+		panic(fmt.Sprintf("tensor: SliceRange [%d,%d) out of range %d", i, j, t.shape[0]))
+	}
+	sub := len(t.data) / t.shape[0]
+	shape := append([]int{j - i}, t.shape[1:]...)
+	return &Tensor{shape: shape, data: t.data[i*sub : j*sub]}
+}
+
 // Slice returns a view of sub-tensor i along the first dimension, sharing
 // backing data. For a [B,C,H,W] tensor, Slice(i) is the [C,H,W] sample i.
 func (t *Tensor) Slice(i int) *Tensor {
