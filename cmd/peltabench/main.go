@@ -1,18 +1,7 @@
-// Command peltabench regenerates the paper's tables and figures.
-//
-// Usage:
-//
-//	peltabench -table all -fig all            # everything, quick scale
-//	peltabench -table 3 -dataset cifar100     # one table, one dataset
-//	peltabench -table 4 -full -n 200 -hw 32   # larger sweep
-//	peltabench -fig 4 -out ./fig4             # dump the Fig. 4 images
-//
-// Quick scale (default) trains scaled-down defenders on 16×16 synthetic
-// data in about a minute per dataset block; -hw/-trainn/-epochs/-n scale
-// the experiment up toward the paper's protocol (1000 samples).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +13,33 @@ import (
 	"pelta/internal/models"
 )
 
+// benchEntry is one machine-readable timing record of a bench stage.
+type benchEntry struct {
+	Stage   string  `json:"stage"`
+	Dataset string  `json:"dataset,omitempty"`
+	Seconds float64 `json:"seconds"`
+}
+
+// benchLog accumulates stage timings for the -benchjson artifact.
+type benchLog struct{ entries []benchEntry }
+
+// add records one stage duration.
+func (b *benchLog) add(stage, dataset string, d time.Duration) {
+	b.entries = append(b.entries, benchEntry{Stage: stage, Dataset: dataset, Seconds: d.Seconds()})
+}
+
+// write dumps the collected timings as an indented JSON array.
+func (b *benchLog) write(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b.entries)
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "peltabench:", err)
@@ -32,21 +48,22 @@ func main() {
 }
 
 type options struct {
-	tables   string
-	figs     string
-	ds       string
-	hw       int
-	trainN   int
-	valN     int
-	epochs   int
-	evalN    int
-	steps    int
-	full     bool
-	out      string
-	seed     int64
-	classes  int
-	overhead bool
-	workers  int
+	tables    string
+	figs      string
+	ds        string
+	hw        int
+	trainN    int
+	valN      int
+	epochs    int
+	evalN     int
+	steps     int
+	full      bool
+	out       string
+	seed      int64
+	classes   int
+	overhead  bool
+	workers   int
+	benchJSON string
 }
 
 func run() error {
@@ -66,8 +83,17 @@ func run() error {
 	flag.IntVar(&o.classes, "classes", 0, "override class count (0 = dataset default, capped at 20 for quick runs)")
 	flag.BoolVar(&o.overhead, "overhead", false, "measure the §VI TEE overheads per defender")
 	flag.IntVar(&o.workers, "workers", 0, "attack-oracle worker pool size (0 = one per core)")
+	flag.StringVar(&o.benchJSON, "benchjson", "", "write stage timings to this JSON file (e.g. BENCH_peltabench.json)")
 	flag.Parse()
 	eval.SetOracleWorkers(o.workers)
+	bench := &benchLog{}
+	defer func() {
+		if o.benchJSON != "" {
+			if err := bench.write(o.benchJSON); err != nil {
+				fmt.Fprintln(os.Stderr, "peltabench: writing bench json:", err)
+			}
+		}
+	}()
 
 	if o.tables == "" && o.figs == "" {
 		o.tables, o.figs = "all", "all"
@@ -92,10 +118,12 @@ func run() error {
 			set.Eps, set.Steps+10, set.EpsStep)
 	}
 	if want(o.figs, "3") {
+		start := time.Now()
 		res, err := eval.RunFig3()
 		if err != nil {
 			return err
 		}
+		bench.add("fig3", "", time.Since(start))
 		fmt.Print(res.Render())
 		fmt.Println()
 	}
@@ -105,11 +133,14 @@ func run() error {
 		return nil
 	}
 	for _, name := range datasets(o.ds) {
+		start := time.Now()
 		blk, err := buildBlock(o, name)
 		if err != nil {
 			return err
 		}
+		bench.add("build_block", name, time.Since(start))
 		if want(o.tables, "3") {
+			start := time.Now()
 			tbl := eval.Table3{Dataset: blk.Name}
 			for _, m := range blk.Defenders {
 				start := time.Now()
@@ -120,20 +151,24 @@ func run() error {
 				fmt.Fprintf(os.Stderr, "  [table 3] %s done in %v\n", m.Name(), time.Since(start).Round(time.Second))
 				tbl.Rows = append(tbl.Rows, row)
 			}
+			bench.add("table3", name, time.Since(start))
 			fmt.Printf("=== Table III — %s, robust accuracy non-shielded vs shielded ===\n", blk.Name)
 			fmt.Print(tbl.Render())
 			fmt.Println()
 		}
 		if want(o.tables, "4") {
+			start := time.Now()
 			tbl, err := eval.RunTable4(blk.ViT, blk.BiT, blk.Val, o.evalN, set)
 			if err != nil {
 				return err
 			}
+			bench.add("table4", name, time.Since(start))
 			fmt.Printf("=== Table IV — %s, shielded ensemble vs SAGA ===\n", blk.Name)
 			fmt.Print(tbl.Render())
 			fmt.Println()
 		}
 		if o.overhead {
+			start := time.Now()
 			var rows []*eval.OverheadReport
 			for _, m := range blk.Defenders {
 				rep, err := eval.MeasureOverhead(m, 3)
@@ -142,15 +177,18 @@ func run() error {
 				}
 				rows = append(rows, rep)
 			}
+			bench.add("overhead", name, time.Since(start))
 			fmt.Printf("=== §VI — TEE overheads per shielded inference (%s) ===\n", blk.Name)
 			fmt.Print(eval.RenderOverhead(rows))
 			fmt.Println()
 		}
 		if want(o.figs, "4") {
+			start := time.Now()
 			res, err := eval.RunFig4(blk.ViT, blk.BiT, blk.Val, set)
 			if err != nil {
 				return err
 			}
+			bench.add("fig4", name, time.Since(start))
 			fmt.Print(res.Render())
 			if o.out != "" {
 				dir := o.out + "/" + strings.ToLower(strings.ReplaceAll(blk.Name, "/", "_"))

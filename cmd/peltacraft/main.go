@@ -1,14 +1,3 @@
-// Command peltacraft is the attacker's workbench: it trains (or loads) a
-// defender, crafts adversarial examples with any of the paper's attacks
-// against the clear or Pelta-shielded model, reports astuteness, and dumps
-// the samples as PPM images.
-//
-// Usage:
-//
-//	peltacraft -attack pgd                         # white-box PGD
-//	peltacraft -attack pgd -shield                 # same attack vs Pelta
-//	peltacraft -attack square -shield              # black-box (shield can't help)
-//	peltacraft -attack cw -ckpt vit.ckpt -out dir  # reuse a checkpoint, dump images
 package main
 
 import (

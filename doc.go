@@ -6,13 +6,16 @@
 //   - internal/tee      — the TrustZone-style enclave simulation
 //   - internal/models   — ViT / ResNet-v2 / BiT defenders
 //   - internal/attack   — FGSM, PGD, MIM, APGD, C&W, SAGA, BPDA upsampling
-//   - internal/fl       — FedAvg server, clients, compromised client
+//   - internal/fl       — sync FedAvg server plus the asynchronous sharded
+//     round engine (client sampling, staleness-aware buffered aggregation),
+//     honest/compromised/poisoning clients, and the scenario-sweep runner
 //   - internal/ensemble — random-selection ensemble defense
-//   - internal/eval     — Tables I/III/IV and Figs. 3/4 harnesses
+//   - internal/eval     — Tables I/III/IV, Figs. 3/4, and sweep summaries
 //
 // bench_test.go regenerates every table and figure; cmd/peltabench is the
-// command-line entry point, and examples/ holds runnable scenarios.
+// command-line entry point, cmd/flsim runs federations and scenario sweeps,
+// and examples/ holds runnable scenarios.
 package pelta
 
 // Version identifies this reproduction release.
-const Version = "1.0.0"
+const Version = "1.1.0"

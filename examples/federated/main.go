@@ -40,21 +40,26 @@ func run() error {
 	for _, shieldOn := range []bool{false, true} {
 		fmt.Printf("=== federation with shield=%v ===\n", shieldOn)
 		compromised := fl.NewCompromisedClient("mallory", newModel(100), shards[0], tc, probe, 12, shieldOn)
-		server := &fl.Server{
+		// The asynchronous round engine: clients train concurrently on a
+		// worker pool and the deterministic mode barriers each round, so
+		// this run reproduces the synchronous FedAvg result bit-identically
+		// while still exercising the async plumbing.
+		server := &fl.AsyncServer{
 			Global: newModel(1),
 			Conns: []fl.Conn{
 				fl.Local(compromised),
 				fl.Local(fl.NewHonestClient("alice", newModel(2), shards[1], tc)),
 				fl.Local(fl.NewHonestClient("bob", newModel(3), shards[2], tc)),
 			},
-			Eval: func(m models.Model) float64 { return models.Accuracy(m, val.X, val.Y) },
+			Config: fl.AsyncConfig{Rounds: 6, Deterministic: true},
+			Eval:   func(m models.Model) float64 { return models.Accuracy(m, val.X, val.Y) },
 		}
-		results, err := server.Run(6)
+		results, err := server.Run()
 		if err != nil {
 			return err
 		}
 		for _, r := range results {
-			fmt.Printf("round %d: global accuracy %.1f%%\n", r.Round, 100*r.Accuracy)
+			fmt.Printf("round %d: global accuracy %.1f%% (merged %d updates)\n", r.Round, 100*r.Accuracy, r.Merged)
 			for _, n := range r.Notes {
 				fmt.Println("  ", n)
 			}

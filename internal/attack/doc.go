@@ -1,0 +1,17 @@
+// Package attack implements the six white-box evasion attacks of the
+// paper's evaluation — FGSM, PGD, MIM, APGD, C&W and SAGA — plus the
+// random-uniform baseline, against both clear models (full white-box) and
+// Pelta-shielded models (restricted white-box).
+//
+// Attacks consume a gradient Oracle. The clear oracle returns the true
+// ∇xL; the shielded oracle can only observe the adjoint δ_{L+1} of the
+// shallowest clear layer and substitutes a BPDA-style transposed-convolution
+// upsampling for the masked shallow backward (§IV-C, §V-B).
+//
+// Oracles run on the pooled execution engine: each oracle owns a
+// tensor.Pool-backed graph arena that is recycled wholesale between queries,
+// so the hundreds of gradient queries of an iterative attack are
+// allocation-free in steady state. The price of reuse is a lifetime rule —
+// tensors returned by an oracle are valid only until its next query; callers
+// that need them longer must Clone them.
+package attack

@@ -1,19 +1,3 @@
-// Package attack implements the six white-box evasion attacks of the
-// paper's evaluation — FGSM, PGD, MIM, APGD, C&W and SAGA — plus the
-// random-uniform baseline, against both clear models (full white-box) and
-// Pelta-shielded models (restricted white-box).
-//
-// Attacks consume a gradient Oracle. The clear oracle returns the true
-// ∇xL; the shielded oracle can only observe the adjoint δ_{L+1} of the
-// shallowest clear layer and substitutes a BPDA-style transposed-convolution
-// upsampling for the masked shallow backward (§IV-C, §V-B).
-//
-// Oracles run on the pooled execution engine: each oracle owns a
-// tensor.Pool-backed graph arena that is recycled wholesale between queries,
-// so the hundreds of gradient queries of an iterative attack are
-// allocation-free in steady state. The price of reuse is a lifetime rule —
-// tensors returned by an oracle are valid only until its next query; callers
-// that need them longer must Clone them.
 package attack
 
 import (
@@ -190,6 +174,9 @@ func (o *ClearOracle) GradCW(x *tensor.Tensor, y []int, x0 *tensor.Tensor, kappa
 type ShieldedOracle struct {
 	SM *core.ShieldedModel
 	up *Upsampler
+	// adjShape is the probed adjoint shape (including batch dim), retained
+	// so Reseed can redraw the kernel without another probe pass.
+	adjShape []int
 }
 
 var _ Oracle = (*ShieldedOracle)(nil)
@@ -213,7 +200,22 @@ func NewShieldedOracle(sm *core.ShieldedModel, seed int64) (*ShieldedOracle, err
 		return nil, fmt.Errorf("attack: building upsampler for %s: %w", sm.Name(), err)
 	}
 	o.up = up
+	o.adjShape = append([]int(nil), res.Adjoint.Shape()...)
 	return o, nil
+}
+
+// Reseed redraws the random-uniform upsampling kernel from seed — a fresh
+// attacker prior on the shielded layers — without re-probing the defender.
+// It lets a long-lived oracle (e.g. one reused across federation rounds by
+// a compromised client) start every attempt blind, as a newly built oracle
+// would, while keeping the shielded model and its pooled arena warm.
+func (o *ShieldedOracle) Reseed(seed int64) error {
+	up, err := NewUpsampler(o.adjShape, o.SM.InputShape(), seed)
+	if err != nil {
+		return fmt.Errorf("attack: reseeding upsampler for %s: %w", o.SM.Name(), err)
+	}
+	o.up = up
+	return nil
 }
 
 // Name implements Oracle.

@@ -193,3 +193,34 @@ func (a *SAGA) Perturb(vit Oracle, rollout RolloutProvider, cnn Oracle, x *tenso
 	}
 	return xadv, nil
 }
+
+// SelfSAGA adapts the ensemble SAGA attack to the single-defender Attack
+// interface: the one oracle serves both ensemble roles (α_k weighs the
+// plain CE gradient, α_v the rollout-modulated one). This is the probe a
+// compromised federated client runs when its device holds a single ViT —
+// the attention-rollout term still reshapes the perturbation even without
+// a second ensemble member.
+type SelfSAGA struct {
+	SAGA
+	// Rollout supplies ϕ_v when the oracle cannot serve fused rollouts.
+	// A shielded ViT needs it: the attention maps live in the clear deep
+	// segment, so the attacker computes the rollout from the model directly
+	// while gradient queries go through the restricted oracle.
+	Rollout RolloutProvider
+}
+
+var _ Attack = (*SelfSAGA)(nil)
+
+// Name returns the attack label.
+func (a *SelfSAGA) Name() string { return "SAGA" }
+
+// Perturb implements Attack by running SAGA with o as both members.
+func (a *SelfSAGA) Perturb(o Oracle, x *tensor.Tensor, y []int) (*tensor.Tensor, error) {
+	if a.Rollout == nil {
+		rg, ok := o.(RolloutGradOracle)
+		if !ok || !rg.CanRollout() {
+			return nil, fmt.Errorf("attack: SelfSAGA on %s needs a RolloutProvider (oracle cannot serve rollouts)", o.Name())
+		}
+	}
+	return a.SAGA.Perturb(o, a.Rollout, o, x, y)
+}

@@ -1,0 +1,25 @@
+// Package autograd implements define-by-run reverse-mode automatic
+// differentiation on an explicit computational graph.
+//
+// The graph mirrors the paper's formalization G = ⟨n, l, E, u_1…u_n,
+// f_{l+1}…f_n⟩ (§IV-B): every Value is a numbered vertex u_i carrying the
+// result of a differentiable transformation f_i of its parents, and leaves
+// are inputs or parameters. Pelta's Algorithm 1 (internal/core) walks this
+// structure to decide which vertices and local jacobians to move into the
+// enclave, so vertex identity, op labels and parent edges are first-class
+// here rather than hidden inside closures.
+//
+// Graphs can run in two allocation regimes. A plain NewGraph allocates every
+// forward/backward tensor from the Go heap, exactly as before. A graph built
+// with NewGraphWithPool borrows every tensor from a tensor.Pool instead and
+// hands them all back in one sweep when Release is called after the pass —
+// the arena discipline that makes iterative attacks and training loops
+// allocation-free in steady state. Vertices scrubbed into the Pelta enclave
+// are exempt from the sweep: their buffers are withdrawn from the arena at
+// Scrub time and are never recycled (see Release).
+//
+// A Graph is confined to one goroutine: concurrent passes use one graph
+// (and one pool) per worker over shared read-only parameters. Given the
+// same inputs, forward and backward are bit-deterministic — reduction
+// orders are fixed, so pooled and heap graphs produce identical numbers.
+package autograd

@@ -1,13 +1,3 @@
-// Package dataset provides procedurally generated, class-separable image
-// datasets standing in for CIFAR-10, CIFAR-100 and ImageNet (which cannot be
-// downloaded in this offline reproduction; see DESIGN.md §1).
-//
-// Every class has a deterministic prototype image built from a few random
-// low-frequency sinusoidal patterns; samples are noisy, brightness-jittered
-// draws around the prototype, clipped to [0,1] like normalized pixels. The
-// construction preserves what the paper's evaluation needs: models reach
-// high clean accuracy, inputs live in a pixel box, and gradient-based
-// attacks can move samples across decision boundaries within an ε-ball.
 package dataset
 
 import (
@@ -162,6 +152,56 @@ func (d *Dataset) Shards(k int) []*Dataset {
 			idx = append(idx, i)
 		}
 		out[s] = d.Subset(idx)
+		out[s].Name = fmt.Sprintf("%s/shard%d", d.Name, s)
+	}
+	return out
+}
+
+// ShardsSkewed partitions the dataset into k client shards with label skew,
+// the non-IID regime of federated deployments. Each sample lands on its
+// class's home shard (class c → shard c mod k) with probability skew and is
+// dealt round-robin otherwise, so skew=0 reproduces Shards' IID split and
+// skew=1 concentrates every class on one device. The draw is seeded and
+// fully deterministic; every shard is guaranteed non-empty (rebalanced from
+// the largest shard if a device would come up dry).
+func (d *Dataset) ShardsSkewed(k int, skew float64, seed int64) []*Dataset {
+	if skew <= 0 {
+		return d.Shards(k)
+	}
+	if skew > 1 {
+		skew = 1
+	}
+	rng := tensor.NewRNG(seed)
+	buckets := make([][]int, k)
+	next := 0
+	for i := 0; i < d.Len(); i++ {
+		s := next % k
+		if rng.Float64() < skew {
+			s = d.Y[i] % k
+		} else {
+			next++
+		}
+		buckets[s] = append(buckets[s], i)
+	}
+	for s := range buckets {
+		for len(buckets[s]) == 0 {
+			big := 0
+			for b := range buckets {
+				if len(buckets[b]) > len(buckets[big]) {
+					big = b
+				}
+			}
+			if len(buckets[big]) < 2 {
+				panic(fmt.Sprintf("dataset: cannot shard %d samples over %d clients", d.Len(), k))
+			}
+			last := len(buckets[big]) - 1
+			buckets[s] = append(buckets[s], buckets[big][last])
+			buckets[big] = buckets[big][:last]
+		}
+	}
+	out := make([]*Dataset, k)
+	for s := range buckets {
+		out[s] = d.Subset(buckets[s])
 		out[s].Name = fmt.Sprintf("%s/shard%d", d.Name, s)
 	}
 	return out

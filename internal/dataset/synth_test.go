@@ -140,3 +140,66 @@ func TestPresetConfigs(t *testing.T) {
 		}
 	}
 }
+
+func TestShardsSkewedPartition(t *testing.T) {
+	cfg := SynthCIFAR10(8, 3)
+	cfg.Classes = 4
+	cfg.TrainN, cfg.ValN = 120, 4
+	train, _ := Generate(cfg)
+	for _, skew := range []float64{0, 0.5, 1} {
+		shards := train.ShardsSkewed(3, skew, 7)
+		total := 0
+		for s, sh := range shards {
+			if sh.Len() == 0 {
+				t.Fatalf("skew=%v: shard %d is empty", skew, s)
+			}
+			total += sh.Len()
+		}
+		if total != train.Len() {
+			t.Fatalf("skew=%v: shards hold %d samples, dataset has %d", skew, total, train.Len())
+		}
+	}
+}
+
+func TestShardsSkewedDeterministic(t *testing.T) {
+	cfg := SynthCIFAR10(8, 3)
+	cfg.Classes = 4
+	cfg.TrainN, cfg.ValN = 60, 4
+	train, _ := Generate(cfg)
+	a := train.ShardsSkewed(4, 0.7, 9)
+	b := train.ShardsSkewed(4, 0.7, 9)
+	for s := range a {
+		if a[s].Len() != b[s].Len() {
+			t.Fatalf("shard %d sizes differ: %d vs %d", s, a[s].Len(), b[s].Len())
+		}
+		for i := range a[s].Y {
+			if a[s].Y[i] != b[s].Y[i] {
+				t.Fatalf("shard %d labels differ at %d", s, i)
+			}
+		}
+	}
+}
+
+func TestShardsSkewedConcentratesLabels(t *testing.T) {
+	cfg := SynthCIFAR10(8, 3)
+	cfg.Classes = 4
+	cfg.TrainN, cfg.ValN = 160, 4
+	train, _ := Generate(cfg)
+	// Full skew with k == classes: every shard holds exactly one label.
+	shards := train.ShardsSkewed(4, 1, 5)
+	for s, sh := range shards {
+		for _, y := range sh.Y {
+			if y != sh.Y[0] {
+				t.Fatalf("skew=1 shard %d mixes labels %d and %d", s, sh.Y[0], y)
+			}
+		}
+	}
+	// Zero skew falls back to the IID round-robin split.
+	iid := train.ShardsSkewed(4, 0, 5)
+	plain := train.Shards(4)
+	for s := range iid {
+		if iid[s].Len() != plain[s].Len() {
+			t.Fatalf("skew=0 shard %d diverges from Shards", s)
+		}
+	}
+}

@@ -1,9 +1,3 @@
-// Package ensemble implements the two-model ensemble defense of §V-A2:
-// a ViT and a BiT combined under the random-selection decision policy [57],
-// where each test sample is evaluated by one of the two members chosen
-// uniformly at random. Adversarial examples transfer poorly between
-// attention-based and CNN-based models, so the ensemble's astuteness
-// exceeds either member's against single-model attacks.
 package ensemble
 
 import (

@@ -1,0 +1,13 @@
+// Package eval implements the paper's evaluation protocol (§V): astuteness
+// (robust accuracy) over correctly classified samples, the attack × defense
+// matrix of Table III, the SAGA-vs-ensemble grid of Table IV, the Fig. 3
+// trajectory study and the Fig. 4 perturbation dumps, plus plain-text table
+// renderers shaped like the paper's tables.
+//
+// The harness also consumes the FL-scale scenario sweeps of cmd/flsim:
+// ReadSweepRows decodes the NDJSON rows a sweep emits and SummarizeSweep
+// condenses them into per-attack shield deltas, IID-vs-skewed accuracy and
+// engine throughput. Evaluation is deterministic given an AttackSet seed;
+// batch fan-out across oracle workers (SetOracleWorkers) never changes
+// results, only wall time.
+package eval

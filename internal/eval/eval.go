@@ -1,8 +1,3 @@
-// Package eval implements the paper's evaluation protocol (§V): astuteness
-// (robust accuracy) over correctly classified samples, the attack × defense
-// matrix of Table III, the SAGA-vs-ensemble grid of Table IV, the Fig. 3
-// trajectory study and the Fig. 4 perturbation dumps, plus plain-text table
-// renderers shaped like the paper's tables.
 package eval
 
 import (

@@ -1,0 +1,194 @@
+package eval
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pelta/internal/fl"
+)
+
+// ReadSweepRows decodes the newline-delimited JSON rows a cmd/flsim sweep
+// emits. Blank lines are skipped; any malformed line aborts with its line
+// number so a truncated sweep file is caught early.
+func ReadSweepRows(r io.Reader) ([]fl.SweepRow, error) {
+	var rows []fl.SweepRow
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var row fl.SweepRow
+		if err := json.Unmarshal([]byte(text), &row); err != nil {
+			return nil, fmt.Errorf("eval: sweep row %d: %w", line, err)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("eval: reading sweep rows: %w", err)
+	}
+	return rows, nil
+}
+
+// SweepAttackLine aggregates every probed cell of one attack: mean robust
+// accuracy with the shield off and on, i.e. the FL-scale analogue of one
+// Table III row measured inside the live federation instead of on a frozen
+// defender.
+type SweepAttackLine struct {
+	Attack        string
+	CellsClear    int
+	CellsShielded int
+	RobustClear   float64
+	RobustShield  float64
+}
+
+// Delta returns the shield's robust-accuracy gain for this attack.
+func (l SweepAttackLine) Delta() float64 { return l.RobustShield - l.RobustClear }
+
+// SweepSummary condenses a sweep into the questions the ROADMAP's
+// traffic-scale simulation asks: does the shield still blunt each probe
+// attack across fleet sizes and data skews, what does poisoning do to the
+// global model, and how fast did the engine aggregate.
+type SweepSummary struct {
+	Cells   int
+	Rounds  int
+	Attacks []SweepAttackLine
+	// AccuracyIID / AccuracySkewed average the global model's final
+	// accuracy over cells with skew == 0 and skew > 0.
+	AccuracyIID    float64
+	AccuracySkewed float64
+	// PoisonEffClear / PoisonEffShield average effective poison samples per
+	// poisoned cell with the shield off and on.
+	PoisonEffClear  float64
+	PoisonEffShield float64
+	// MeanRoundsPerSec is the engine's aggregation throughput averaged
+	// over cells; TotalSeconds is the whole sweep's simulated wall time.
+	MeanRoundsPerSec float64
+	TotalSeconds     float64
+}
+
+// SummarizeSweep aggregates sweep rows. Rows that ran no probe
+// (ProbeSamples == 0) contribute to the accuracy and throughput statistics
+// but not to the attack lines.
+func SummarizeSweep(rows []fl.SweepRow) *SweepSummary {
+	s := &SweepSummary{Cells: len(rows)}
+	type acc struct {
+		clearSum, shieldSum float64
+		nClear, nShield     int
+	}
+	byAttack := make(map[string]*acc)
+	var accIID, accSkew float64
+	var nIID, nSkew int
+	var poisonClear, poisonShield float64
+	var nPoisonClear, nPoisonShield int
+	for _, r := range rows {
+		s.Rounds += r.Rounds
+		s.TotalSeconds += r.Seconds
+		s.MeanRoundsPerSec += r.RoundsPerSec
+		if r.Skew > 0 {
+			accSkew += r.FinalAccuracy
+			nSkew++
+		} else {
+			accIID += r.FinalAccuracy
+			nIID++
+		}
+		if r.PoisonFrac > 0 {
+			if r.Shield {
+				poisonShield += float64(r.PoisonEff)
+				nPoisonShield++
+			} else {
+				poisonClear += float64(r.PoisonEff)
+				nPoisonClear++
+			}
+		}
+		if r.ProbeSamples == 0 {
+			continue
+		}
+		a := byAttack[r.Attack]
+		if a == nil {
+			a = &acc{}
+			byAttack[r.Attack] = a
+		}
+		if r.Shield {
+			a.shieldSum += r.RobustAccuracy
+			a.nShield++
+		} else {
+			a.clearSum += r.RobustAccuracy
+			a.nClear++
+		}
+	}
+	if len(rows) > 0 {
+		s.MeanRoundsPerSec /= float64(len(rows))
+	}
+	if nIID > 0 {
+		s.AccuracyIID = accIID / float64(nIID)
+	}
+	if nSkew > 0 {
+		s.AccuracySkewed = accSkew / float64(nSkew)
+	}
+	if nPoisonClear > 0 {
+		s.PoisonEffClear = poisonClear / float64(nPoisonClear)
+	}
+	if nPoisonShield > 0 {
+		s.PoisonEffShield = poisonShield / float64(nPoisonShield)
+	}
+	names := make([]string, 0, len(byAttack))
+	for name := range byAttack {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := byAttack[name]
+		line := SweepAttackLine{Attack: name, CellsClear: a.nClear, CellsShielded: a.nShield}
+		if a.nClear > 0 {
+			line.RobustClear = a.clearSum / float64(a.nClear)
+		}
+		if a.nShield > 0 {
+			line.RobustShield = a.shieldSum / float64(a.nShield)
+		}
+		s.Attacks = append(s.Attacks, line)
+	}
+	return s
+}
+
+// Render prints the summary as a plain-text report in the repo's table
+// idiom.
+func (s *SweepSummary) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sweep: %d cells, %d rounds, %.1fs simulated (%.2f rounds/s mean)\n",
+		s.Cells, s.Rounds, s.TotalSeconds, s.MeanRoundsPerSec)
+	fmt.Fprintf(&sb, "global accuracy: %.1f%% IID", 100*s.AccuracyIID)
+	if s.AccuracySkewed > 0 {
+		fmt.Fprintf(&sb, ", %.1f%% skewed", 100*s.AccuracySkewed)
+	}
+	sb.WriteString("\n")
+	if len(s.Attacks) > 0 {
+		fmt.Fprintf(&sb, "%-8s %10s %10s %8s\n", "attack", "clear", "shielded", "Δ")
+		pct := func(v float64, n int) string {
+			if n == 0 {
+				return "—"
+			}
+			return fmt.Sprintf("%.1f%%", 100*v)
+		}
+		for _, l := range s.Attacks {
+			delta := "—"
+			if l.CellsClear > 0 && l.CellsShielded > 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*l.Delta())
+			}
+			fmt.Fprintf(&sb, "%-8s %10s %10s %8s\n",
+				l.Attack, pct(l.RobustClear, l.CellsClear), pct(l.RobustShield, l.CellsShielded), delta)
+		}
+	}
+	if s.PoisonEffClear > 0 || s.PoisonEffShield > 0 {
+		fmt.Fprintf(&sb, "effective poison/cell: %.1f clear vs %.1f shielded\n",
+			s.PoisonEffClear, s.PoisonEffShield)
+	}
+	return sb.String()
+}

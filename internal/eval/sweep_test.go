@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"pelta/internal/fl"
+)
+
+func sweepRow(attack string, shield bool, skew, robust, acc float64) fl.SweepRow {
+	r := fl.SweepRow{
+		SweepCell: fl.SweepCell{Clients: 3, Skew: skew, Shield: shield, Attack: attack},
+		Rounds:    2, Seed: 1,
+		FinalAccuracy: acc, RobustAccuracy: robust,
+		Seconds: 0.5, RoundsPerSec: 4, Merged: 6,
+	}
+	if attack != "none" {
+		r.ProbeSamples = 8
+		r.Fooled = int((1 - robust) * 8)
+	}
+	return r
+}
+
+func TestReadSweepRowsRoundTrip(t *testing.T) {
+	ndjson := `
+{"clients":3,"skew":0,"shield":false,"attack":"pgd","poison_frac":0,"rounds":2,"seed":1,"final_accuracy":0.8,"robust_accuracy":0.25,"probe_samples":8,"fooled":6,"poison_effective":0,"down_bytes":10,"up_bytes":30,"seconds":0.4,"rounds_per_sec":5,"merged":6,"stale_merged":0,"duplicates":0,"rejected":0,"drops":0}
+
+{"clients":3,"skew":0.8,"shield":true,"attack":"pgd","poison_frac":0,"rounds":2,"seed":1,"final_accuracy":0.7,"robust_accuracy":0.9,"probe_samples":8,"fooled":1,"poison_effective":0,"down_bytes":10,"up_bytes":30,"seconds":0.4,"rounds_per_sec":5,"merged":6,"stale_merged":1,"duplicates":0,"rejected":0,"drops":0}
+`
+	rows, err := ReadSweepRows(strings.NewReader(ndjson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (blank lines must be skipped)", len(rows))
+	}
+	if rows[0].Attack != "pgd" || rows[1].Shield != true || rows[1].StaleMerged != 1 {
+		t.Fatalf("rows decoded wrong: %+v", rows)
+	}
+	if _, err := ReadSweepRows(strings.NewReader("{not json}")); err == nil {
+		t.Fatal("malformed row must fail")
+	}
+}
+
+func TestSummarizeSweepAggregates(t *testing.T) {
+	rows := []fl.SweepRow{
+		sweepRow("pgd", false, 0, 0.2, 0.8),
+		sweepRow("pgd", true, 0, 0.9, 0.8),
+		sweepRow("fgsm", false, 0.8, 0.4, 0.6),
+		sweepRow("fgsm", true, 0.8, 0.8, 0.6),
+		sweepRow("none", false, 0, 1, 0.9),
+	}
+	s := SummarizeSweep(rows)
+	if s.Cells != 5 {
+		t.Fatalf("cells = %d", s.Cells)
+	}
+	if len(s.Attacks) != 2 {
+		t.Fatalf("attack lines = %+v (probe-less rows must not appear)", s.Attacks)
+	}
+	// Sorted by name: fgsm first.
+	if s.Attacks[0].Attack != "fgsm" || s.Attacks[1].Attack != "pgd" {
+		t.Fatalf("attack order = %+v", s.Attacks)
+	}
+	if d := s.Attacks[1].Delta(); d < 0.69 || d > 0.71 {
+		t.Fatalf("pgd shield delta = %v, want 0.7", d)
+	}
+	if s.AccuracyIID == 0 || s.AccuracySkewed == 0 {
+		t.Fatal("skew split missing")
+	}
+	out := s.Render()
+	for _, want := range []string{"pgd", "fgsm", "5 cells", "skewed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

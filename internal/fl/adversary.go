@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"pelta/internal/attack"
-	"pelta/internal/core"
 	"pelta/internal/dataset"
 	"pelta/internal/models"
 	"pelta/internal/tensor"
@@ -39,6 +38,10 @@ type CompromisedClient struct {
 
 	// Outcomes accumulates one entry per round.
 	Outcomes []AttackOutcome
+
+	// po caches the gradient oracle across rounds (lazily built so the
+	// struct literal form keeps working).
+	po *probeOracle
 }
 
 var _ Client = (*CompromisedClient)(nil)
@@ -100,21 +103,15 @@ func (c *CompromisedClient) probe(round int) (AttackOutcome, error) {
 	}
 	x, y := models.Batch(c.ProbeX, c.ProbeY, idx)
 
-	var o attack.Oracle
-	if c.Shield {
-		sm, err := core.NewShieldedModel(c.Honest.Model, 0)
-		if err != nil {
-			return AttackOutcome{}, err
-		}
-		// A fresh random-uniform kernel per round: the attacker has no
-		// priors on the shielded layers, so every attempt starts blind.
-		so, err := attack.NewShieldedOracle(sm, c.ShieldSeed+int64(round)*9973)
-		if err != nil {
-			return AttackOutcome{}, err
-		}
-		o = so
-	} else {
-		o = &attack.ClearOracle{M: c.Honest.Model}
+	// The oracle persists across rounds (enclave and arenas stay warm);
+	// under the shield its upsampling kernel is redrawn per round, so the
+	// attacker still has no priors and every attempt starts blind.
+	if c.po == nil {
+		c.po = &probeOracle{model: c.Honest.Model, shield: c.Shield, seed: c.ShieldSeed, stride: 9973}
+	}
+	o, err := c.po.oracle(round)
+	if err != nil {
+		return AttackOutcome{}, err
 	}
 	xadv, err := c.Probe.Perturb(o, x, y)
 	if err != nil {

@@ -1,0 +1,191 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rejection reasons returned by BufferedAggregator.Offer.
+const (
+	RejectDuplicate = "duplicate"
+	RejectStale     = "stale"
+)
+
+// pendingUpdate is one buffered client update awaiting aggregation.
+type pendingUpdate struct {
+	client  int
+	version int // global-model version the client trained on
+	resp    UpdateResponse
+}
+
+// AggregatorStats counts what the aggregator did with offered updates.
+type AggregatorStats struct {
+	// Merged counts updates folded into the global model; StaleMerged is
+	// the subset that arrived late (staleness ≥ 1) and was discounted.
+	Merged      int
+	StaleMerged int
+	// Duplicates and Rejected count updates refused on Offer (retransmits
+	// and beyond-horizon stragglers respectively).
+	Duplicates int
+	Rejected   int
+}
+
+// BufferedAggregator merges client updates as they arrive instead of
+// barriering a round on the slowest client. Updates are buffered with the
+// model version they were trained on; once Quorum updates are pending the
+// round closes and Drain folds them into one staleness-discounted FedAvg.
+// Retransmitted updates (same client, same trained-on version) and updates
+// older than MaxStaleness versions are refused at Offer time.
+//
+// The aggregator is not safe for concurrent use; the AsyncServer event loop
+// is its only caller.
+type BufferedAggregator struct {
+	// Quorum is the number of pending updates that closes a round.
+	Quorum int
+	// MaxStaleness is the oldest trained-on version (relative to the
+	// current one) still worth merging; older offers are rejected.
+	MaxStaleness int
+	// Lambda is the staleness-decay exponent: an update trained s versions
+	// ago contributes with its sample count discounted by (1+s)^-Lambda.
+	// Lambda = 0 treats stale updates at full weight.
+	Lambda float64
+
+	pending  []pendingUpdate
+	lastSeen map[int]int // client index → latest trained-on version accepted
+	stats    AggregatorStats
+}
+
+// NewBufferedAggregator builds an aggregator closing rounds at quorum
+// updates and discarding updates staler than maxStaleness versions.
+func NewBufferedAggregator(quorum, maxStaleness int, lambda float64) *BufferedAggregator {
+	if quorum < 1 {
+		quorum = 1
+	}
+	return &BufferedAggregator{
+		Quorum:       quorum,
+		MaxStaleness: maxStaleness,
+		Lambda:       lambda,
+		lastSeen:     make(map[int]int),
+	}
+}
+
+// Offer presents one update from client (trained on model version) while
+// the global model is at current. It reports whether the update was
+// buffered and, if not, the rejection reason.
+func (a *BufferedAggregator) Offer(client int, resp UpdateResponse, version, current int) (bool, string) {
+	if last, ok := a.lastSeen[client]; ok && version <= last {
+		a.stats.Duplicates++
+		return false, RejectDuplicate
+	}
+	if current-version > a.MaxStaleness {
+		a.stats.Rejected++
+		return false, RejectStale
+	}
+	a.lastSeen[client] = version
+	a.pending = append(a.pending, pendingUpdate{client: client, version: version, resp: resp})
+	return true, ""
+}
+
+// Ready reports whether enough updates are buffered to close a round.
+func (a *BufferedAggregator) Ready() bool { return len(a.pending) >= a.Quorum }
+
+// Pending returns the number of buffered updates.
+func (a *BufferedAggregator) Pending() int { return len(a.pending) }
+
+// Stats returns the lifetime counters.
+func (a *BufferedAggregator) Stats() AggregatorStats { return a.stats }
+
+// Drain closes the round: it merges every pending update into one weight
+// snapshot and clears the buffer, returning the merged updates for
+// telemetry. Merge order is ascending client index regardless of arrival
+// order, and an all-fresh buffer goes through the exact FedAvg arithmetic
+// of the synchronous server — the two properties behind the engine's
+// bit-reproducible deterministic mode. Late updates are discounted by
+// (1+staleness)^-Lambda, staleness measured against current.
+func (a *BufferedAggregator) Drain(current int) (Weights, []pendingUpdate, error) {
+	if len(a.pending) == 0 {
+		return Weights{}, nil, fmt.Errorf("fl: draining empty aggregator")
+	}
+	merged := a.pending
+	a.pending = nil
+	sort.Slice(merged, func(i, j int) bool { return merged[i].client < merged[j].client })
+
+	updates := make([]Weights, len(merged))
+	counts := make([]int, len(merged))
+	staleness := make([]int, len(merged))
+	fresh := true
+	for i, p := range merged {
+		updates[i] = p.resp.Weights
+		counts[i] = p.resp.Samples
+		staleness[i] = current - p.version
+		if staleness[i] > 0 {
+			fresh = false
+			a.stats.StaleMerged++
+		}
+	}
+	a.stats.Merged += len(merged)
+
+	var w Weights
+	var err error
+	if fresh {
+		w, err = FedAvg(updates, counts)
+	} else {
+		w, err = StalenessFedAvg(updates, counts, staleness, a.Lambda)
+	}
+	if err != nil {
+		return Weights{}, nil, err
+	}
+	return w, merged, nil
+}
+
+// StalenessFedAvg is FedAvg with each update's sample count discounted by
+// (1+staleness)^-lambda — the standard async-FL rule (cf. FedAsync/FedBuff)
+// that keeps straggler updates useful without letting them drag the global
+// model toward an old version.
+func StalenessFedAvg(updates []Weights, counts, staleness []int, lambda float64) (Weights, error) {
+	if len(updates) == 0 {
+		return Weights{}, fmt.Errorf("fl: StalenessFedAvg with no updates")
+	}
+	if len(updates) != len(counts) || len(updates) != len(staleness) {
+		return Weights{}, fmt.Errorf("fl: %d updates but %d counts, %d staleness", len(updates), len(counts), len(staleness))
+	}
+	weights := make([]float64, len(updates))
+	total := 0.0
+	for i, c := range counts {
+		if c <= 0 {
+			return Weights{}, fmt.Errorf("fl: non-positive sample count %d", c)
+		}
+		if staleness[i] < 0 {
+			return Weights{}, fmt.Errorf("fl: negative staleness %d", staleness[i])
+		}
+		weights[i] = float64(c) * math.Pow(1+float64(staleness[i]), -lambda)
+		total += weights[i]
+	}
+	ref := updates[0]
+	out := Weights{
+		Names:  append([]string(nil), ref.Names...),
+		Shapes: make([][]int, len(ref.Shapes)),
+		Data:   make([][]float32, len(ref.Data)),
+	}
+	for i := range ref.Data {
+		out.Shapes[i] = append([]int(nil), ref.Shapes[i]...)
+		out.Data[i] = make([]float32, len(ref.Data[i]))
+	}
+	for u, upd := range updates {
+		if len(upd.Data) != len(ref.Data) {
+			return Weights{}, fmt.Errorf("fl: update %d has %d tensors, expected %d", u, len(upd.Data), len(ref.Data))
+		}
+		frac := float32(weights[u] / total)
+		for i := range upd.Data {
+			if len(upd.Data[i]) != len(out.Data[i]) {
+				return Weights{}, fmt.Errorf("fl: update %d tensor %q size mismatch", u, ref.Names[i])
+			}
+			dst := out.Data[i]
+			for j, v := range upd.Data[i] {
+				dst[j] += frac * v
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,353 @@
+package fl
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pelta/internal/models"
+)
+
+// --- test doubles over the Conn transport -------------------------------
+
+// flakyConn fails the wrapped client's update on the given rounds.
+type flakyConn struct {
+	Conn
+	failOn map[int]bool
+}
+
+func (f *flakyConn) Update(req UpdateRequest) (UpdateResponse, error) {
+	if f.failOn[req.Round] {
+		return UpdateResponse{}, fmt.Errorf("simulated transport failure in round %d", req.Round)
+	}
+	return f.Conn.Update(req)
+}
+
+// stubConn answers instantly (after an optional simulated latency) with a
+// fixed weight snapshot — an engine-only client with no training cost.
+type stubConn struct {
+	name  string
+	w     Weights
+	n     int
+	delay time.Duration
+}
+
+func (s *stubConn) Update(req UpdateRequest) (UpdateResponse, error) {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	return UpdateResponse{ClientID: s.name, Weights: s.w, Samples: s.n}, nil
+}
+
+func (s *stubConn) ID() string   { return s.name }
+func (s *stubConn) Close() error { return nil }
+
+// --- sampler ------------------------------------------------------------
+
+func TestFullSamplerCoversFleet(t *testing.T) {
+	got := FullSampler{}.Sample(3, 5)
+	if len(got) != 5 {
+		t.Fatalf("FullSampler returned %v", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FullSampler returned %v", got)
+		}
+	}
+}
+
+func TestUniformSamplerDeterministicAndBounded(t *testing.T) {
+	s := UniformSampler{K: 3, Seed: 9}
+	a := s.Sample(7, 10)
+	b := s.Sample(7, 10)
+	if len(a) != 3 {
+		t.Fatalf("cohort size %d, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampler not deterministic: %v vs %v", a, b)
+		}
+		if a[i] < 0 || a[i] >= 10 {
+			t.Fatalf("index out of range: %v", a)
+		}
+		if i > 0 && a[i] <= a[i-1] {
+			t.Fatalf("indices not strictly ascending: %v", a)
+		}
+	}
+	// Different rounds draw different cohorts at least sometimes.
+	differs := false
+	for r := 1; r <= 20; r++ {
+		c := s.Sample(r, 10)
+		for i := range c {
+			if c[i] != a[i] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("sampler returned the same cohort for 20 rounds")
+	}
+}
+
+// --- aggregator ---------------------------------------------------------
+
+func unitUpdate(v float32, samples int) UpdateResponse {
+	return UpdateResponse{
+		ClientID: "c",
+		Weights:  Weights{Names: []string{"w"}, Shapes: [][]int{{1}}, Data: [][]float32{{v}}},
+		Samples:  samples,
+	}
+}
+
+func TestAggregatorDuplicateDelivery(t *testing.T) {
+	agg := NewBufferedAggregator(2, 2, 1)
+	if ok, _ := agg.Offer(0, unitUpdate(1, 10), 0, 0); !ok {
+		t.Fatal("first delivery must be accepted")
+	}
+	// The transport redelivers the same round-0 update (e.g. a TCP retry).
+	ok, why := agg.Offer(0, unitUpdate(1, 10), 0, 0)
+	if ok || why != RejectDuplicate {
+		t.Fatalf("duplicate delivery accepted (ok=%v why=%q)", ok, why)
+	}
+	if st := agg.Stats(); st.Duplicates != 1 {
+		t.Fatalf("stats = %+v, want 1 duplicate", st)
+	}
+	// The same client's update for a later version is NOT a duplicate.
+	if ok, why := agg.Offer(0, unitUpdate(2, 10), 1, 1); !ok {
+		t.Fatalf("later-version update rejected: %s", why)
+	}
+}
+
+func TestAggregatorStaleRejection(t *testing.T) {
+	agg := NewBufferedAggregator(1, 2, 1)
+	// Trained on version 0, global now at version 3: staleness 3 > 2.
+	ok, why := agg.Offer(0, unitUpdate(1, 10), 0, 3)
+	if ok || why != RejectStale {
+		t.Fatalf("beyond-horizon update accepted (ok=%v why=%q)", ok, why)
+	}
+	if st := agg.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want 1 rejected", st)
+	}
+	// Staleness 2 is inside the horizon.
+	if ok, why := agg.Offer(1, unitUpdate(1, 10), 1, 3); !ok {
+		t.Fatalf("in-horizon update rejected: %s", why)
+	}
+	w, merged, err := agg.Drain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 1 || w.Data[0][0] != 1 {
+		t.Fatalf("drain = %v (%d merged)", w.Data, len(merged))
+	}
+	if st := agg.Stats(); st.StaleMerged != 1 {
+		t.Fatalf("stats = %+v, want 1 stale-merged", st)
+	}
+}
+
+func TestStalenessFedAvgDiscountsLateUpdates(t *testing.T) {
+	fresh := Weights{Names: []string{"w"}, Shapes: [][]int{{1}}, Data: [][]float32{{0}}}
+	late := Weights{Names: []string{"w"}, Shapes: [][]int{{1}}, Data: [][]float32{{4}}}
+	// Equal sample counts: λ=1 and staleness 1 halves the late update's
+	// weight, so the mean lands at 4·(0.5/1.5) = 4/3 instead of 2.
+	avg, err := StalenessFedAvg([]Weights{fresh, late}, []int{10, 10}, []int{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := avg.Data[0][0]
+	if got < 1.3 || got > 1.37 {
+		t.Fatalf("staleness-discounted mean = %v, want ≈4/3", got)
+	}
+	// λ=0 restores the plain weighted mean.
+	avg, err = StalenessFedAvg([]Weights{fresh, late}, []int{10, 10}, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Data[0][0] != 2 {
+		t.Fatalf("λ=0 mean = %v, want 2", avg.Data[0][0])
+	}
+}
+
+// --- async engine -------------------------------------------------------
+
+// TestAsyncDeterministicMatchesSequential is the engine's reproducibility
+// contract: in deterministic mode with full participation, the async engine
+// produces the synchronous FedAvg result bit-identically.
+func TestAsyncDeterministicMatchesSequential(t *testing.T) {
+	train, _ := flDataset(t)
+	shards := train.Shards(3)
+	tc := models.TrainConfig{Epochs: 1, BatchSize: 16, LR: 1e-3, Seed: 2}
+	fleet := func() []Conn {
+		var conns []Conn
+		for i, sh := range shards {
+			conns = append(conns, Local(NewHonestClient(fmt.Sprintf("c%d", i), newTestModel(int64(60+i)), sh, tc)))
+		}
+		return conns
+	}
+
+	seqGlobal := newTestModel(59)
+	seq := &Server{Global: seqGlobal, Conns: fleet()}
+	seqRes, err := seq.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	asyncGlobal := newTestModel(59)
+	async := &AsyncServer{
+		Global: asyncGlobal,
+		Conns:  fleet(),
+		Config: AsyncConfig{Rounds: 3, Deterministic: true, Workers: 3},
+	}
+	asyncRes, err := async.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(asyncRes) != len(seqRes) {
+		t.Fatalf("rounds: async %d vs sequential %d", len(asyncRes), len(seqRes))
+	}
+	for i := range asyncRes {
+		if asyncRes[i].DownBytes != seqRes[i].DownBytes || asyncRes[i].UpBytes != seqRes[i].UpBytes {
+			t.Fatalf("round %d bandwidth differs: async %+v vs sequential %+v", i+1, asyncRes[i], seqRes[i])
+		}
+	}
+	ws, wa := Snapshot(seqGlobal), Snapshot(asyncGlobal)
+	for i := range ws.Data {
+		for j := range ws.Data[i] {
+			if ws.Data[i][j] != wa.Data[i][j] {
+				t.Fatalf("weight %s[%d] differs: %v vs %v — deterministic mode is not bit-identical",
+					ws.Names[i], j, ws.Data[i][j], wa.Data[i][j])
+			}
+		}
+	}
+}
+
+// TestAsyncClientDropMidRound: a client that dies mid-round must not stall
+// or fail the federation; the round closes over the surviving updates.
+func TestAsyncClientDropMidRound(t *testing.T) {
+	train, _ := flDataset(t)
+	shards := train.Shards(3)
+	tc := models.TrainConfig{Epochs: 1, BatchSize: 16, LR: 1e-3, Seed: 3}
+	conns := []Conn{
+		Local(NewHonestClient("a", newTestModel(70), shards[0], tc)),
+		&flakyConn{
+			Conn:   Local(NewHonestClient("b", newTestModel(71), shards[1], tc)),
+			failOn: map[int]bool{2: true},
+		},
+		Local(NewHonestClient("c", newTestModel(72), shards[2], tc)),
+	}
+	srv := &AsyncServer{
+		Global: newTestModel(69),
+		Conns:  conns,
+		Config: AsyncConfig{Rounds: 3, Deterministic: true},
+	}
+	results, err := srv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d rounds, want 3", len(results))
+	}
+	if results[1].Dropped != 1 || results[1].Merged != 2 {
+		t.Fatalf("round 2 = %+v, want 1 drop and 2 merged", results[1])
+	}
+	if results[0].Merged != 3 || results[2].Merged != 3 {
+		t.Fatalf("rounds 1/3 should merge the full fleet: %+v / %+v", results[0], results[2])
+	}
+	if srv.Drops() != 1 {
+		t.Fatalf("server drops = %d, want 1", srv.Drops())
+	}
+}
+
+// TestAsyncAllClientsDropFails: a fleet that never delivers must surface an
+// error instead of spinning.
+func TestAsyncAllClientsDropFails(t *testing.T) {
+	train, _ := flDataset(t)
+	shard := train.Shards(1)[0]
+	tc := models.TrainConfig{Epochs: 1, BatchSize: 16, LR: 1e-3, Seed: 3}
+	conns := []Conn{&flakyConn{
+		Conn:   Local(NewHonestClient("a", newTestModel(80), shard, tc)),
+		failOn: map[int]bool{1: true, 2: true, 3: true},
+	}}
+	srv := &AsyncServer{Global: newTestModel(81), Conns: conns, Config: AsyncConfig{Rounds: 2}}
+	if _, err := srv.Run(); err == nil {
+		t.Fatal("federation with a dead fleet must fail")
+	}
+}
+
+// TestAsyncQuorumAbsorbsStragglers: with a quorum below the fleet size, the
+// engine closes rounds without the slow client and folds its late update in
+// with a staleness discount instead of losing it. Enough rounds run that
+// the straggler is guaranteed to land mid-flight even on a loaded machine
+// (it only has to beat the LAST round's close, a ~28 ms head start).
+func TestAsyncQuorumAbsorbsStragglers(t *testing.T) {
+	m := newTestModel(90)
+	w := Snapshot(m)
+	conns := []Conn{
+		&stubConn{name: "fast-1", w: w, n: 10, delay: 2 * time.Millisecond},
+		&stubConn{name: "fast-2", w: w, n: 10, delay: 2 * time.Millisecond},
+		&stubConn{name: "slow", w: w, n: 10, delay: 30 * time.Millisecond},
+	}
+	srv := &AsyncServer{
+		Global: m,
+		Conns:  conns,
+		Config: AsyncConfig{Rounds: 30, Quorum: 2, Workers: 3, MaxStaleness: 1 << 20},
+	}
+	results, err := srv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 30 {
+		t.Fatalf("got %d rounds, want 30", len(results))
+	}
+	st := srv.Stats()
+	if st.Merged < 60 {
+		t.Fatalf("stats = %+v, want ≥ 2 merged per round", st)
+	}
+	if st.StaleMerged == 0 {
+		t.Fatalf("stats = %+v: the straggler's updates never merged late", st)
+	}
+}
+
+// --- throughput ---------------------------------------------------------
+
+// benchFleet builds 8 stub clients with one straggler — the heterogeneous
+// fleet of a real FL deployment, minus the training cost (the engine is
+// what's being measured).
+func benchFleet(m models.Model) []Conn {
+	w := Snapshot(m)
+	conns := make([]Conn, 8)
+	for i := range conns {
+		delay := 2 * time.Millisecond
+		if i == 7 {
+			delay = 16 * time.Millisecond // the straggler
+		}
+		conns[i] = &stubConn{name: fmt.Sprintf("c%d", i), w: w, n: 10, delay: delay}
+	}
+	return conns
+}
+
+// BenchmarkRoundThroughputSequential8 measures the synchronous server: every
+// round serially visits all 8 clients and barriers on the straggler.
+func BenchmarkRoundThroughputSequential8(b *testing.B) {
+	m := newTestModel(99)
+	srv := &Server{Global: m, Conns: benchFleet(m)}
+	b.ResetTimer()
+	if _, err := srv.Run(b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRoundThroughputAsync8 measures the async engine on the same
+// fleet: concurrent workers, quorum 4, stragglers absorbed via staleness.
+func BenchmarkRoundThroughputAsync8(b *testing.B) {
+	m := newTestModel(99)
+	srv := &AsyncServer{
+		Global: m,
+		Conns:  benchFleet(m),
+		Config: AsyncConfig{Rounds: b.N, Quorum: 4, Workers: 8, MaxStaleness: 4},
+	}
+	b.ResetTimer()
+	if _, err := srv.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

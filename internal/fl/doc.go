@@ -1,0 +1,35 @@
+// Package fl implements the federated-learning substrate of Fig. 1 and the
+// asynchronous round engine that scales it: a trusted aggregating server,
+// honest clients fine-tuning the broadcast model on local shards, and the
+// compromised/poisoning clients of the threat model that probe their local
+// copy for adversarial examples (the threat Pelta mitigates). Clients
+// attach either in-process or over TCP with a gob wire format (Conn,
+// ServeClient, Dial).
+//
+// Two server regimes share the RoundResult telemetry:
+//
+//   - Server is the synchronous FedAvg loop of the paper: every round
+//     broadcasts, barriers on all clients, and applies the sample-weighted
+//     average (FedAvg).
+//   - AsyncServer is the traffic-scale engine: a Sampler draws a client
+//     cohort per round, a goroutine worker pool runs their updates
+//     concurrently over the Conn transport, and a BufferedAggregator
+//     merges updates as they arrive — closing a round at Quorum instead of
+//     barriering on the slowest client, folding stragglers in with a
+//     (1+staleness)^-λ discount (StalenessFedAvg), and refusing duplicate
+//     deliveries and beyond-horizon updates.
+//
+// Concurrency: clients never run two updates at once (the engine tracks
+// busy devices), each client owns its model replica, and the aggregator is
+// confined to the server's event loop — no locks anywhere on the round
+// path. Determinism: samplers are pure functions of (seed, round), every
+// malicious client reseeds its probe per round from its own seed, and
+// AsyncConfig.Deterministic barriers each round and merges in client order
+// so a FullSampler run reproduces the synchronous Server bit-identically —
+// the property Table-reproduction runs and the test suite pin down.
+//
+// SweepSpec/RunSweep execute a scenario matrix — {fleet size × non-IID
+// shard skew × shield on/off × probe attack × poisoning fraction} — one
+// asynchronous federation per cell, emitting one SweepRow per cell for
+// cmd/flsim to serialize and internal/eval to summarize.
+package fl

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"pelta/internal/attack"
-	"pelta/internal/core"
 	"pelta/internal/dataset"
 	"pelta/internal/models"
 )
@@ -33,6 +32,9 @@ type PoisoningClient struct {
 	// PoisonedPerRound records how many crafted samples actually fooled
 	// the local model (effective poison strength).
 	PoisonedPerRound []int
+
+	// po caches the gradient oracle across rounds.
+	po *probeOracle
 }
 
 var _ Client = (*PoisoningClient)(nil)
@@ -86,19 +88,12 @@ func (c *PoisoningClient) poisonShard(round int) (*dataset.Dataset, int, error) 
 	}
 	x, y := models.Batch(shard.X, shard.Y, idx)
 
-	var o attack.Oracle
-	if c.Shield {
-		sm, err := core.NewShieldedModel(c.Honest.Model, 0)
-		if err != nil {
-			return nil, 0, err
-		}
-		so, err := attack.NewShieldedOracle(sm, c.ShieldSeed+int64(round)*7919)
-		if err != nil {
-			return nil, 0, err
-		}
-		o = so
-	} else {
-		o = &attack.ClearOracle{M: c.Honest.Model}
+	if c.po == nil {
+		c.po = &probeOracle{model: c.Honest.Model, shield: c.Shield, seed: c.ShieldSeed, stride: 7919}
+	}
+	o, err := c.po.oracle(round)
+	if err != nil {
+		return nil, 0, err
 	}
 	xadv, err := c.Probe.Perturb(o, x, y)
 	if err != nil {

@@ -1,0 +1,54 @@
+package fl
+
+import (
+	"pelta/internal/attack"
+	"pelta/internal/core"
+	"pelta/internal/models"
+)
+
+// probeOracle owns the attacker-side gradient oracle of a malicious client
+// and reuses it across federation rounds. The oracles wrap the client's
+// local model by reference, so weight updates applied between rounds are
+// visible without rebuilding anything; under the shield the upsampling
+// kernel is reseeded per round (stride keeps seeds distinct per client
+// role) so every probe starts with a fresh blind prior, exactly as a
+// freshly built oracle would. Reuse keeps the shielded model's enclave and
+// the pooled graph arenas warm across rounds — the per-round oracle setup
+// cost disappears, which matters when many compromised clients probe
+// concurrently in a sweep.
+type probeOracle struct {
+	model  models.Model
+	shield bool
+	seed   int64
+	stride int64
+
+	clear *attack.ClearOracle
+	so    *attack.ShieldedOracle
+}
+
+// oracle returns the (cached) oracle for the given round.
+func (p *probeOracle) oracle(round int) (attack.Oracle, error) {
+	if !p.shield {
+		if p.clear == nil {
+			p.clear = attack.NewClearOracle(p.model)
+		}
+		return p.clear, nil
+	}
+	seed := p.seed + int64(round)*p.stride
+	if p.so == nil {
+		sm, err := core.NewShieldedModel(p.model, 0)
+		if err != nil {
+			return nil, err
+		}
+		so, err := attack.NewShieldedOracle(sm, seed)
+		if err != nil {
+			return nil, err
+		}
+		p.so = so
+		return p.so, nil
+	}
+	if err := p.so.Reseed(seed); err != nil {
+		return nil, err
+	}
+	return p.so, nil
+}

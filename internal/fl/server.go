@@ -19,6 +19,13 @@ type RoundResult struct {
 	// client updates — the §VI bandwidth accounting.
 	DownBytes int
 	UpBytes   int
+	// Merged, StaleMerged and Dropped describe the round's composition
+	// under the AsyncServer: updates folded in, the subset that arrived
+	// late from an older model version, and clients lost in transit. The
+	// synchronous Server leaves them zero.
+	Merged      int
+	StaleMerged int
+	Dropped     int
 }
 
 // Server is the trusted FL aggregator of Fig. 1: it broadcasts the global

@@ -1,0 +1,302 @@
+package fl
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pelta/internal/attack"
+	"pelta/internal/dataset"
+	"pelta/internal/models"
+	"pelta/internal/tensor"
+)
+
+// SweepSpec defines the scenario matrix of a federated simulation sweep:
+// the cross product of client counts, non-IID shard skews, shielding
+// settings, probe attacks and poisoning fractions, each cell run as one
+// asynchronous federation on synthetic data. The spec is fully seeded, so
+// a sweep replays deterministically cell by cell.
+type SweepSpec struct {
+	// Matrix axes. Empty axes collapse to a single default value.
+	Clients     []int     // fleet sizes (honest + malicious)
+	Skews       []float64 // ShardsSkewed label skew: 0 = IID … 1 = one class per device
+	Shields     []bool    // Pelta on/off on the malicious devices
+	Attacks     []string  // probe attacks: none, fgsm, pgd, apgd, saga
+	PoisonFracs []float64 // fraction of the poisoner's shard replaced per round
+
+	// Per-cell simulation scale.
+	Rounds  int     // aggregations per cell (default 2)
+	HW      int     // image side (default 8)
+	Classes int     // label-space size (default 3)
+	TrainN  int     // training samples across the fleet (default 30·Clients)
+	ValN    int     // validation samples (default 24)
+	Epochs  int     // local epochs per round (default 1)
+	Batch   int     // local batch size (default 16)
+	LR      float64 // local learning rate (default 2e-3)
+	ProbeN  int     // samples the compromised client perturbs (default 6)
+	Steps   int     // iterative-attack steps (default 3)
+	Eps     float32 // attack ε (default 0.1)
+
+	// Engine knobs (see AsyncConfig).
+	Workers       int
+	Quorum        int
+	Deterministic bool
+	Seed          int64
+}
+
+// SweepCell identifies one point of the scenario matrix.
+type SweepCell struct {
+	Clients    int     `json:"clients"`
+	Skew       float64 `json:"skew"`
+	Shield     bool    `json:"shield"`
+	Attack     string  `json:"attack"`
+	PoisonFrac float64 `json:"poison_frac"`
+}
+
+// SweepRow is one JSON result row of a sweep — the machine-readable record
+// cmd/flsim emits per cell and internal/eval consumes.
+type SweepRow struct {
+	SweepCell
+	Rounds int   `json:"rounds"`
+	Seed   int64 `json:"seed"`
+
+	// Outcome metrics.
+	FinalAccuracy  float64 `json:"final_accuracy"`
+	RobustAccuracy float64 `json:"robust_accuracy"` // last probe round; 1 when no probe ran
+	ProbeSamples   int     `json:"probe_samples"`   // 0 ⇒ attack == none (no probe)
+	Fooled         int     `json:"fooled"`
+	PoisonEff      int     `json:"poison_effective"` // genuinely evading poison samples, summed over rounds
+
+	// Engine telemetry.
+	DownBytes    int     `json:"down_bytes"`
+	UpBytes      int     `json:"up_bytes"`
+	Seconds      float64 `json:"seconds"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	Merged       int     `json:"merged"`
+	StaleMerged  int     `json:"stale_merged"`
+	Duplicates   int     `json:"duplicates"`
+	Rejected     int     `json:"rejected"`
+	Drops        int     `json:"drops"`
+}
+
+// withDefaults fills the zero fields of a spec.
+func (s SweepSpec) withDefaults() SweepSpec {
+	def := func(v *[]int, d int) {
+		if len(*v) == 0 {
+			*v = []int{d}
+		}
+	}
+	def(&s.Clients, 3)
+	if len(s.Skews) == 0 {
+		s.Skews = []float64{0}
+	}
+	if len(s.Shields) == 0 {
+		s.Shields = []bool{false}
+	}
+	if len(s.Attacks) == 0 {
+		s.Attacks = []string{"pgd"}
+	}
+	if len(s.PoisonFracs) == 0 {
+		s.PoisonFracs = []float64{0}
+	}
+	if s.Rounds <= 0 {
+		s.Rounds = 2
+	}
+	if s.HW <= 0 {
+		s.HW = 8
+	}
+	if s.Classes <= 0 {
+		s.Classes = 3
+	}
+	if s.ValN <= 0 {
+		s.ValN = 24
+	}
+	if s.Epochs <= 0 {
+		s.Epochs = 1
+	}
+	if s.Batch <= 0 {
+		s.Batch = 16
+	}
+	if s.LR <= 0 {
+		s.LR = 2e-3
+	}
+	if s.ProbeN <= 0 {
+		s.ProbeN = 6
+	}
+	if s.Steps <= 0 {
+		s.Steps = 3
+	}
+	if s.Eps <= 0 {
+		s.Eps = 0.1
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Cells enumerates the scenario matrix in deterministic order.
+func (s SweepSpec) Cells() []SweepCell {
+	s = s.withDefaults()
+	var out []SweepCell
+	for _, c := range s.Clients {
+		for _, sk := range s.Skews {
+			for _, sh := range s.Shields {
+				for _, at := range s.Attacks {
+					for _, pf := range s.PoisonFracs {
+						out = append(out, SweepCell{Clients: c, Skew: sk, Shield: sh, Attack: at, PoisonFrac: pf})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NewProbe instantiates a probe attack by name for the single-defender
+// setting of a malicious client. vit (the attacker's local model, when it
+// is a ViT) supplies the attention rollout SAGA needs against a shielded
+// oracle; it may be nil for gradient-only attacks.
+func NewProbe(name string, eps, step float32, steps int, seed int64, vit *models.ViT) (attack.Attack, error) {
+	switch strings.ToLower(name) {
+	case "fgsm":
+		return &attack.FGSM{Eps: eps}, nil
+	case "pgd":
+		return &attack.PGD{Eps: eps, Step: step, Steps: steps}, nil
+	case "apgd":
+		return &attack.APGD{Eps: eps, Steps: steps, Rho: 0.75, Restarts: 1, Seed: seed}, nil
+	case "saga":
+		p := &attack.SelfSAGA{SAGA: attack.SAGA{Eps: eps, Step: step, Steps: steps, AlphaK: 0.5}}
+		if vit != nil {
+			p.Rollout = &attack.ViTRollout{V: vit}
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("fl: unknown probe attack %q (want fgsm, pgd, apgd or saga)", name)
+	}
+}
+
+// RunCell executes one cell of the matrix and returns its result row.
+//
+// The fleet is client 0 = compromised prober (when the cell has an attack),
+// the next client a poisoner (when PoisonFrac > 0), and honest clients for
+// the rest; every device trains the same scaled-down ViT on its label-skewed
+// shard, and the round engine runs with the spec's async knobs.
+func RunCell(spec SweepSpec, cell SweepCell) (SweepRow, error) {
+	spec = spec.withDefaults()
+	if cell.Clients < 1 {
+		return SweepRow{}, fmt.Errorf("fl: sweep cell needs ≥ 1 client, got %d", cell.Clients)
+	}
+	trainN := spec.TrainN
+	if trainN <= 0 {
+		trainN = 30 * cell.Clients
+	}
+	cfg := dataset.SynthCIFAR10(spec.HW, spec.Seed)
+	cfg.Classes = spec.Classes
+	cfg.TrainN, cfg.ValN = trainN, spec.ValN
+	train, val := dataset.Generate(cfg)
+	shards := train.ShardsSkewed(cell.Clients, cell.Skew, spec.Seed+41)
+
+	newModel := func(s int64) *models.ViT {
+		return models.NewViT(models.SmallViT("ViT-sweep", cfg.Classes, spec.HW, spec.HW/4), tensor.NewRNG(s))
+	}
+	tc := models.TrainConfig{Epochs: spec.Epochs, BatchSize: spec.Batch, LR: spec.LR, Seed: spec.Seed}
+	step := spec.Eps / 8
+
+	var compromised *CompromisedClient
+	var poisoner *PoisoningClient
+	conns := make([]Conn, 0, cell.Clients)
+	for i := 0; i < cell.Clients; i++ {
+		m := newModel(spec.Seed + 100 + int64(i))
+		name := fmt.Sprintf("client-%d", i)
+		switch {
+		case i == 0 && cell.Attack != "" && cell.Attack != "none":
+			probe, err := NewProbe(cell.Attack, spec.Eps, step, spec.Steps, spec.Seed, m)
+			if err != nil {
+				return SweepRow{}, err
+			}
+			compromised = NewCompromisedClient("mallory", m, shards[i], tc, probe, spec.ProbeN, cell.Shield)
+			conns = append(conns, Local(compromised))
+		case poisoner == nil && cell.PoisonFrac > 0 && (i > 0 || cell.Attack == "" || cell.Attack == "none"):
+			probe, err := NewProbe("pgd", spec.Eps, step, spec.Steps, spec.Seed, m)
+			if err != nil {
+				return SweepRow{}, err
+			}
+			poisoner = NewPoisoningClient("poisoner", m, shards[i], tc, probe, cell.PoisonFrac, cell.Shield)
+			conns = append(conns, Local(poisoner))
+		default:
+			conns = append(conns, Local(NewHonestClient(name, m, shards[i], tc)))
+		}
+	}
+	if cell.PoisonFrac > 0 && poisoner == nil {
+		// Don't let the cell silently degrade to an unpoisoned run — its
+		// row would drag eval's poison averages toward zero.
+		return SweepRow{}, fmt.Errorf("fl: sweep cell %+v has no client slot left for the poisoner (needs ≥ 2 clients alongside an attack)", cell)
+	}
+
+	srv := &AsyncServer{
+		Global: newModel(spec.Seed),
+		Conns:  conns,
+		Config: AsyncConfig{
+			Rounds:        spec.Rounds,
+			Workers:       spec.Workers,
+			Quorum:        spec.Quorum,
+			Deterministic: spec.Deterministic,
+		},
+	}
+	start := time.Now()
+	results, err := srv.Run()
+	if err != nil {
+		return SweepRow{}, fmt.Errorf("fl: sweep cell %+v: %w", cell, err)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	row := SweepRow{
+		SweepCell:      cell,
+		Rounds:         spec.Rounds,
+		Seed:           spec.Seed,
+		FinalAccuracy:  models.Accuracy(srv.Global, val.X, val.Y),
+		RobustAccuracy: 1,
+		Seconds:        elapsed,
+		Drops:          srv.Drops(),
+	}
+	if elapsed > 0 {
+		row.RoundsPerSec = float64(len(results)) / elapsed
+	}
+	st := srv.Stats()
+	row.Merged, row.StaleMerged, row.Duplicates, row.Rejected = st.Merged, st.StaleMerged, st.Duplicates, st.Rejected
+	for _, r := range results {
+		row.DownBytes += r.DownBytes
+		row.UpBytes += r.UpBytes
+	}
+	if compromised != nil && len(compromised.Outcomes) > 0 {
+		last := compromised.Outcomes[len(compromised.Outcomes)-1]
+		row.RobustAccuracy = last.RobustAccuracy
+		row.ProbeSamples = last.Samples
+		row.Fooled = last.Fooled
+	}
+	if poisoner != nil {
+		for _, e := range poisoner.PoisonedPerRound {
+			row.PoisonEff += e
+		}
+	}
+	return row, nil
+}
+
+// RunSweep executes every cell of the matrix in order, invoking emit (when
+// non-nil) after each cell so callers can stream NDJSON rows as they land.
+func RunSweep(spec SweepSpec, emit func(SweepRow)) ([]SweepRow, error) {
+	cells := spec.Cells()
+	rows := make([]SweepRow, 0, len(cells))
+	for _, cell := range cells {
+		row, err := RunCell(spec, cell)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+		if emit != nil {
+			emit(row)
+		}
+	}
+	return rows, nil
+}

@@ -1,8 +1,3 @@
-// Package fl implements the federated-learning substrate of Fig. 1: a
-// trusted FedAvg server, honest clients fine-tuning the broadcast model on
-// local shards, and a compromised client that probes its local copy for
-// adversarial examples (the threat Pelta mitigates). Clients attach either
-// in-process or over TCP with a gob wire format.
 package fl
 
 import (

@@ -1,0 +1,8 @@
+// Package imageio reads and writes the binary netpbm formats (PPM P6 for
+// RGB, PGM P5 for grayscale) used to inspect adversarial samples and
+// perturbation maps. Tensors use the model convention: [3,H,W] (or [1,H,W]
+// for grayscale) with float pixels in [0,1].
+//
+// Encoding is pure and deterministic: the same tensor always serializes to
+// the same bytes, which keeps Fig. 4 dumps diffable across runs.
+package imageio

@@ -1,7 +1,3 @@
-// Package imageio reads and writes the binary netpbm formats (PPM P6 for
-// RGB, PGM P5 for grayscale) used to inspect adversarial samples and
-// perturbation maps. Tensors use the model convention: [3,H,W] (or [1,H,W]
-// for grayscale) with float pixels in [0,1].
 package imageio
 
 import (

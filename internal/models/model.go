@@ -1,15 +1,3 @@
-// Package models implements the defending architectures evaluated in the
-// paper: Vision Transformers (ViT-L/16, ViT-B/16, ViT-B/32), pre-activation
-// ResNets (ResNet-56, ResNet-164) and Big Transfer models (BiT-M-R101x3,
-// BiT-M-R152x4) with weight-standardized convolutions and group norm.
-//
-// Every model is built on the autograd graph and exposes its Pelta shield
-// boundary: the vertex z separating the enclave-resident shallow transforms
-// from the clear remainder of the network. After Backward, z.Grad is the
-// adjoint δ_{L+1} — the only backward quantity a shielded attacker can see
-// (§IV-B). Paper-scale configurations are retained as metadata so Table I
-// enclave footprints can be computed analytically without allocating
-// 500 MB+ models.
 package models
 
 import (

@@ -1,0 +1,10 @@
+// Package nn provides neural-network building blocks (layers, initializers,
+// optimizers) on top of the autograd engine. Layers own their parameters and
+// record vertices into a per-pass graph, so the same layer instance can be
+// trained, attacked, and shielded.
+//
+// Layers hold no per-pass state — everything transient lives in the graph
+// — so one layer instance can serve concurrent passes over frozen
+// parameters. Initializers and Adam consume explicit seeds/state, keeping
+// parameter evolution reproducible run to run.
+package nn

@@ -1,7 +1,3 @@
-// Package nn provides neural-network building blocks (layers, initializers,
-// optimizers) on top of the autograd engine. Layers own their parameters and
-// record vertices into a per-pass graph, so the same layer instance can be
-// trained, attacked, and shielded.
 package nn
 
 import (

@@ -1,19 +1,3 @@
-// Package tee simulates an ARM TrustZone-style trusted execution
-// environment: an enclave with a hard memory ceiling, a secure/normal-world
-// boundary crossed only through an encrypted channel, remote attestation,
-// and metering of world switches and bytes transferred (the §VI overheads).
-//
-// The simulation enforces the two properties Pelta relies on:
-//
-//  1. Confidentiality — objects stored in the enclave can only be read back
-//     by the holder of the owner token issued at enclave creation. The
-//     attacker-facing API in internal/core never receives this token.
-//  2. Bounded memory — Store fails with ErrEnclaveFull once the configured
-//     ceiling (30 MB by default, the TrustZone budget cited in the paper)
-//     would be exceeded.
-//
-// Side-channel attacks are out of scope, exactly as in the paper's threat
-// model (§III).
 package tee
 
 import (

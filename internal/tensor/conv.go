@@ -163,8 +163,8 @@ func Conv2dInto(p *Pool, dst, x, weight, bias *Tensor, stride, pad int) {
 	prod := scratch(p, oh*ow, oc)
 	for i := 0; i < b; i++ {
 		im2colRaw(cols.data, x.data[i*c*h*w:(i+1)*c*h*w], c, h, w, kh, kw, stride, pad)
-		MatMulTransBInto(prod, cols, wmat)                // [oh*ow, oc]
-		dstData := dst.data[i*oc*oh*ow : (i+1)*oc*oh*ow]  // [oc, oh, ow]
+		MatMulTransBInto(prod, cols, wmat)               // [oh*ow, oc]
+		dstData := dst.data[i*oc*oh*ow : (i+1)*oc*oh*ow] // [oc, oh, ow]
 		for pp := 0; pp < oh*ow; pp++ {
 			for o := 0; o < oc; o++ {
 				dstData[o*oh*ow+pp] = prod.data[pp*oc+o]

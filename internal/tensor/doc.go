@@ -1,0 +1,16 @@
+// Package tensor provides dense float32 n-dimensional tensors and the
+// numerical kernels (elementwise ops, matrix multiplication, convolution,
+// pooling) used by the autograd engine, the model zoo and the attack suite.
+//
+// Tensors are row-major and contiguous. The package is deliberately free of
+// any autodiff logic: it only moves numbers around. All operations that
+// allocate return fresh tensors; operations suffixed In or prefixed with a
+// destination receiver mutate in place.
+//
+// Kernels are single-threaded and bit-deterministic (fixed reduction
+// order); callers parallelize across tensors, not inside them. The
+// size-bucketed Pool is safe for concurrent use, but the hot paths give
+// each worker its own pool so the mutex stays uncontended. RNG wraps
+// math/rand with an explicit seed — every random draw in the repo flows
+// through it, which is what makes experiments replayable.
+package tensor

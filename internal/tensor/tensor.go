@@ -1,11 +1,3 @@
-// Package tensor provides dense float32 n-dimensional tensors and the
-// numerical kernels (elementwise ops, matrix multiplication, convolution,
-// pooling) used by the autograd engine, the model zoo and the attack suite.
-//
-// Tensors are row-major and contiguous. The package is deliberately free of
-// any autodiff logic: it only moves numbers around. All operations that
-// allocate return fresh tensors; operations suffixed In or prefixed with a
-// destination receiver mutate in place.
 package tensor
 
 import (
