@@ -12,14 +12,18 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"pelta/internal/attack"
 	"pelta/internal/autograd"
 	"pelta/internal/core"
 	"pelta/internal/dataset"
 	"pelta/internal/eval"
+	"pelta/internal/fl"
 	"pelta/internal/models"
+	"pelta/internal/serve"
 	"pelta/internal/tee"
 	"pelta/internal/tensor"
 )
@@ -244,6 +248,100 @@ func BenchmarkFig4Perturbations(b *testing.B) {
 		}
 		if _, err := sm.Query(x, nil); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeThroughput measures the serving subsystem end to end: 8
+// concurrent clients submitting single samples through the micro-batching
+// scheduler, across a {replicas × max-batch} grid, against a sequential
+// single-replica Query loop baseline. ns/op is per served request. Replica
+// scaling is core-bound (each replica is one worker goroutine); batching
+// amortizes the per-pass graph and enclave overhead even on one core.
+func BenchmarkServeThroughput(b *testing.B) {
+	blk := benchBlock(b)
+	hw := blk.Val.HW
+	n := blk.Val.Len()
+	if n > 32 {
+		n = 32
+	}
+	samples := make([]*tensor.Tensor, n)
+	batched := make([]*tensor.Tensor, n)
+	for i := range samples {
+		samples[i] = blk.Val.X.Slice(i)
+		batched[i] = blk.Val.X.Slice(i).Reshape(1, 3, hw, hw)
+	}
+	// Every replica needs its own model copy over the same trained
+	// weights: ShieldedModel is sequential-only.
+	weights := fl.Snapshot(blk.ViT)
+	cloneModel := func(seed int64) (models.Model, error) {
+		m := models.NewViT(blk.ViT.Cfg, tensor.NewRNG(seed))
+		if err := fl.Apply(m, weights); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+
+	b.Run("sequential/replicas=1", func(b *testing.B) {
+		m, err := cloneModel(900)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sm, err := core.NewShieldedModel(m, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sm.Query(batched[0], nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sm.Query(batched[i%n], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	for _, rep := range []int{1, 2, 4} {
+		for _, mb := range []int{1, 8} {
+			b.Run(fmt.Sprintf("replicas=%d/batch=%d", rep, mb), func(b *testing.B) {
+				pool, err := serve.NewShieldedPool(rep, 0, func(i int) (models.Model, error) {
+					return cloneModel(1000 + int64(i))
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				svc := serve.NewService(pool, serve.Config{
+					MaxBatch: mb, MaxDelay: 500 * time.Microsecond, QueueDepth: 256,
+				})
+				defer svc.Close()
+				if _, err := svc.Submit("bench", samples[0], time.Time{}); err != nil {
+					b.Fatal(err)
+				}
+				const clients = 8
+				b.ReportAllocs()
+				b.ResetTimer()
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							i := int(next.Add(1)) - 1
+							if i >= b.N {
+								return
+							}
+							if _, err := svc.Submit("bench", samples[i%n], time.Time{}); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			})
 		}
 	}
 }

@@ -1,0 +1,27 @@
+// Command peltaserve serves shielded inference over HTTP and load-tests it.
+//
+// The binary wraps internal/serve around a (optionally checkpoint-warmed)
+// ViT defender: -replicas independent Pelta-shielded replicas behind the
+// micro-batching scheduler (-max-batch/-max-delay/-queue), with -shield
+// selecting shielded or clear replicas.
+//
+// Serving mode (default) listens on -addr:
+//
+//	POST /query   — NDJSON, one {"x":[...],"deadline_ms":n} per line;
+//	                one {"class":c,"ms":t,"batch":b} per line back
+//	                (?logits=1 echoes logit rows)
+//	GET  /metrics — per-route counters and p50/p95/p99 latency
+//	GET  /healthz — liveness
+//
+// Load-generator mode (-loadgen) skips HTTP and drives the service
+// in-process with mixed traffic — benign validation samples plus FGSM/PGD
+// probes crafted against the same weights (-adv-frac, -attack) — at an
+// open-loop arrival rate (-rate) for -n requests, then prints the serving
+// report: throughput, exact latency quantiles, shed counts, benign accuracy
+// and robust accuracy under attack traffic. -benchjson dumps the same
+// numbers machine-readably for the CI BENCH_*.json artifacts.
+//
+// Weights warm-start from an internal/fl checkpoint (-checkpoint) written
+// by cmd/flsim or fl.SaveModel; without one, the defender is fitted
+// in-process for -epochs on the synthetic train split.
+package main

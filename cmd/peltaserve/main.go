@@ -1,0 +1,308 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"time"
+
+	"pelta/internal/attack"
+	"pelta/internal/core"
+	"pelta/internal/dataset"
+	"pelta/internal/eval"
+	"pelta/internal/fl"
+	"pelta/internal/models"
+	"pelta/internal/serve"
+	"pelta/internal/tensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "peltaserve:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	// Service knobs.
+	replicas int
+	maxBatch int
+	maxDelay time.Duration
+	queue    int
+	shield   bool
+	addr     string
+
+	// Model / data.
+	checkpoint string
+	hw         int
+	classes    int
+	trainN     int
+	valN       int
+	epochs     int
+	seed       int64
+
+	// Load generator.
+	loadgen  bool
+	rate     float64
+	n        int
+	advFrac  float64
+	attackN  string
+	eps      float64
+	steps    int
+	deadline time.Duration
+
+	benchJSON string
+}
+
+func run() error {
+	var o options
+	flag.IntVar(&o.replicas, "replicas", 4, "independent shielded replicas (each owns an enclave + arena)")
+	flag.IntVar(&o.maxBatch, "max-batch", 8, "largest coalesced tensor batch")
+	flag.DurationVar(&o.maxDelay, "max-delay", 2*time.Millisecond, "longest a partial batch waits before flushing")
+	flag.IntVar(&o.queue, "queue", 0, "admission queue depth (0 = 8×max-batch); overflow sheds with ErrOverloaded")
+	flag.BoolVar(&o.shield, "shield", true, "serve through Pelta-shielded replicas (false = clear forwards)")
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8321", "HTTP listen address")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "warm-start weights from an internal/fl checkpoint (see cmd/flsim)")
+	flag.IntVar(&o.hw, "hw", 16, "image side length")
+	flag.IntVar(&o.classes, "classes", 10, "label-space size")
+	flag.IntVar(&o.trainN, "trainn", 800, "training samples when fitting in-process")
+	flag.IntVar(&o.valN, "valn", 240, "validation samples feeding the load generator")
+	flag.IntVar(&o.epochs, "epochs", 5, "in-process training epochs when no -checkpoint is given")
+	flag.Int64Var(&o.seed, "seed", 1, "experiment seed")
+	flag.BoolVar(&o.loadgen, "loadgen", false, "run the built-in load generator instead of listening")
+	flag.Float64Var(&o.rate, "rate", 200, "loadgen: open-loop arrival rate (req/s)")
+	flag.IntVar(&o.n, "n", 256, "loadgen: total requests")
+	flag.Float64Var(&o.advFrac, "adv-frac", 1.0/3, "loadgen: adversarial share of the traffic pool (capped at 0.5 by the probe-source pool)")
+	flag.StringVar(&o.attackN, "attack", "pgd", "loadgen: probe attack crafting the adversarial share (fgsm or pgd)")
+	flag.Float64Var(&o.eps, "eps", 0.1, "loadgen: attack ε (l∞)")
+	flag.IntVar(&o.steps, "steps", 10, "loadgen: iterative attack steps")
+	flag.DurationVar(&o.deadline, "deadline", 0, "loadgen: per-request deadline (0 = none)")
+	flag.StringVar(&o.benchJSON, "benchjson", "", "write machine-readable serving timings to this JSON file (e.g. BENCH_peltaserve.json)")
+	flag.Parse()
+
+	// Synthesize only the splits this invocation reads: the train split
+	// feeds the in-process fit (skipped on checkpoint warm start), the
+	// validation split feeds the fit's accuracy print and the loadgen
+	// traffic pool. Plain serving from a checkpoint needs neither.
+	needFit := o.checkpoint == "" && o.epochs > 0
+	cfg := dataset.SynthCIFAR10(o.hw, o.seed)
+	cfg.Classes = o.classes
+	cfg.TrainN, cfg.ValN = o.trainN, o.valN
+	if !needFit {
+		cfg.TrainN = 0
+	}
+	var train, val *dataset.Dataset
+	if needFit || o.loadgen {
+		train, val = dataset.Generate(cfg)
+	}
+
+	newModel := func(s int64) *models.ViT {
+		return models.NewViT(models.SmallViT("ViT-L/16", o.classes, o.hw, o.hw/4), tensor.NewRNG(s))
+	}
+
+	// Warm start: a checkpoint written by cmd/flsim / fl.SaveModel, or a
+	// quick in-process fit so the served model is better than random.
+	base := newModel(o.seed)
+	if o.checkpoint != "" {
+		if err := fl.LoadModel(o.checkpoint, base); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[peltaserve] warm-started from %s\n", o.checkpoint)
+	} else if o.epochs > 0 {
+		tc := models.TrainConfig{Epochs: o.epochs, BatchSize: 32, LR: 2e-3, Seed: o.seed}
+		models.Train(base, train.X, train.Y, tc)
+		fmt.Fprintf(os.Stderr, "[peltaserve] fitted in-process: clean accuracy %.1f%%\n",
+			100*models.Accuracy(base, val.X, val.Y))
+	}
+	weights := fl.Snapshot(base)
+
+	// Every replica owns an independent model copy with the same weights:
+	// ShieldedModel is sequential-only, and forwards race on shared
+	// parameter gradients.
+	buildModel := func(i int) (models.Model, error) {
+		m := newModel(o.seed + 1000 + int64(i))
+		if err := fl.Apply(m, weights); err != nil {
+			return nil, fmt.Errorf("replica %d: %w", i, err)
+		}
+		return m, nil
+	}
+	var pool *serve.ReplicaPool
+	var err error
+	if o.shield {
+		pool, err = serve.NewShieldedPool(o.replicas, 0, buildModel)
+	} else {
+		pool, err = serve.NewClearPool(o.replicas, buildModel)
+	}
+	if err != nil {
+		return err
+	}
+	svc := serve.NewService(pool, serve.Config{
+		MaxBatch:   o.maxBatch,
+		MaxDelay:   o.maxDelay,
+		QueueDepth: o.queue,
+	})
+	defer svc.Close()
+	fmt.Fprintf(os.Stderr, "[peltaserve] %d replicas (shield=%v), max-batch %d, max-delay %v\n",
+		o.replicas, o.shield, o.maxBatch, o.maxDelay)
+
+	if o.loadgen {
+		return runLoadgen(o, svc, base, val)
+	}
+	fmt.Fprintf(os.Stderr, "[peltaserve] listening on http://%s (POST /query, GET /metrics)\n", o.addr)
+	return http.ListenAndServe(o.addr, serve.NewHandler(svc))
+}
+
+// runLoadgen drives the service in-process with mixed benign + adversarial
+// traffic and prints the serving report.
+func runLoadgen(o options, svc *serve.Service, base models.Model, val *dataset.Dataset) error {
+	items, err := buildTraffic(o, base, val)
+	if err != nil {
+		return err
+	}
+	nAdv := 0
+	for _, it := range items {
+		if it.Adversarial {
+			nAdv++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[peltaserve] loadgen: %d-item pool (%d adversarial via %s), %d requests at %.0f req/s\n",
+		len(items), nAdv, o.attackN, o.n, o.rate)
+
+	start := time.Now()
+	rep, err := serve.RunLoad(svc, items, serve.LoadConfig{
+		Rate:     o.rate,
+		Requests: o.n,
+		Deadline: o.deadline,
+		Seed:     o.seed,
+	})
+	if err != nil {
+		return err
+	}
+	sum := eval.SummarizeServeLoad(rep)
+	fmt.Print(sum.Render())
+
+	if o.benchJSON != "" {
+		rec := map[string]any{
+			"mode":         "loadgen",
+			"replicas":     o.replicas,
+			"max_batch":    o.maxBatch,
+			"max_delay_ms": float64(o.maxDelay) / float64(time.Millisecond),
+			"shield":       o.shield,
+			"sent":         rep.Sent,
+			"served":       rep.Served,
+			"shed":         rep.Shed,
+			"offered_rate": rep.OfferedRate,
+			"throughput":   rep.Throughput,
+			"mean_batch":   rep.MeanBatch,
+			"p50_ms":       sum.Latency.P50,
+			"p95_ms":       sum.Latency.P95,
+			"p99_ms":       sum.Latency.P99,
+			"benign_acc":   rep.BenignAccuracy(),
+			"adv_robust":   rep.AdvRobustAccuracy(),
+			"seconds":      time.Since(start).Seconds(),
+		}
+		f, err := os.Create(o.benchJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rec)
+	}
+	return nil
+}
+
+// buildTraffic assembles the mixed pool: benign validation samples plus
+// adversarial probes crafted against the attacker's local copy of the
+// served weights. The oracle matches the deployment's threat model: with
+// -shield the compromised client's device is Pelta-shielded too, so its
+// gradients are the restricted upsampled adjoint of §IV-C; without it the
+// probes are full white-box.
+func buildTraffic(o options, base models.Model, val *dataset.Dataset) ([]serve.TrafficItem, error) {
+	var items []serve.TrafficItem
+	for i := 0; i < val.Len(); i++ {
+		items = append(items, serve.TrafficItem{X: val.X.Slice(i), Label: val.Y[i]})
+	}
+	if o.advFrac <= 0 {
+		return items, nil
+	}
+	// nAdv benign + nAdv·f/(1-f) adversarial makes the adversarial share
+	// of the pool exactly -adv-frac; probe sources are distinct correctly
+	// classified samples, which caps the share at 50%.
+	f := o.advFrac
+	if f > 0.5 {
+		f = 0.5
+	}
+	nAdv := int(math.Round(float64(val.Len()) * f / (1 - f)))
+	if nAdv < 1 {
+		nAdv = 1
+	}
+	if nAdv > val.Len() {
+		nAdv = val.Len()
+	}
+	var atk attack.Attack
+	switch o.attackN {
+	case "fgsm":
+		atk = &attack.FGSM{Eps: float32(o.eps)}
+	case "pgd":
+		atk = &attack.PGD{Eps: float32(o.eps), Step: float32(o.eps) / 8, Steps: o.steps}
+	default:
+		return nil, fmt.Errorf("-attack: want fgsm or pgd, got %q", o.attackN)
+	}
+	// Astuteness protocol: probes start from correctly classified samples,
+	// so robust accuracy starts at 100% and measures only the attack.
+	x, y, err := eval.SelectCorrect([]models.Model{base}, val, nAdv)
+	if err != nil {
+		return nil, fmt.Errorf("selecting probe sources: %w", err)
+	}
+	nAdv = x.Dim(0)
+
+	addItems := func(xadv *tensor.Tensor, lo int) {
+		for i := 0; i < xadv.Dim(0); i++ {
+			items = append(items, serve.TrafficItem{X: xadv.Slice(i), Label: y[lo+i], Adversarial: true})
+		}
+	}
+	if !o.shield {
+		xadv, err := atk.Perturb(attack.NewClearOracle(base), x, y)
+		if err != nil {
+			return nil, fmt.Errorf("crafting adversarial traffic: %w", err)
+		}
+		addItems(xadv, 0)
+		return items, nil
+	}
+	// Shielded deployment: each attacker only has the restricted
+	// upsampled-adjoint oracle, and at this reduced scale one random
+	// kernel occasionally aligns with the true backward operator (see
+	// eval.KernelDraws), so the pool is split across several independent
+	// kernel draws — a fleet of compromised clients, each probing blind.
+	sm, err := core.NewShieldedModel(base, 0)
+	if err != nil {
+		return nil, err
+	}
+	so, err := attack.NewShieldedOracle(sm, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	per := (nAdv + eval.KernelDraws - 1) / eval.KernelDraws
+	for k := 0; k*per < nAdv; k++ {
+		lo, hi := k*per, (k+1)*per
+		if hi > nAdv {
+			hi = nAdv
+		}
+		if k > 0 {
+			if err := so.Reseed(o.seed + int64(k)*7919); err != nil {
+				return nil, err
+			}
+		}
+		xadv, err := atk.Perturb(so, x.SliceRange(lo, hi), y[lo:hi])
+		if err != nil {
+			return nil, fmt.Errorf("crafting adversarial traffic (kernel %d): %w", k, err)
+		}
+		addItems(xadv, lo)
+	}
+	return items, nil
+}

@@ -10,12 +10,16 @@
 //     round engine (client sampling, staleness-aware buffered aggregation),
 //     honest/compromised/poisoning clients, and the scenario-sweep runner
 //   - internal/ensemble — random-selection ensemble defense
-//   - internal/eval     — Tables I/III/IV, Figs. 3/4, and sweep summaries
+//   - internal/eval     — Tables I/III/IV, Figs. 3/4, sweep and serving-load
+//     summaries, exact quantile helpers
+//   - internal/serve    — the shielded-inference serving subsystem: replica
+//     pools, micro-batching scheduler, admission control, streaming metrics
 //
 // bench_test.go regenerates every table and figure; cmd/peltabench is the
 // command-line entry point, cmd/flsim runs federations and scenario sweeps,
-// and examples/ holds runnable scenarios.
+// cmd/peltaserve serves shielded inference over HTTP (with a built-in load
+// generator), and examples/ holds runnable scenarios.
 package pelta
 
 // Version identifies this reproduction release.
-const Version = "1.1.0"
+const Version = "1.2.0"

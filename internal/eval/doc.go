@@ -7,7 +7,11 @@
 // The harness also consumes the FL-scale scenario sweeps of cmd/flsim:
 // ReadSweepRows decodes the NDJSON rows a sweep emits and SummarizeSweep
 // condenses them into per-attack shield deltas, IID-vs-skewed accuracy and
-// engine throughput. Evaluation is deterministic given an AttackSet seed;
+// engine throughput. Quantiles is the exact sorted-slice p50/p95/p99 shared
+// by the sweep summaries and (as the validation reference for the P²
+// streaming sketches) the internal/serve metrics; SummarizeServeLoad
+// renders a serving load-generator run the same way the sweep summaries
+// render a federation matrix. Evaluation is deterministic given an AttackSet seed;
 // batch fan-out across oracle workers (SetOracleWorkers) never changes
 // results, only wall time.
 package eval

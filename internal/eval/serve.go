@@ -1,0 +1,48 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"pelta/internal/serve"
+)
+
+// SummarizeServeLoad condenses a load-generator run into the serving
+// questions the ROADMAP asks: what rate did the shielded service sustain,
+// with what tail latency, how much was shed past the admission limit, and
+// did the shield keep blunting the adversarial share of the traffic.
+type ServeLoadSummary struct {
+	Report *serve.LoadReport
+	// Latency is the exact p50/p95/p99 over every served request, from
+	// the same samples the serve metrics sketch approximates.
+	Latency Q
+}
+
+// SummarizeServeLoad computes the exact latency quantiles of a report.
+func SummarizeServeLoad(rep *serve.LoadReport) *ServeLoadSummary {
+	s := &ServeLoadSummary{Report: rep}
+	if len(rep.LatenciesMs) > 0 {
+		s.Latency = Quantiles(rep.LatenciesMs)
+	}
+	return s
+}
+
+// Render prints the summary in the repo's plain-text report idiom.
+func (s *ServeLoadSummary) Render() string {
+	rep := s.Report
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "load: %d requests offered at %.0f req/s — %d served (%.1f req/s), %d shed, %d failed in %.2fs\n",
+		rep.Sent, rep.OfferedRate, rep.Served, rep.Throughput, rep.Shed, rep.Failed, rep.Seconds)
+	if rep.Served > 0 {
+		fmt.Fprintf(&sb, "latency: %s ms, mean batch %.1f\n", s.Latency, rep.MeanBatch)
+	}
+	if rep.BenignServed > 0 {
+		fmt.Fprintf(&sb, "benign traffic:      %4d served, accuracy %.1f%%\n",
+			rep.BenignServed, 100*rep.BenignAccuracy())
+	}
+	if rep.AdvServed > 0 {
+		fmt.Fprintf(&sb, "adversarial probes:  %4d served, robust accuracy %.1f%%\n",
+			rep.AdvServed, 100*rep.AdvRobustAccuracy())
+	}
+	return sb.String()
+}

@@ -69,8 +69,11 @@ type SweepSummary struct {
 	PoisonEffClear  float64
 	PoisonEffShield float64
 	// MeanRoundsPerSec is the engine's aggregation throughput averaged
-	// over cells; TotalSeconds is the whole sweep's simulated wall time.
+	// over cells; RoundThroughput spreads it into p50/p95/p99 across cells
+	// so one slow straggler cell is visible next to the mean; TotalSeconds
+	// is the whole sweep's simulated wall time.
 	MeanRoundsPerSec float64
+	RoundThroughput  Q
 	TotalSeconds     float64
 }
 
@@ -84,6 +87,7 @@ func SummarizeSweep(rows []fl.SweepRow) *SweepSummary {
 		nClear, nShield     int
 	}
 	byAttack := make(map[string]*acc)
+	rps := make([]float64, 0, len(rows))
 	var accIID, accSkew float64
 	var nIID, nSkew int
 	var poisonClear, poisonShield float64
@@ -92,6 +96,7 @@ func SummarizeSweep(rows []fl.SweepRow) *SweepSummary {
 		s.Rounds += r.Rounds
 		s.TotalSeconds += r.Seconds
 		s.MeanRoundsPerSec += r.RoundsPerSec
+		rps = append(rps, r.RoundsPerSec)
 		if r.Skew > 0 {
 			accSkew += r.FinalAccuracy
 			nSkew++
@@ -126,6 +131,7 @@ func SummarizeSweep(rows []fl.SweepRow) *SweepSummary {
 	}
 	if len(rows) > 0 {
 		s.MeanRoundsPerSec /= float64(len(rows))
+		s.RoundThroughput = Quantiles(rps)
 	}
 	if nIID > 0 {
 		s.AccuracyIID = accIID / float64(nIID)
@@ -164,6 +170,9 @@ func (s *SweepSummary) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "sweep: %d cells, %d rounds, %.1fs simulated (%.2f rounds/s mean)\n",
 		s.Cells, s.Rounds, s.TotalSeconds, s.MeanRoundsPerSec)
+	if s.Cells > 0 {
+		fmt.Fprintf(&sb, "round throughput across cells: %s rounds/s\n", s.RoundThroughput)
+	}
 	fmt.Fprintf(&sb, "global accuracy: %.1f%% IID", 100*s.AccuracyIID)
 	if s.AccuracySkewed > 0 {
 		fmt.Fprintf(&sb, ", %.1f%% skewed", 100*s.AccuracySkewed)

@@ -1,0 +1,35 @@
+package serve
+
+import "time"
+
+// Clock abstracts wall time for the scheduler so the batch-coalescing
+// policy is testable deterministically: under a fake clock a partial batch
+// flushes exactly when the test advances past MaxDelay, never earlier.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the subset of time.Timer the scheduler needs.
+type Timer interface {
+	// C returns the firing channel.
+	C() <-chan time.Time
+	// Stop cancels the timer; it reports whether the timer was still
+	// pending (same contract as time.Timer.Stop).
+	Stop() bool
+}
+
+// realClock is the production Clock backed by package time.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+
+func (t realTimer) Stop() bool { return t.t.Stop() }

@@ -1,0 +1,35 @@
+// Package serve turns a Pelta-shielded model into a multi-client inference
+// service — the serving layer of the ROADMAP's traffic-scale north star.
+//
+// Key types:
+//
+//   - Replica / ReplicaPool — N independent sequential inference engines
+//     behind one handle. A shielded replica owns its own enclave, model
+//     copy and pooled graph arena (core.ShieldedModel is sequential-only);
+//     NewShieldedPool and NewClearPool build the two flavors.
+//   - Service — the micro-batching scheduler: Submit enqueues one sample,
+//     a batcher coalesces queued requests into tensor batches under a
+//     MaxBatch/MaxDelay policy, and one worker goroutine per replica runs
+//     batches and fans logit rows back to per-request futures.
+//   - Config — batching policy plus admission control: the queue is
+//     bounded (QueueDepth) and requests are shed with the typed
+//     ErrOverloaded when the queue is full or a deadline expires before
+//     service, so overload degrades predictably instead of growing an
+//     unbounded backlog.
+//   - Metrics — the serving metrics core: per-route counters (served,
+//     shed, errors, mean batch) and p50/p95/p99 latency via the P²
+//     streaming quantile sketch (P2Quantile), validated in tests against
+//     the exact eval.Quantiles on the same samples.
+//   - RunLoad — an open-loop load generator over a mixed benign +
+//     adversarial traffic pool, reporting serving accuracy, robust
+//     accuracy under attack traffic, shed counts and latency samples.
+//   - NewHandler — the HTTP surface (NDJSON /query, /metrics, /healthz)
+//     used by cmd/peltaserve.
+//
+// Concurrency: Submit is safe from any number of goroutines; replicas are
+// never queried concurrently (one worker each); Metrics is mutex-guarded.
+// Determinism: batched forwards are row-independent, so a sample's logits
+// are bit-identical whether it is served in a batch of 1 or MaxBatch (the
+// fl checkpoint round-trip test pins this), and the coalescing policy is
+// deterministic under the injectable Clock.
+package serve

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"pelta/internal/tensor"
+)
+
+// QueryRequest is one NDJSON line POSTed to /query: a flattened sample in
+// the service's input shape, with an optional per-request deadline.
+type QueryRequest struct {
+	// X is the flattened [C*H*W] pixel vector in [0,1].
+	X []float32 `json:"x"`
+	// DeadlineMs, when > 0, sheds the request if it cannot be served
+	// within that many milliseconds of arrival.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+}
+
+// QueryResponse is one NDJSON line of the reply, index-aligned with the
+// request stream.
+type QueryResponse struct {
+	// Class is the argmax label (meaningless when Error is set).
+	Class  int       `json:"class"`
+	Logits []float32 `json:"logits,omitempty"`
+	Ms     float64   `json:"ms,omitempty"`
+	Batch  int       `json:"batch,omitempty"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// maxQueryLines bounds one /query body so a runaway client cannot buffer
+// unbounded requests server-side; larger streams should use more requests.
+const maxQueryLines = 16384
+
+// NewHandler returns the HTTP surface of a Service:
+//
+//	POST /query   — NDJSON: one QueryRequest per line, one QueryResponse
+//	                per line back, in request order. Lines are submitted
+//	                concurrently, so a single connection still exercises
+//	                the micro-batcher. ?logits=1 echoes full logit rows.
+//	GET  /metrics — JSON metrics Snapshot.
+//	GET  /healthz — liveness probe.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Metrics().Snapshot())
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST NDJSON to /query", http.StatusMethodNotAllowed)
+			return
+		}
+		wantLogits := r.URL.Query().Get("logits") == "1"
+		dim := 1
+		for _, d := range s.pool.InputShape() {
+			dim *= d
+		}
+
+		var reqs []QueryRequest
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var q QueryRequest
+			if err := json.Unmarshal(line, &q); err != nil {
+				http.Error(w, fmt.Sprintf("line %d: %v", len(reqs)+1, err), http.StatusBadRequest)
+				return
+			}
+			if len(q.X) != dim {
+				http.Error(w, fmt.Sprintf("line %d: sample has %d values, want %d", len(reqs)+1, len(q.X), dim), http.StatusBadRequest)
+				return
+			}
+			if len(reqs) == maxQueryLines {
+				http.Error(w, fmt.Sprintf("too many lines (max %d)", maxQueryLines), http.StatusRequestEntityTooLarge)
+				return
+			}
+			reqs = append(reqs, q)
+		}
+		if err := sc.Err(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+
+		// Fan the lines out concurrently — the batcher coalesces them —
+		// then answer in input order. In-flight submits from one body are
+		// bounded by the admission queue depth, so a large NDJSON batch
+		// streams through the scheduler instead of stampeding the bounded
+		// queue and shedding most of itself while replicas sit idle.
+		out := make([]QueryResponse, len(reqs))
+		sem := make(chan struct{}, s.cfg.QueueDepth)
+		var wg sync.WaitGroup
+		for i, q := range reqs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, q QueryRequest) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				x := tensor.FromSlice(q.X, s.pool.InputShape()...)
+				var deadline time.Time
+				if q.DeadlineMs > 0 {
+					deadline = time.Now().Add(time.Duration(q.DeadlineMs * float64(time.Millisecond)))
+				}
+				start := time.Now()
+				res, err := s.Submit("query", x, deadline)
+				if err != nil {
+					out[i] = QueryResponse{Error: err.Error()}
+					return
+				}
+				out[i] = QueryResponse{
+					Class: res.Class,
+					Ms:    float64(time.Since(start)) / float64(time.Millisecond),
+					Batch: res.BatchSize,
+				}
+				if wantLogits {
+					out[i].Logits = append([]float32(nil), res.Logits.Data()...)
+				}
+			}(i, q)
+		}
+		wg.Wait()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, resp := range out {
+			_ = enc.Encode(resp)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pelta/internal/tensor"
+)
+
+// TrafficItem is one sample of the load generator's traffic mix.
+type TrafficItem struct {
+	// X is the sample [C,H,W].
+	X *tensor.Tensor
+	// Label is the ground-truth class of the underlying benign sample (for
+	// an adversarial item, the label of the sample it was crafted from).
+	Label int
+	// Adversarial marks crafted probe traffic (FGSM/PGD perturbations).
+	Adversarial bool
+}
+
+// LoadConfig drives one open-loop load run: requests are launched at the
+// offered rate regardless of completions, the way real traffic arrives, so
+// an overloaded service accumulates queue depth and sheds instead of
+// silently slowing the generator down (closed-loop coordination omission).
+type LoadConfig struct {
+	// Rate is the offered load in requests/second (required).
+	Rate float64
+	// Requests is the total number launched (required).
+	Requests int
+	// Deadline, when > 0, is each request's service deadline.
+	Deadline time.Duration
+	// Seed draws the traffic mix.
+	Seed int64
+}
+
+// LoadReport summarizes one load run. BenignServed/AdvServed count served
+// requests per stream (shed and failed requests appear only in the
+// aggregate Shed/Failed counters). Accuracy is reported separately for
+// benign and adversarial traffic: BenignAccuracy is plain accuracy,
+// AdvRobustAccuracy is the fraction of served adversarial probes still
+// classified as their true label (the serving-path analogue of robust
+// accuracy).
+type LoadReport struct {
+	Sent   int `json:"sent"`
+	Served int `json:"served"`
+	Shed   int `json:"shed"`
+	Failed int `json:"failed"`
+
+	BenignServed  int `json:"benign_served"`
+	BenignCorrect int `json:"benign_correct"`
+	AdvServed     int `json:"adv_served"`
+	AdvCorrect    int `json:"adv_correct"`
+
+	Elapsed time.Duration `json:"-"`
+	Seconds float64       `json:"seconds"`
+	// OfferedRate is the configured arrival rate; Throughput the served
+	// completion rate actually sustained.
+	OfferedRate float64 `json:"offered_rate"`
+	Throughput  float64 `json:"throughput"`
+	// MeanBatch is the average coalesced batch size over served requests.
+	MeanBatch float64 `json:"mean_batch"`
+	// LatenciesMs holds every served request's end-to-end latency, for
+	// exact quantiles (eval.Quantiles); the service metrics hold the
+	// streaming-sketch view of the same distribution.
+	LatenciesMs []float64 `json:"-"`
+}
+
+// BenignAccuracy returns the benign traffic's serving accuracy.
+func (r *LoadReport) BenignAccuracy() float64 {
+	if r.BenignServed == 0 {
+		return 0
+	}
+	return float64(r.BenignCorrect) / float64(r.BenignServed)
+}
+
+// AdvRobustAccuracy returns robust accuracy over served adversarial probes.
+func (r *LoadReport) AdvRobustAccuracy() float64 {
+	if r.AdvServed == 0 {
+		return 0
+	}
+	return float64(r.AdvCorrect) / float64(r.AdvServed)
+}
+
+// RunLoad fires cfg.Requests items drawn from the traffic mix at the
+// open-loop rate and waits for every in-flight request to resolve. Benign
+// items are submitted on route "benign", adversarial probes on route "adv",
+// so the per-route counters separate the two streams.
+func RunLoad(s *Service, items []TrafficItem, cfg LoadConfig) (*LoadReport, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("serve: loadgen needs traffic items")
+	}
+	if cfg.Rate <= 0 || cfg.Requests <= 0 {
+		return nil, fmt.Errorf("serve: loadgen needs Rate > 0 and Requests > 0")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, cfg.Requests)
+	for i := range order {
+		order[i] = rng.Intn(len(items))
+	}
+
+	type outcome struct {
+		item   int
+		res    *Result
+		err    error
+		lat    time.Duration
+		served bool
+	}
+	outcomes := make([]outcome, cfg.Requests)
+	var wg sync.WaitGroup
+
+	// Open-loop pacing: request i is due at start + i/Rate regardless of
+	// completions. Sleeping only when ahead (rather than ticking once per
+	// request) means a generator starved of CPU catches up in a burst
+	// instead of silently lowering the offered rate — without this, an
+	// overloaded single-core service throttles its own load generator and
+	// the admission limit is never reached (coordinated omission).
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	start := time.Now()
+	for i := 0; i < cfg.Requests; i++ {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			it := items[order[i]]
+			route := "benign"
+			if it.Adversarial {
+				route = "adv"
+			}
+			var deadline time.Time
+			t0 := time.Now()
+			if cfg.Deadline > 0 {
+				deadline = t0.Add(cfg.Deadline)
+			}
+			res, err := s.Submit(route, it.X, deadline)
+			outcomes[i] = outcome{item: order[i], res: res, err: err, lat: time.Since(t0), served: err == nil}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{Sent: cfg.Requests, Elapsed: elapsed, Seconds: elapsed.Seconds(), OfferedRate: cfg.Rate}
+	batchSum := 0
+	for _, o := range outcomes {
+		it := items[o.item]
+		switch {
+		case o.served:
+			rep.Served++
+			rep.LatenciesMs = append(rep.LatenciesMs, float64(o.lat)/float64(time.Millisecond))
+			batchSum += o.res.BatchSize
+			if it.Adversarial {
+				rep.AdvServed++
+				if o.res.Class == it.Label {
+					rep.AdvCorrect++
+				}
+			} else {
+				rep.BenignServed++
+				if o.res.Class == it.Label {
+					rep.BenignCorrect++
+				}
+			}
+		case errors.Is(o.err, ErrOverloaded):
+			rep.Shed++
+		default:
+			rep.Failed++
+		}
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Served) / elapsed.Seconds()
+	}
+	if rep.Served > 0 {
+		rep.MeanBatch = float64(batchSum) / float64(rep.Served)
+	}
+	return rep, nil
+}

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// P2Quantile is a streaming estimator of one quantile via the P² algorithm
+// (Jain & Chlamtac, 1985): five markers track the running quantile in O(1)
+// memory and time per observation, so the serving metrics never buffer the
+// latency history of millions of requests. Below five observations the
+// estimate is exact. Not safe for concurrent use; Metrics serializes access.
+type P2Quantile struct {
+	p     float64
+	count int
+	// q are marker heights, n marker positions (1-based), want the desired
+	// positions and dwant their per-observation increments.
+	q     [5]float64
+	n     [5]float64
+	want  [5]float64
+	dwant [5]float64
+}
+
+// NewP2Quantile returns an estimator for the p-quantile, p in (0,1).
+func NewP2Quantile(p float64) *P2Quantile {
+	e := &P2Quantile{p: p}
+	e.dwant = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// Add folds one observation into the sketch.
+func (e *P2Quantile) Add(x float64) {
+	if e.count < 5 {
+		e.q[e.count] = x
+		e.count++
+		if e.count == 5 {
+			sort.Float64s(e.q[:])
+			e.n = [5]float64{1, 2, 3, 4, 5}
+			e.want = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+		}
+		return
+	}
+	e.count++
+
+	// Locate the cell of x, extending the extreme markers if needed.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.dwant[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.n[i]
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			// Piecewise-parabolic prediction of the new marker height.
+			qn := e.q[i] + s/(e.n[i+1]-e.n[i-1])*
+				((e.n[i]-e.n[i-1]+s)*(e.q[i+1]-e.q[i])/(e.n[i+1]-e.n[i])+
+					(e.n[i+1]-e.n[i]-s)*(e.q[i]-e.q[i-1])/(e.n[i]-e.n[i-1]))
+			if e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				// Parabola left the bracket: fall back to linear.
+				j := i + int(s)
+				e.q[i] += s * (e.q[j] - e.q[i]) / (e.n[j] - e.n[i])
+			}
+			e.n[i] += s
+		}
+	}
+}
+
+// Value returns the current quantile estimate (exact below 5 samples — the
+// same linear interpolation between closest ranks as eval.Quantiles — and 0
+// with no samples).
+func (e *P2Quantile) Value() float64 {
+	if e.count == 0 {
+		return 0
+	}
+	if e.count < 5 {
+		buf := append([]float64(nil), e.q[:e.count]...)
+		sort.Float64s(buf)
+		pos := e.p * float64(len(buf)-1)
+		lo := int(pos)
+		if lo+1 >= len(buf) {
+			return buf[lo]
+		}
+		return buf[lo] + (pos-float64(lo))*(buf[lo+1]-buf[lo])
+	}
+	return e.q[2]
+}
+
+// Count returns how many observations the sketch absorbed.
+func (e *P2Quantile) Count() int { return e.count }
+
+// routeStats accumulates one route's counters and latency sketches.
+type routeStats struct {
+	requests uint64 // admitted + shed + errored
+	served   uint64
+	shed     uint64 // rejected by admission control or deadline shedding
+	errors   uint64
+
+	// batchSamples sums the batch size each served request rode in, so
+	// mean batch size = batchSamples/served.
+	batchSamples uint64
+
+	totalLatency  time.Duration
+	maxLatency    time.Duration
+	p50, p95, p99 *P2Quantile
+}
+
+func newRouteStats() *routeStats {
+	return &routeStats{
+		p50: NewP2Quantile(0.50),
+		p95: NewP2Quantile(0.95),
+		p99: NewP2Quantile(0.99),
+	}
+}
+
+// Metrics is the serving metrics core: per-route counters plus streaming
+// latency quantiles. All methods are safe for concurrent use.
+type Metrics struct {
+	mu     sync.Mutex
+	start  time.Time
+	routes map[string]*routeStats
+}
+
+// NewMetrics returns an empty metrics core.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), routes: make(map[string]*routeStats)}
+}
+
+func (m *Metrics) route(name string) *routeStats {
+	r := m.routes[name]
+	if r == nil {
+		r = newRouteStats()
+		m.routes[name] = r
+	}
+	return r
+}
+
+// Served records one successfully answered request: its end-to-end latency
+// and the size of the tensor batch it rode in.
+func (m *Metrics) Served(route string, latency time.Duration, batch int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.route(route)
+	r.requests++
+	r.served++
+	r.batchSamples += uint64(batch)
+	r.totalLatency += latency
+	if latency > r.maxLatency {
+		r.maxLatency = latency
+	}
+	ms := float64(latency) / float64(time.Millisecond)
+	r.p50.Add(ms)
+	r.p95.Add(ms)
+	r.p99.Add(ms)
+}
+
+// Shed records one request rejected by admission control (queue full or
+// deadline exceeded before service).
+func (m *Metrics) Shed(route string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.route(route)
+	r.requests++
+	r.shed++
+}
+
+// Error records one request that failed in the inference path.
+func (m *Metrics) Error(route string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.route(route)
+	r.requests++
+	r.errors++
+}
+
+// RouteSnapshot is the serializable view of one route's stats.
+type RouteSnapshot struct {
+	Route    string `json:"route"`
+	Requests uint64 `json:"requests"`
+	Served   uint64 `json:"served"`
+	Shed     uint64 `json:"shed"`
+	Errors   uint64 `json:"errors"`
+	// MeanBatch is the average tensor-batch size a request of this route
+	// was coalesced into.
+	MeanBatch float64 `json:"mean_batch"`
+	MeanMs    float64 `json:"mean_ms"`
+	MaxMs     float64 `json:"max_ms"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// Snapshot is the serializable view of the whole metrics core.
+type Snapshot struct {
+	UptimeSec float64         `json:"uptime_sec"`
+	Routes    []RouteSnapshot `json:"routes"`
+}
+
+// Snapshot returns a consistent copy of every route's stats, sorted by
+// route name.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{UptimeSec: time.Since(m.start).Seconds()}
+	names := make([]string, 0, len(m.routes))
+	for name := range m.routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := m.routes[name]
+		rs := RouteSnapshot{
+			Route:    name,
+			Requests: r.requests,
+			Served:   r.served,
+			Shed:     r.shed,
+			Errors:   r.errors,
+			P50Ms:    r.p50.Value(),
+			P95Ms:    r.p95.Value(),
+			P99Ms:    r.p99.Value(),
+			MaxMs:    float64(r.maxLatency) / float64(time.Millisecond),
+		}
+		if r.served > 0 {
+			rs.MeanBatch = float64(r.batchSamples) / float64(r.served)
+			rs.MeanMs = float64(r.totalLatency) / float64(r.served) / float64(time.Millisecond)
+		}
+		s.Routes = append(s.Routes, rs)
+	}
+	return s
+}

@@ -1,0 +1,104 @@
+package serve_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pelta/internal/eval"
+	"pelta/internal/serve"
+)
+
+// TestP2QuantileTracksExactQuantiles validates the streaming sketch against
+// the exact sorted-slice quantiles of eval.Quantiles on the kind of
+// long-tailed distribution serving latencies follow.
+func TestP2QuantileTracksExactQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 20000
+	vals := make([]float64, n)
+	p50 := serve.NewP2Quantile(0.50)
+	p95 := serve.NewP2Quantile(0.95)
+	p99 := serve.NewP2Quantile(0.99)
+	for i := range vals {
+		// Log-normal-ish latency: bulk around 1–3ms with a heavy tail.
+		v := math.Exp(rng.NormFloat64()*0.5) * 2
+		vals[i] = v
+		p50.Add(v)
+		p95.Add(v)
+		p99.Add(v)
+	}
+	exact := eval.Quantiles(vals)
+	for _, tt := range []struct {
+		name         string
+		got, want    float64
+		relTolerance float64
+	}{
+		{"p50", p50.Value(), exact.P50, 0.05},
+		{"p95", p95.Value(), exact.P95, 0.10},
+		{"p99", p99.Value(), exact.P99, 0.15},
+	} {
+		rel := math.Abs(tt.got-tt.want) / tt.want
+		if rel > tt.relTolerance {
+			t.Errorf("%s: sketch %.4f vs exact %.4f (rel err %.3f > %.2f)",
+				tt.name, tt.got, tt.want, rel, tt.relTolerance)
+		}
+	}
+	if p50.Count() != n {
+		t.Errorf("count %d, want %d", p50.Count(), n)
+	}
+}
+
+// TestP2QuantileSmallCounts pins the exact-below-5-samples regime.
+func TestP2QuantileSmallCounts(t *testing.T) {
+	q := serve.NewP2Quantile(0.5)
+	if q.Value() != 0 {
+		t.Fatal("empty sketch must report 0")
+	}
+	q.Add(3)
+	if q.Value() != 3 {
+		t.Fatalf("one sample: %v", q.Value())
+	}
+	q.Add(1)
+	// Two samples interpolate exactly as eval.Quantiles does.
+	if got, want := q.Value(), eval.Quantile([]float64{1, 3}, 0.5); got != want {
+		t.Fatalf("two samples: %v, want %v", got, want)
+	}
+	q.Add(2)
+	// Median of {1,2,3}: exact.
+	if q.Value() != 2 {
+		t.Fatalf("three samples: %v, want 2", q.Value())
+	}
+}
+
+func TestMetricsCountersAndSnapshot(t *testing.T) {
+	m := serve.NewMetrics()
+	m.Served("query", 2*time.Millisecond, 4)
+	m.Served("query", 4*time.Millisecond, 2)
+	m.Shed("query")
+	m.Error("adv")
+	snap := m.Snapshot()
+	if len(snap.Routes) != 2 {
+		t.Fatalf("routes %d, want 2", len(snap.Routes))
+	}
+	// Sorted by name: adv then query.
+	adv, query := snap.Routes[0], snap.Routes[1]
+	if adv.Route != "adv" || adv.Errors != 1 || adv.Requests != 1 {
+		t.Fatalf("adv route %+v", adv)
+	}
+	if query.Served != 2 || query.Shed != 1 || query.Requests != 3 {
+		t.Fatalf("query route %+v", query)
+	}
+	if query.MeanBatch != 3 {
+		t.Fatalf("mean batch %v, want 3", query.MeanBatch)
+	}
+	if query.MeanMs != 3 {
+		t.Fatalf("mean latency %v ms, want 3", query.MeanMs)
+	}
+	if query.MaxMs != 4 {
+		t.Fatalf("max latency %v ms, want 4", query.MaxMs)
+	}
+	if query.P50Ms < 2 || query.P50Ms > 4 {
+		t.Fatalf("p50 %v outside observed range", query.P50Ms)
+	}
+}

@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pelta/internal/tensor"
+)
+
+// ErrOverloaded is returned when admission control sheds a request: the
+// bounded queue is full, or the request's deadline passed before a replica
+// could serve it. Callers detect it with errors.Is and should back off.
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: service closed")
+
+// Config tunes the micro-batching scheduler.
+type Config struct {
+	// MaxBatch is the largest tensor batch coalesced from queued requests
+	// (default 8). A full batch dispatches immediately.
+	MaxBatch int
+	// MaxDelay bounds how long a partial batch waits for company before it
+	// is flushed anyway (default 2ms). Lower favors latency, higher favors
+	// throughput.
+	MaxDelay time.Duration
+	// QueueDepth bounds the admission queue (default 8×MaxBatch). A
+	// request arriving at a full queue is shed with ErrOverloaded instead
+	// of growing the backlog without bound.
+	QueueDepth int
+	// Clock overrides wall time (tests); nil selects the real clock.
+	Clock Clock
+}
+
+// withDefaults fills unset knobs.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8 * c.MaxBatch
+	}
+	if c.Clock == nil {
+		c.Clock = realClock{}
+	}
+	return c
+}
+
+// Result is one served request's answer.
+type Result struct {
+	// Logits is the caller-owned [classes] output row.
+	Logits *tensor.Tensor
+	// Class is the argmax label.
+	Class int
+	// BatchSize is how many requests shared the tensor batch.
+	BatchSize int
+	// Queued is the time spent waiting before the batch started.
+	Queued time.Duration
+}
+
+// request is one queued unit of work.
+type request struct {
+	x        *tensor.Tensor // [C,H,W]
+	route    string
+	deadline time.Time // zero = no deadline
+	enqueued time.Time
+	done     chan response
+}
+
+type response struct {
+	res *Result
+	err error
+}
+
+// Service turns a ReplicaPool into a multi-client inference service: Submit
+// enqueues a single sample; a batcher goroutine coalesces queued requests
+// into tensor batches under the MaxBatch/MaxDelay policy; one worker per
+// replica runs the batches and fans each row back to its caller.
+type Service struct {
+	pool    *ReplicaPool
+	cfg     Config
+	metrics *Metrics
+
+	queue    chan *request
+	dispatch chan []*request
+	wg       sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewService starts the scheduler over pool. Close releases it.
+func NewService(pool *ReplicaPool, cfg Config) *Service {
+	s := &Service{
+		pool:     pool,
+		cfg:      cfg.withDefaults(),
+		metrics:  NewMetrics(),
+		dispatch: make(chan []*request),
+	}
+	s.queue = make(chan *request, s.cfg.QueueDepth)
+	s.wg.Add(1)
+	go s.batcher()
+	for _, rep := range pool.replicas {
+		s.wg.Add(1)
+		go s.worker(rep)
+	}
+	return s
+}
+
+// Metrics exposes the service's metrics core.
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Pool returns the served replica pool.
+func (s *Service) Pool() *ReplicaPool { return s.pool }
+
+// Close drains the scheduler: queued requests still complete, then the
+// batcher and workers exit. Submit calls after Close return ErrClosed.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Submit enqueues one sample x (shape [C,H,W], or [1,C,H,W]) and blocks
+// until it is served or shed. A zero deadline means "no deadline";
+// otherwise a request still queued past its deadline is shed with
+// ErrOverloaded instead of being served late. x must not be mutated until
+// Submit returns.
+func (s *Service) Submit(route string, x *tensor.Tensor, deadline time.Time) (*Result, error) {
+	want := s.pool.InputShape()
+	if x.Rank() == len(want)+1 && x.Dim(0) == 1 {
+		x = x.Slice(0)
+	}
+	if x.Rank() != len(want) {
+		return nil, fmt.Errorf("serve: sample rank %d, want shape %v", x.Rank(), want)
+	}
+	for i, d := range want {
+		if x.Dim(i) != d {
+			return nil, fmt.Errorf("serve: sample shape %v, want %v", x.Shape(), want)
+		}
+	}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	now := s.cfg.Clock.Now()
+	if !deadline.IsZero() && now.After(deadline) {
+		s.mu.RUnlock()
+		s.metrics.Shed(route)
+		return nil, fmt.Errorf("serve: deadline passed at admission: %w", ErrOverloaded)
+	}
+	r := &request{x: x, route: route, deadline: deadline, enqueued: now, done: make(chan response, 1)}
+	select {
+	case s.queue <- r:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.metrics.Shed(route)
+		return nil, fmt.Errorf("serve: admission queue full (depth %d): %w", s.cfg.QueueDepth, ErrOverloaded)
+	}
+
+	resp := <-r.done
+	return resp.res, resp.err
+}
+
+// batcher coalesces queued requests into batches: it opens a batch on the
+// first arrival, greedily drains whatever is already queued, and flushes on
+// whichever comes first of MaxBatch or MaxDelay. Requests never queue
+// behind an idle timer: an already-full queue produces full batches without
+// ever consulting the clock, which is what makes the policy deterministic
+// under a fake clock.
+func (s *Service) batcher() {
+	defer s.wg.Done()
+	defer close(s.dispatch)
+	for {
+		r, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := append(make([]*request, 0, s.cfg.MaxBatch), r)
+		var timer Timer
+		var timerC <-chan time.Time
+		qClosed := false
+	fill:
+		for len(batch) < s.cfg.MaxBatch {
+			// Drain immediately available requests without arming a timer.
+			select {
+			case r2, ok := <-s.queue:
+				if !ok {
+					qClosed = true
+					break fill
+				}
+				batch = append(batch, r2)
+				continue
+			default:
+			}
+			if timer == nil {
+				timer = s.cfg.Clock.NewTimer(s.cfg.MaxDelay)
+				timerC = timer.C()
+			}
+			select {
+			case r2, ok := <-s.queue:
+				if !ok {
+					qClosed = true
+					break fill
+				}
+				batch = append(batch, r2)
+			case <-timerC:
+				break fill
+			}
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		s.dispatch <- batch
+		if qClosed {
+			return
+		}
+	}
+}
+
+// worker owns one replica: it sheds expired requests, stacks the rest into
+// a [B,C,H,W] tensor, runs the replica, and fans rows back.
+func (s *Service) worker(rep Replica) {
+	defer s.wg.Done()
+	var bx *tensor.Tensor
+	for batch := range s.dispatch {
+		now := s.cfg.Clock.Now()
+		live := batch[:0]
+		for _, r := range batch {
+			if !r.deadline.IsZero() && now.After(r.deadline) {
+				s.metrics.Shed(r.route)
+				r.done <- response{err: fmt.Errorf("serve: deadline exceeded before service: %w", ErrOverloaded)}
+				continue
+			}
+			live = append(live, r)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		// One MaxBatch-sized buffer per worker; partial batches run on a
+		// zero-copy view so oscillating batch sizes never reallocate.
+		if bx == nil {
+			bx = tensor.New(append([]int{s.cfg.MaxBatch}, s.pool.InputShape()...)...)
+		}
+		view := bx.SliceRange(0, len(live))
+		for i, r := range live {
+			view.Slice(i).CopyFrom(r.x)
+		}
+		logits, err := rep.Logits(view)
+		done := s.cfg.Clock.Now()
+		if err != nil {
+			for _, r := range live {
+				s.metrics.Error(r.route)
+				r.done <- response{err: fmt.Errorf("serve: replica failed: %w", err)}
+			}
+			continue
+		}
+		for i, r := range live {
+			row := logits.Row(i).Clone()
+			s.metrics.Served(r.route, done.Sub(r.enqueued), len(live))
+			r.done <- response{res: &Result{
+				Logits:    row,
+				Class:     tensor.Argmax(row),
+				BatchSize: len(live),
+				Queued:    now.Sub(r.enqueued),
+			}}
+		}
+	}
+}
