@@ -40,19 +40,23 @@ type options struct {
 	workers       int
 	quorum        int
 	deterministic bool
+	defense       string
+	save          string
 
 	// Sweep mode.
-	sweep       bool
-	trainN      int
-	valN        int
-	classes     int
-	sweepC      string
-	sweepSkew   string
-	sweepShield string
-	sweepAttack string
-	sweepPoison string
-	out         string
-	summary     bool
+	sweep        bool
+	trainN       int
+	valN         int
+	classes      int
+	sweepC       string
+	sweepSkew    string
+	sweepShield  string
+	sweepAttack  string
+	sweepPoison  string
+	sweepPoisons string
+	sweepDefense string
+	out          string
+	summary      bool
 
 	// Summarize mode.
 	summarize string
@@ -74,6 +78,8 @@ func run() error {
 	flag.IntVar(&o.workers, "workers", 0, "concurrent client updates (0 = one per client)")
 	flag.IntVar(&o.quorum, "quorum", 0, "updates that close an async round (0 = all sampled)")
 	flag.BoolVar(&o.deterministic, "deterministic", false, "barrier each round for bit-reproducible FedAvg")
+	flag.StringVar(&o.defense, "defense", "fedavg", "aggregation rule: fedavg, krum, multikrum, trimmed-mean, median or normclip")
+	flag.StringVar(&o.save, "save", "", "single run: save the final global model to this checkpoint, stamped with the defense that trained it")
 	flag.BoolVar(&o.sweep, "sweep", false, "run the scenario matrix instead of a single federation")
 	flag.IntVar(&o.trainN, "trainn", 0, "sweep: training samples per cell (0 = 30·clients)")
 	flag.IntVar(&o.valN, "valn", 64, "sweep: validation samples per cell")
@@ -82,7 +88,9 @@ func run() error {
 	flag.StringVar(&o.sweepSkew, "sweep.skews", "0,0.8", "sweep axis: non-IID label skews in [0,1]")
 	flag.StringVar(&o.sweepShield, "sweep.shields", "both", "sweep axis: shield settings (on, off or both)")
 	flag.StringVar(&o.sweepAttack, "sweep.attacks", "fgsm,pgd,apgd,saga", "sweep axis: probe attacks (none,fgsm,pgd,apgd,saga)")
-	flag.StringVar(&o.sweepPoison, "sweep.poison", "0", "sweep axis: poisoning fractions in [0,1]")
+	flag.StringVar(&o.sweepPoison, "sweep.poison", "0", "sweep axis: poisoning fractions in [0,1] (shard fraction for label-flip, fleet fraction for the update-space strategies)")
+	flag.StringVar(&o.sweepPoisons, "sweep.poisons", "label-flip", "sweep axis: poison strategies (label-flip, sign-flip, model-replacement)")
+	flag.StringVar(&o.sweepDefense, "sweep.defenses", "fedavg", "sweep axis: aggregation defenses (fedavg, krum, multikrum, trimmed-mean, median, normclip)")
 	flag.StringVar(&o.out, "out", "", "write one JSON row per sweep cell to this file (NDJSON)")
 	flag.BoolVar(&o.summary, "summary", true, "print the eval summary after a sweep")
 	flag.StringVar(&o.summarize, "summarize", "", "summarize an existing sweep NDJSON file and exit")
@@ -144,12 +152,30 @@ func runSweep(o options) error {
 		}
 		attacks = append(attacks, a)
 	}
+	var poisons []string
+	for _, p := range strings.Split(o.sweepPoisons, ",") {
+		p = strings.TrimSpace(p)
+		if err := fl.ValidPoison(p); err != nil {
+			return fmt.Errorf("-sweep.poisons: %w", err)
+		}
+		poisons = append(poisons, p)
+	}
+	var defenses []string
+	for _, d := range strings.Split(o.sweepDefense, ",") {
+		d = strings.TrimSpace(d)
+		if _, err := fl.NewAggregator(d); err != nil {
+			return fmt.Errorf("-sweep.defenses: %w", err)
+		}
+		defenses = append(defenses, d)
+	}
 	spec := fl.SweepSpec{
 		Clients:       clients,
 		Skews:         skews,
 		Shields:       shields,
 		Attacks:       attacks,
 		PoisonFracs:   poison,
+		Poisons:       poisons,
+		Defenses:      defenses,
 		Rounds:        o.rounds,
 		HW:            o.hw,
 		TrainN:        o.trainN,
@@ -237,6 +263,10 @@ func runSingle(o options) error {
 		peers = append(peers, fl.NewHonestClient(fmt.Sprintf("client-%d", i), newModel(o.seed+int64(i)), shards[i], tc))
 	}
 
+	agg, err := fl.NewAggregator(o.defense)
+	if err != nil {
+		return fmt.Errorf("-defense: %w", err)
+	}
 	conns, cleanup, err := connect(peers, o.useTCP)
 	if err != nil {
 		return err
@@ -251,13 +281,14 @@ func runSingle(o options) error {
 			Workers:       o.workers,
 			Quorum:        o.quorum,
 			Deterministic: o.deterministic,
+			Agg:           agg,
 		},
 		Eval: func(m models.Model) float64 {
 			return models.Accuracy(m, val.X, val.Y)
 		},
 	}
-	fmt.Printf("federation: 1 server, %d honest clients, 1 compromised (shield=%v, transport=%s, deterministic=%v)\n",
-		o.clients, o.shield, map[bool]string{true: "tcp", false: "local"}[o.useTCP], o.deterministic)
+	fmt.Printf("federation: 1 server, %d honest clients, 1 compromised (shield=%v, transport=%s, deterministic=%v, defense=%s)\n",
+		o.clients, o.shield, map[bool]string{true: "tcp", false: "local"}[o.useTCP], o.deterministic, agg.Name())
 	start := time.Now()
 	results, err := server.Run()
 	if err != nil {
@@ -271,11 +302,21 @@ func runSingle(o options) error {
 			fmt.Println("  ", n)
 		}
 	}
+	if o.save != "" {
+		// Stamp which defense trained the snapshot, so cmd/peltaserve warm
+		// starts can report the served model's provenance.
+		meta := fl.CheckpointMeta{Aggregator: agg.Name(), Rounds: len(results), Seed: o.seed}
+		if err := fl.SaveCheckpoint(o.save, fl.Snapshot(server.Global), meta); err != nil {
+			return err
+		}
+		fmt.Printf("saved %s (defense=%s, rounds=%d, seed=%d)\n", o.save, meta.Aggregator, meta.Rounds, meta.Seed)
+	}
 	if o.benchJSON != "" {
 		if err := writeBench(o.benchJSON, map[string]any{
 			"mode":           "single",
 			"clients":        o.clients + 1,
 			"rounds":         len(results),
+			"defense":        agg.Name(),
 			"seconds":        elapsed.Seconds(),
 			"rounds_per_sec": float64(len(results)) / elapsed.Seconds(),
 		}); err != nil {

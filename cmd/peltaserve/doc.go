@@ -22,6 +22,8 @@
 // numbers machine-readably for the CI BENCH_*.json artifacts.
 //
 // Weights warm-start from an internal/fl checkpoint (-checkpoint) written
-// by cmd/flsim or fl.SaveModel; without one, the defender is fitted
-// in-process for -epochs on the synthetic train split.
+// by cmd/flsim or fl.SaveCheckpoint; a stamped checkpoint's provenance
+// (which aggregation defense trained the served model, over how many
+// federation rounds) is reported on startup. Without one, the defender is
+// fitted in-process for -epochs on the synthetic train split.
 package main

@@ -107,10 +107,19 @@ func run() error {
 	// quick in-process fit so the served model is better than random.
 	base := newModel(o.seed)
 	if o.checkpoint != "" {
-		if err := fl.LoadModel(o.checkpoint, base); err != nil {
+		w, meta, err := fl.LoadCheckpoint(o.checkpoint)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "[peltaserve] warm-started from %s\n", o.checkpoint)
+		if err := fl.Apply(base, w); err != nil {
+			return err
+		}
+		if meta.Aggregator != "" {
+			fmt.Fprintf(os.Stderr, "[peltaserve] warm-started from %s (trained by %s over %d federation rounds, seed %d)\n",
+				o.checkpoint, meta.Aggregator, meta.Rounds, meta.Seed)
+		} else {
+			fmt.Fprintf(os.Stderr, "[peltaserve] warm-started from %s (unstamped checkpoint)\n", o.checkpoint)
+		}
 	} else if o.epochs > 0 {
 		tc := models.TrainConfig{Epochs: o.epochs, BatchSize: 32, LR: 2e-3, Seed: o.seed}
 		models.Train(base, train.X, train.Y, tc)

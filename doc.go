@@ -8,7 +8,9 @@
 //   - internal/attack   — FGSM, PGD, MIM, APGD, C&W, SAGA, BPDA upsampling
 //   - internal/fl       — sync FedAvg server plus the asynchronous sharded
 //     round engine (client sampling, staleness-aware buffered aggregation),
-//     honest/compromised/poisoning clients, and the scenario-sweep runner
+//     robust aggregation defenses (Krum/Multi-Krum, trimmed mean, median,
+//     norm clipping), honest/compromised/poisoning/Byzantine clients, and
+//     the scenario-sweep runner
 //   - internal/ensemble — random-selection ensemble defense
 //   - internal/eval     — Tables I/III/IV, Figs. 3/4, sweep and serving-load
 //     summaries, exact quantile helpers
@@ -22,4 +24,4 @@
 package pelta
 
 // Version identifies this reproduction release.
-const Version = "1.2.0"
+const Version = "1.3.0"

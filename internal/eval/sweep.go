@@ -52,10 +52,29 @@ type SweepAttackLine struct {
 // Delta returns the shield's robust-accuracy gain for this attack.
 func (l SweepAttackLine) Delta() float64 { return l.RobustShield - l.RobustClear }
 
+// SweepDefenseLine is one entry of the defense × poisoning robustness
+// table: the mean final accuracy of every cell sharing an aggregation
+// defense and a poisoning setting, plus how much of the same defense's
+// clean-federation accuracy that preserves.
+type SweepDefenseLine struct {
+	Defense string
+	// Poison is the strategy ("none" for the clean baseline cells).
+	Poison string
+	Frac   float64
+	Cells  int
+	// Accuracy is the mean final accuracy across the matching cells.
+	Accuracy float64
+	// Recovery is Accuracy over the same defense's clean (Frac == 0)
+	// accuracy — the ≥ 0.8 acceptance bar of a working defense. Zero when
+	// the sweep has no clean cells for this defense.
+	Recovery float64
+}
+
 // SweepSummary condenses a sweep into the questions the ROADMAP's
 // traffic-scale simulation asks: does the shield still blunt each probe
 // attack across fleet sizes and data skews, what does poisoning do to the
-// global model, and how fast did the engine aggregate.
+// global model (and which aggregation defense contains it), and how fast
+// did the engine aggregate.
 type SweepSummary struct {
 	Cells   int
 	Rounds  int
@@ -68,6 +87,10 @@ type SweepSummary struct {
 	// poisoned cell with the shield off and on.
 	PoisonEffClear  float64
 	PoisonEffShield float64
+	// DefenseTable is the defense × poisoning robustness matrix, present
+	// when the sweep exercised poisoning or a non-default defense. Lines
+	// are sorted by defense, then poison strategy, then fraction.
+	DefenseTable []SweepDefenseLine
 	// MeanRoundsPerSec is the engine's aggregation throughput averaged
 	// over cells; RoundThroughput spreads it into p50/p95/p99 across cells
 	// so one slow straggler cell is visible next to the mean; TotalSeconds
@@ -161,7 +184,99 @@ func SummarizeSweep(rows []fl.SweepRow) *SweepSummary {
 		}
 		s.Attacks = append(s.Attacks, line)
 	}
+	s.DefenseTable = defenseTable(rows)
 	return s
+}
+
+// defenseKey normalizes a row's defense/poison fields: pre-defense rows
+// carry empty strings that mean plain FedAvg and (when poisoned) the
+// label-flip strategy.
+func defenseKey(r fl.SweepRow) (defense, poison string) {
+	defense = r.Defense
+	if defense == "" {
+		defense = "fedavg"
+	}
+	poison = r.Poison
+	if r.PoisonFrac <= 0 {
+		poison = "none"
+	} else if poison == "" {
+		poison = "label-flip"
+	}
+	return defense, poison
+}
+
+// defenseTable aggregates the defense × poisoning accuracy matrix. It
+// returns nil for sweeps that never poisoned a cell and ran only the
+// default defense — the table would be a single redundant number. All
+// groupings guard against empty filtered row sets, so a sparse or
+// truncated sweep file still summarizes cleanly.
+func defenseTable(rows []fl.SweepRow) []SweepDefenseLine {
+	type key struct {
+		defense, poison string
+		frac            float64
+	}
+	type acc struct {
+		sum float64
+		n   int
+	}
+	groups := make(map[key]*acc)
+	clean := make(map[string]*acc)
+	interesting := false
+	for _, r := range rows {
+		defense, poison := defenseKey(r)
+		if r.PoisonFrac > 0 || (r.Defense != "" && r.Defense != "fedavg") {
+			interesting = true
+		}
+		k := key{defense: defense, poison: poison, frac: r.PoisonFrac}
+		g := groups[k]
+		if g == nil {
+			g = &acc{}
+			groups[k] = g
+		}
+		g.sum += r.FinalAccuracy
+		g.n++
+		if r.PoisonFrac <= 0 {
+			c := clean[defense]
+			if c == nil {
+				c = &acc{}
+				clean[defense] = c
+			}
+			c.sum += r.FinalAccuracy
+			c.n++
+		}
+	}
+	if !interesting || len(groups) == 0 {
+		return nil
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].defense != keys[b].defense {
+			return keys[a].defense < keys[b].defense
+		}
+		if keys[a].poison != keys[b].poison {
+			return keys[a].poison < keys[b].poison
+		}
+		return keys[a].frac < keys[b].frac
+	})
+	out := make([]SweepDefenseLine, 0, len(keys))
+	for _, k := range keys {
+		g := groups[k]
+		line := SweepDefenseLine{
+			Defense:  k.defense,
+			Poison:   k.poison,
+			Frac:     k.frac,
+			Cells:    g.n,
+			Accuracy: g.sum / float64(g.n),
+		}
+		if c := clean[k.defense]; c != nil && c.n > 0 && c.sum > 0 {
+			line.Recovery = line.Accuracy / (c.sum / float64(c.n))
+		}
+		out = append(out, line)
+	}
+	return out
 }
 
 // Render prints the summary as a plain-text report in the repo's table
@@ -198,6 +313,68 @@ func (s *SweepSummary) Render() string {
 	if s.PoisonEffClear > 0 || s.PoisonEffShield > 0 {
 		fmt.Fprintf(&sb, "effective poison/cell: %.1f clear vs %.1f shielded\n",
 			s.PoisonEffClear, s.PoisonEffShield)
+	}
+	if len(s.DefenseTable) > 0 {
+		sb.WriteString(renderDefenseTable(s.DefenseTable))
+	}
+	return sb.String()
+}
+
+// renderDefenseTable pivots the defense lines into one row per defense and
+// one column per poisoning setting, each cell "accuracy (recovery%)".
+func renderDefenseTable(lines []SweepDefenseLine) string {
+	colKey := func(l SweepDefenseLine) string {
+		if l.Poison == "none" {
+			return "clean"
+		}
+		return fmt.Sprintf("%s@%.0f%%", l.Poison, 100*l.Frac)
+	}
+	var defenses, cols []string
+	seenDef := map[string]bool{}
+	seenCol := map[string]bool{}
+	cells := map[string]map[string]SweepDefenseLine{}
+	for _, l := range lines {
+		if !seenDef[l.Defense] {
+			seenDef[l.Defense] = true
+			defenses = append(defenses, l.Defense)
+		}
+		c := colKey(l)
+		if !seenCol[c] {
+			seenCol[c] = true
+			cols = append(cols, c)
+		}
+		if cells[l.Defense] == nil {
+			cells[l.Defense] = map[string]SweepDefenseLine{}
+		}
+		cells[l.Defense][c] = l
+	}
+	// Clean first, then the poisoned settings in line order (already sorted
+	// by poison, frac).
+	sort.SliceStable(cols, func(a, b int) bool { return cols[a] == "clean" && cols[b] != "clean" })
+
+	width := 24
+	var sb strings.Builder
+	sb.WriteString("defense robustness under poisoning (mean final accuracy, % of same-defense clean):\n")
+	fmt.Fprintf(&sb, "%-14s", "defense")
+	for _, c := range cols {
+		fmt.Fprintf(&sb, " %*s", width, c)
+	}
+	sb.WriteString("\n")
+	for _, d := range defenses {
+		fmt.Fprintf(&sb, "%-14s", d)
+		for _, c := range cols {
+			l, ok := cells[d][c]
+			switch {
+			case !ok:
+				// The em dash is 3 bytes but 1 column; %*s pads by bytes.
+				fmt.Fprintf(&sb, " %*s", width+2, "—")
+			case c == "clean" || l.Recovery == 0:
+				fmt.Fprintf(&sb, " %*s", width, fmt.Sprintf("%.1f%%", 100*l.Accuracy))
+			default:
+				fmt.Fprintf(&sb, " %*s", width, fmt.Sprintf("%.1f%% (%.0f%%)", 100*l.Accuracy, 100*l.Recovery))
+			}
+		}
+		sb.WriteString("\n")
 	}
 	return sb.String()
 }

@@ -73,4 +73,106 @@ func TestSummarizeSweepAggregates(t *testing.T) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
 	}
+	if s.DefenseTable != nil {
+		t.Fatalf("defenseless, unpoisoned sweep grew a defense table: %+v", s.DefenseTable)
+	}
+}
+
+func defenseRow(defense, poison string, frac, acc float64) fl.SweepRow {
+	return fl.SweepRow{
+		SweepCell: fl.SweepCell{
+			Clients: 4, Attack: "none", PoisonFrac: frac, Poison: poison, Defense: defense,
+		},
+		Rounds: 2, Seed: 1, FinalAccuracy: acc, RobustAccuracy: 1,
+		Seconds: 0.5, RoundsPerSec: 4, Merged: 8,
+	}
+}
+
+// TestSummarizeSweepDefenseTable pins the defense × poisoning matrix: mean
+// accuracy per (defense, strategy, fraction) and recovery relative to the
+// same defense's clean cells.
+func TestSummarizeSweepDefenseTable(t *testing.T) {
+	rows := []fl.SweepRow{
+		defenseRow("fedavg", "none", 0, 0.9),
+		defenseRow("fedavg", "model-replacement", 0.25, 0.3),
+		defenseRow("multikrum", "none", 0, 0.88),
+		defenseRow("multikrum", "model-replacement", 0.25, 0.8),
+		defenseRow("multikrum", "model-replacement", 0.25, 0.96), // second seed/cell, same setting
+	}
+	s := SummarizeSweep(rows)
+	if len(s.DefenseTable) != 4 {
+		t.Fatalf("defense table has %d lines, want 4: %+v", len(s.DefenseTable), s.DefenseTable)
+	}
+	find := func(def, poison string) SweepDefenseLine {
+		for _, l := range s.DefenseTable {
+			if l.Defense == def && l.Poison == poison {
+				return l
+			}
+		}
+		t.Fatalf("no line for %s/%s in %+v", def, poison, s.DefenseTable)
+		return SweepDefenseLine{}
+	}
+	mk := find("multikrum", "model-replacement")
+	if mk.Cells != 2 || mk.Accuracy != 0.88 {
+		t.Fatalf("multikrum poisoned line = %+v, want mean 0.88 over 2 cells", mk)
+	}
+	if mk.Recovery < 0.99 || mk.Recovery > 1.01 {
+		t.Fatalf("multikrum recovery = %v, want ≈1.0", mk.Recovery)
+	}
+	fa := find("fedavg", "model-replacement")
+	if r := fa.Recovery; r < 0.32 || r > 0.34 {
+		t.Fatalf("fedavg recovery = %v, want 0.3/0.9", r)
+	}
+	out := s.Render()
+	for _, want := range []string{"defense robustness", "model-replacement@25%", "multikrum", "clean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSummarizeSweepLegacyRowsDefault: pre-defense NDJSON rows (no defense
+// or poison fields) must normalize to fedavg/label-flip instead of forming
+// phantom "" groups.
+func TestSummarizeSweepLegacyRowsDefault(t *testing.T) {
+	rows := []fl.SweepRow{
+		{SweepCell: fl.SweepCell{Clients: 3, PoisonFrac: 0.5}, FinalAccuracy: 0.5, Rounds: 2},
+		{SweepCell: fl.SweepCell{Clients: 3}, FinalAccuracy: 0.9, Rounds: 2},
+	}
+	s := SummarizeSweep(rows)
+	if len(s.DefenseTable) != 2 {
+		t.Fatalf("legacy rows gave %d lines, want 2: %+v", len(s.DefenseTable), s.DefenseTable)
+	}
+	for _, l := range s.DefenseTable {
+		if l.Defense != "fedavg" {
+			t.Fatalf("legacy defense %q, want fedavg", l.Defense)
+		}
+	}
+	if s.DefenseTable[0].Poison != "label-flip" && s.DefenseTable[1].Poison != "label-flip" {
+		t.Fatalf("legacy poisoned row lost its label-flip default: %+v", s.DefenseTable)
+	}
+}
+
+// TestSummarizeSweepEmptyRows is the regression gate for `flsim -summarize`
+// on an empty or fully filtered sweep file: every aggregation (including
+// the exact-quantile throughput spread) must report cleanly instead of
+// panicking in eval.Quantile's empty-slice guard.
+func TestSummarizeSweepEmptyRows(t *testing.T) {
+	for _, rows := range [][]fl.SweepRow{nil, {}} {
+		s := SummarizeSweep(rows)
+		if s.Cells != 0 || s.DefenseTable != nil || len(s.Attacks) != 0 {
+			t.Fatalf("empty sweep summary = %+v", s)
+		}
+		out := s.Render()
+		if !strings.Contains(out, "0 cells") {
+			t.Fatalf("empty sweep render:\n%s", out)
+		}
+	}
+	// An all-clean single-defense sweep exercises the empty *filtered* sets
+	// (no poisoned rows, no probe rows) through the same path.
+	s := SummarizeSweep([]fl.SweepRow{defenseRow("fedavg", "none", 0, 0.9)})
+	if s.DefenseTable != nil {
+		t.Fatalf("uninteresting sweep grew a table: %+v", s.DefenseTable)
+	}
+	_ = s.Render()
 }

@@ -50,6 +50,9 @@ type BufferedAggregator struct {
 	// ago contributes with its sample count discounted by (1+s)^-Lambda.
 	// Lambda = 0 treats stale updates at full weight.
 	Lambda float64
+	// Rule is the aggregation defense applied at Drain (nil = the plain
+	// FedAvg/StalenessFedAvg pair, bit-identical to the pre-defense engine).
+	Rule Aggregator
 
 	pending  []pendingUpdate
 	lastSeen map[int]int // client index → latest trained-on version accepted
@@ -102,8 +105,10 @@ func (a *BufferedAggregator) Stats() AggregatorStats { return a.stats }
 // order, and an all-fresh buffer goes through the exact FedAvg arithmetic
 // of the synchronous server — the two properties behind the engine's
 // bit-reproducible deterministic mode. Late updates are discounted by
-// (1+staleness)^-Lambda, staleness measured against current.
-func (a *BufferedAggregator) Drain(current int) (Weights, []pendingUpdate, error) {
+// (1+staleness)^-Lambda, staleness measured against current. prev is the
+// version-current broadcast snapshot, which delta-space defenses (Rule)
+// need; it is unused when Rule is nil.
+func (a *BufferedAggregator) Drain(current int, prev Weights) (Weights, []pendingUpdate, error) {
 	if len(a.pending) == 0 {
 		return Weights{}, nil, fmt.Errorf("fl: draining empty aggregator")
 	}
@@ -128,9 +133,12 @@ func (a *BufferedAggregator) Drain(current int) (Weights, []pendingUpdate, error
 
 	var w Weights
 	var err error
-	if fresh {
+	switch {
+	case a.Rule != nil:
+		w, err = a.Rule.Aggregate(prev, updates, counts, staleness, a.Lambda)
+	case fresh:
 		w, err = FedAvg(updates, counts)
-	} else {
+	default:
 		w, err = StalenessFedAvg(updates, counts, staleness, a.Lambda)
 	}
 	if err != nil {

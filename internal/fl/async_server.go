@@ -28,6 +28,11 @@ type AsyncConfig struct {
 	// synchronous Server bit-identically, which is how Table-reproduction
 	// runs and tests stay seeded-reproducible.
 	Deterministic bool
+	// Agg is the aggregation defense applied when a round closes (nil =
+	// plain FedAvg/StalenessFedAvg, bit-identical to the pre-defense
+	// engine). Robust rules still see the staleness discounts, so the two
+	// mechanisms compose.
+	Agg Aggregator
 }
 
 // Defaults applied by AsyncServer.Run for zero AsyncConfig fields.
@@ -123,6 +128,7 @@ func (s *AsyncServer) Run() ([]RoundResult, error) {
 	s.stats = AggregatorStats{}
 	s.drops = 0
 	agg := NewBufferedAggregator(cfg.Quorum, cfg.MaxStaleness, cfg.Lambda)
+	agg.Rule = cfg.Agg
 
 	version := 0 // aggregations applied so far; round r = version+1
 	inflight := 0
@@ -209,7 +215,7 @@ func (s *AsyncServer) Run() ([]RoundResult, error) {
 		// client has reported and whatever arrived is all this round gets.
 		for version < cfg.Rounds && agg.Pending() > 0 &&
 			(agg.Ready() || inflight == 0) {
-			w, merged, err := agg.Drain(version)
+			w, merged, err := agg.Drain(version, snapshot)
 			if err != nil {
 				return results, fmt.Errorf("fl: round %d aggregation: %w", version+1, err)
 			}

@@ -132,7 +132,7 @@ func TestAggregatorStaleRejection(t *testing.T) {
 	if ok, why := agg.Offer(1, unitUpdate(1, 10), 1, 3); !ok {
 		t.Fatalf("in-horizon update rejected: %s", why)
 	}
-	w, merged, err := agg.Drain(3)
+	w, merged, err := agg.Drain(3, Weights{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,37 +3,89 @@ package fl
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 
 	"pelta/internal/models"
 )
 
-// SaveWeights writes a gob-encoded weight snapshot to path, so trained
-// defenders can be reused across experiment runs.
-func SaveWeights(path string, w Weights) error {
+// CheckpointMeta records the provenance of a saved weight snapshot, so a
+// serving warm start (cmd/peltaserve) can report which defense trained the
+// model it is about to expose.
+type CheckpointMeta struct {
+	// Aggregator is the defense that produced the weights (see
+	// AggregatorNames; empty for legacy or non-federated checkpoints).
+	Aggregator string
+	// Rounds is how many aggregations trained the snapshot.
+	Rounds int
+	// Seed is the experiment seed of the producing run.
+	Seed int64
+}
+
+// checkpointFile is the on-disk gob envelope of a stamped checkpoint.
+// Legacy checkpoints (pre-meta) are a bare gob-encoded Weights; both
+// formats load through LoadCheckpoint.
+type checkpointFile struct {
+	Weights Weights
+	Meta    CheckpointMeta
+}
+
+// SaveCheckpoint writes a weight snapshot with its provenance stamp.
+func SaveCheckpoint(path string, w Weights, meta CheckpointMeta) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("fl: creating checkpoint %s: %w", path, err)
 	}
 	defer f.Close()
-	if err := gob.NewEncoder(f).Encode(w); err != nil {
+	if err := gob.NewEncoder(f).Encode(checkpointFile{Weights: w, Meta: meta}); err != nil {
 		return fmt.Errorf("fl: encoding checkpoint %s: %w", path, err)
 	}
 	return nil
 }
 
-// LoadWeights reads a snapshot written by SaveWeights.
-func LoadWeights(path string) (Weights, error) {
+// LoadCheckpoint reads a snapshot written by SaveCheckpoint or the legacy
+// SaveWeights format (which yields a zero CheckpointMeta).
+func LoadCheckpoint(path string) (Weights, CheckpointMeta, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return Weights{}, fmt.Errorf("fl: opening checkpoint %s: %w", path, err)
+		return Weights{}, CheckpointMeta{}, fmt.Errorf("fl: opening checkpoint %s: %w", path, err)
 	}
 	defer f.Close()
-	var w Weights
-	if err := gob.NewDecoder(f).Decode(&w); err != nil {
-		return Weights{}, fmt.Errorf("fl: decoding checkpoint %s: %w", path, err)
+	var ck checkpointFile
+	err = gob.NewDecoder(f).Decode(&ck)
+	if err == nil && len(ck.Weights.Data) > 0 {
+		return ck.Weights, ck.Meta, nil
 	}
-	return w, nil
+	// Legacy format: gob matches struct fields by name, so decoding a bare
+	// Weights stream into the envelope "succeeds" with empty weights —
+	// rewind and decode the old shape directly.
+	if _, serr := f.Seek(0, io.SeekStart); serr != nil {
+		return Weights{}, CheckpointMeta{}, fmt.Errorf("fl: rewinding checkpoint %s: %w", path, serr)
+	}
+	var w Weights
+	if lerr := gob.NewDecoder(f).Decode(&w); lerr != nil || len(w.Data) == 0 {
+		if err == nil {
+			err = lerr
+		}
+		if err == nil {
+			err = fmt.Errorf("empty weight snapshot")
+		}
+		return Weights{}, CheckpointMeta{}, fmt.Errorf("fl: decoding checkpoint %s: %w", path, err)
+	}
+	return w, CheckpointMeta{}, nil
+}
+
+// SaveWeights writes an unstamped weight snapshot to path, so trained
+// defenders can be reused across experiment runs.
+func SaveWeights(path string, w Weights) error {
+	return SaveCheckpoint(path, w, CheckpointMeta{})
+}
+
+// LoadWeights reads a snapshot written by SaveWeights/SaveCheckpoint,
+// discarding any provenance stamp.
+func LoadWeights(path string) (Weights, error) {
+	w, _, err := LoadCheckpoint(path)
+	return w, err
 }
 
 // SaveModel checkpoints a model's current parameters.

@@ -1,6 +1,8 @@
 package fl
 
 import (
+	"encoding/gob"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -26,6 +28,57 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		if ps[i] != pd[i] {
 			t.Fatal("restored model behaves differently")
 		}
+	}
+}
+
+// TestCheckpointMetaStamp: a stamped checkpoint must round-trip its
+// provenance alongside bit-identical weights.
+func TestCheckpointMetaStamp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stamped.ckpt")
+	src := Snapshot(newTestModel(5))
+	meta := CheckpointMeta{Aggregator: DefenseMultiKrum, Rounds: 7, Seed: 41}
+	if err := SaveCheckpoint(path, src, meta); err != nil {
+		t.Fatal(err)
+	}
+	w, got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != meta {
+		t.Fatalf("meta = %+v, want %+v", got, meta)
+	}
+	for i := range src.Data {
+		for j := range src.Data[i] {
+			if w.Data[i][j] != src.Data[i][j] {
+				t.Fatal("stamped checkpoint changed the weights")
+			}
+		}
+	}
+}
+
+// TestCheckpointLegacyFormat: bare gob-encoded Weights written before the
+// provenance stamp must still load, with a zero meta.
+func TestCheckpointLegacyFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.ckpt")
+	src := Snapshot(newTestModel(6))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(f).Encode(src); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w, meta, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != (CheckpointMeta{}) {
+		t.Fatalf("legacy checkpoint grew a meta: %+v", meta)
+	}
+	if len(w.Data) != len(src.Data) || w.Data[0][0] != src.Data[0][0] {
+		t.Fatal("legacy weights mangled")
 	}
 }
 

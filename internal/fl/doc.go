@@ -19,6 +19,19 @@
 //     (1+staleness)^-λ discount (StalenessFedAvg), and refusing duplicate
 //     deliveries and beyond-horizon updates.
 //
+// Robust aggregation under poisoning: both servers take a pluggable
+// Aggregator defense — Krum/Multi-Krum selection, coordinate-wise trimmed
+// mean and median, and norm-clipped FedAvg (NewAggregator) — that bounds
+// what a minority of malicious clients can do to the global model. The
+// attacker side fields three poison strategies: the label-flip shard
+// poisoner (PoisoningClient), and the update-space SignFlipClient and
+// ModelReplacementClient (scaled boosting) the defenses exist to stop.
+// Robust rules compose with the async engine's staleness discounts, and a
+// nil Aggregator (or FedAvgAgg) reproduces the defenseless engine
+// bit-identically. Checkpoints written by SaveCheckpoint stamp which
+// defense trained the weights (CheckpointMeta), so a serving warm start
+// can report the model's provenance.
+//
 // Concurrency: clients never run two updates at once (the engine tracks
 // busy devices), each client owns its model replica, and the aggregator is
 // confined to the server's event loop — no locks anywhere on the round
@@ -29,7 +42,9 @@
 // the property Table-reproduction runs and the test suite pin down.
 //
 // SweepSpec/RunSweep execute a scenario matrix — {fleet size × non-IID
-// shard skew × shield on/off × probe attack × poisoning fraction} — one
-// asynchronous federation per cell, emitting one SweepRow per cell for
-// cmd/flsim to serialize and internal/eval to summarize.
+// shard skew × shield on/off × probe attack × poisoning fraction × poison
+// strategy × aggregation defense} — one asynchronous federation per cell,
+// emitting one SweepRow per cell for cmd/flsim to serialize and
+// internal/eval to summarize (including the defense × poisoning
+// robustness table).
 package fl

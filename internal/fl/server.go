@@ -38,6 +38,9 @@ type Server struct {
 	// Parallel fans client updates out to goroutines (default sequential,
 	// deterministic).
 	Parallel bool
+	// Agg is the aggregation defense (nil = plain FedAvg, bit-identical to
+	// the pre-defense server).
+	Agg Aggregator
 }
 
 // Run executes the given number of federation rounds.
@@ -72,7 +75,12 @@ func (s *Server) Run(rounds int) ([]RoundResult, error) {
 			}
 			up += n
 		}
-		agg, err := FedAvg(updates, counts)
+		var agg Weights
+		if s.Agg != nil {
+			agg, err = s.Agg.Aggregate(req.Weights, updates, counts, make([]int, len(updates)), 0)
+		} else {
+			agg, err = FedAvg(updates, counts)
+		}
 		if err != nil {
 			return results, fmt.Errorf("fl: round %d aggregation: %w", r, err)
 		}

@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -22,7 +23,16 @@ type SweepSpec struct {
 	Skews       []float64 // ShardsSkewed label skew: 0 = IID … 1 = one class per device
 	Shields     []bool    // Pelta on/off on the malicious devices
 	Attacks     []string  // probe attacks: none, fgsm, pgd, apgd, saga
-	PoisonFracs []float64 // fraction of the poisoner's shard replaced per round
+	PoisonFracs []float64 // poisoning intensity (see Poisons for its meaning per strategy)
+	// Poisons selects the poisoning strategy per cell (default label-flip).
+	// For label-flip, PoisonFrac is the fraction of the single poisoner's
+	// shard replaced by crafted samples (the PR 2 semantics). For the
+	// update-space sign-flip and model-replacement strategies it is the
+	// fraction of the FLEET that is malicious (≥ 1 client when > 0).
+	Poisons []string
+	// Defenses selects the server aggregation rule per cell (default
+	// fedavg); see AggregatorNames.
+	Defenses []string
 
 	// Per-cell simulation scale.
 	Rounds  int     // aggregations per cell (default 2)
@@ -51,6 +61,11 @@ type SweepCell struct {
 	Shield     bool    `json:"shield"`
 	Attack     string  `json:"attack"`
 	PoisonFrac float64 `json:"poison_frac"`
+	// Poison is the poisoning strategy ("none" when PoisonFrac is 0; empty
+	// in pre-defense rows, meaning label-flip).
+	Poison string `json:"poison,omitempty"`
+	// Defense is the server aggregation rule (empty = legacy plain FedAvg).
+	Defense string `json:"defense,omitempty"`
 }
 
 // SweepRow is one JSON result row of a sweep — the machine-readable record
@@ -99,6 +114,12 @@ func (s SweepSpec) withDefaults() SweepSpec {
 	if len(s.PoisonFracs) == 0 {
 		s.PoisonFracs = []float64{0}
 	}
+	if len(s.Poisons) == 0 {
+		s.Poisons = []string{PoisonLabelFlip}
+	}
+	if len(s.Defenses) == 0 {
+		s.Defenses = []string{DefenseFedAvg}
+	}
 	if s.Rounds <= 0 {
 		s.Rounds = 2
 	}
@@ -135,7 +156,9 @@ func (s SweepSpec) withDefaults() SweepSpec {
 	return s
 }
 
-// Cells enumerates the scenario matrix in deterministic order.
+// Cells enumerates the scenario matrix in deterministic order. A poisoning
+// fraction of zero makes the strategy axis moot, so such cells are emitted
+// once with Poison "none" instead of once per strategy.
 func (s SweepSpec) Cells() []SweepCell {
 	s = s.withDefaults()
 	var out []SweepCell
@@ -144,7 +167,17 @@ func (s SweepSpec) Cells() []SweepCell {
 			for _, sh := range s.Shields {
 				for _, at := range s.Attacks {
 					for _, pf := range s.PoisonFracs {
-						out = append(out, SweepCell{Clients: c, Skew: sk, Shield: sh, Attack: at, PoisonFrac: pf})
+						for pi, po := range s.Poisons {
+							if pf == 0 {
+								if pi > 0 {
+									continue
+								}
+								po = "none"
+							}
+							for _, def := range s.Defenses {
+								out = append(out, SweepCell{Clients: c, Skew: sk, Shield: sh, Attack: at, PoisonFrac: pf, Poison: po, Defense: def})
+							}
+						}
 					}
 				}
 			}
@@ -176,16 +209,56 @@ func NewProbe(name string, eps, step float32, steps int, seed int64, vit *models
 	}
 }
 
+// poisonerCount translates a cell's poison axis into how many malicious
+// clients join the fleet: label-flip keeps the single shard-level poisoner
+// of PR 2 (PoisonFrac is its in-shard fraction), while the update-space
+// strategies read PoisonFrac as the fraction of the fleet compromised.
+func poisonerCount(cell SweepCell) int {
+	if cell.PoisonFrac <= 0 || cell.Poison == "none" {
+		return 0
+	}
+	switch cell.Poison {
+	case "", PoisonLabelFlip:
+		return 1
+	default:
+		n := int(math.Round(cell.PoisonFrac * float64(cell.Clients)))
+		if n < 1 {
+			n = 1
+		}
+		if n > cell.Clients-1 {
+			n = cell.Clients - 1
+		}
+		return n
+	}
+}
+
 // RunCell executes one cell of the matrix and returns its result row.
 //
 // The fleet is client 0 = compromised prober (when the cell has an attack),
-// the next client a poisoner (when PoisonFrac > 0), and honest clients for
-// the rest; every device trains the same scaled-down ViT on its label-skewed
-// shard, and the round engine runs with the spec's async knobs.
+// the next poisonerCount clients malicious in the cell's poison strategy,
+// and honest clients for the rest; every device trains the same scaled-down
+// ViT on its label-skewed shard, the round engine runs with the spec's
+// async knobs, and the server aggregates with the cell's defense.
 func RunCell(spec SweepSpec, cell SweepCell) (SweepRow, error) {
 	spec = spec.withDefaults()
 	if cell.Clients < 1 {
 		return SweepRow{}, fmt.Errorf("fl: sweep cell needs ≥ 1 client, got %d", cell.Clients)
+	}
+	if err := ValidPoison(cell.Poison); err != nil {
+		return SweepRow{}, err
+	}
+	if cell.PoisonFrac > 0 && cell.Poison != "none" && poisonerCount(cell) == 0 {
+		// A 1-client fleet cannot host an update-space poisoner (the clamp
+		// keeps ≥ 1 honest client); erroring beats silently running clean
+		// with poison_frac > 0 stamped on the row.
+		return SweepRow{}, fmt.Errorf("fl: sweep cell %+v needs ≥ 2 clients for %s poisoning", cell, cell.Poison)
+	}
+	var agg Aggregator
+	if cell.Defense != "" {
+		var err error
+		if agg, err = NewAggregator(cell.Defense); err != nil {
+			return SweepRow{}, err
+		}
 	}
 	trainN := spec.TrainN
 	if trainN <= 0 {
@@ -205,6 +278,8 @@ func RunCell(spec SweepSpec, cell SweepCell) (SweepRow, error) {
 
 	var compromised *CompromisedClient
 	var poisoner *PoisoningClient
+	wantPoisoners := poisonerCount(cell)
+	placed := 0
 	conns := make([]Conn, 0, cell.Clients)
 	for i := 0; i < cell.Clients; i++ {
 		m := newModel(spec.Seed + 100 + int64(i))
@@ -217,21 +292,30 @@ func RunCell(spec SweepSpec, cell SweepCell) (SweepRow, error) {
 			}
 			compromised = NewCompromisedClient("mallory", m, shards[i], tc, probe, spec.ProbeN, cell.Shield)
 			conns = append(conns, Local(compromised))
-		case poisoner == nil && cell.PoisonFrac > 0 && (i > 0 || cell.Attack == "" || cell.Attack == "none"):
-			probe, err := NewProbe("pgd", spec.Eps, step, spec.Steps, spec.Seed, m)
-			if err != nil {
-				return SweepRow{}, err
+		case placed < wantPoisoners && (i > 0 || cell.Attack == "" || cell.Attack == "none"):
+			pname := fmt.Sprintf("poisoner-%d", placed)
+			switch cell.Poison {
+			case PoisonSignFlip:
+				conns = append(conns, Local(NewSignFlipClient(pname, m, shards[i], tc)))
+			case PoisonModelReplacement:
+				conns = append(conns, Local(NewModelReplacementClient(pname, m, shards[i], tc, cell.Clients)))
+			default: // label-flip: one shard-level poisoner, PR 2 semantics
+				probe, err := NewProbe("pgd", spec.Eps, step, spec.Steps, spec.Seed, m)
+				if err != nil {
+					return SweepRow{}, err
+				}
+				poisoner = NewPoisoningClient("poisoner", m, shards[i], tc, probe, cell.PoisonFrac, cell.Shield)
+				conns = append(conns, Local(poisoner))
 			}
-			poisoner = NewPoisoningClient("poisoner", m, shards[i], tc, probe, cell.PoisonFrac, cell.Shield)
-			conns = append(conns, Local(poisoner))
+			placed++
 		default:
 			conns = append(conns, Local(NewHonestClient(name, m, shards[i], tc)))
 		}
 	}
-	if cell.PoisonFrac > 0 && poisoner == nil {
+	if wantPoisoners > 0 && placed < wantPoisoners {
 		// Don't let the cell silently degrade to an unpoisoned run — its
 		// row would drag eval's poison averages toward zero.
-		return SweepRow{}, fmt.Errorf("fl: sweep cell %+v has no client slot left for the poisoner (needs ≥ 2 clients alongside an attack)", cell)
+		return SweepRow{}, fmt.Errorf("fl: sweep cell %+v has no client slot left for %d poisoner(s) (needs more clients alongside the attack)", cell, wantPoisoners)
 	}
 
 	srv := &AsyncServer{
@@ -242,6 +326,7 @@ func RunCell(spec SweepSpec, cell SweepCell) (SweepRow, error) {
 			Workers:       spec.Workers,
 			Quorum:        spec.Quorum,
 			Deterministic: spec.Deterministic,
+			Agg:           agg,
 		},
 	}
 	start := time.Now()

@@ -107,3 +107,91 @@ func TestNewProbeUnknownAttack(t *testing.T) {
 		t.Fatal("unknown attack must fail")
 	}
 }
+
+// TestSweepDefensePoisonAxes pins the new matrix dimensions: defenses
+// multiply every cell, poison strategies multiply only poisoned cells (a
+// 0-fraction cell is strategy-independent and appears once as "none").
+func TestSweepDefensePoisonAxes(t *testing.T) {
+	spec := testSpec()
+	spec.Clients = []int{4}
+	spec.Attacks = []string{"none"}
+	spec.PoisonFracs = []float64{0, 0.25}
+	spec.Poisons = []string{PoisonLabelFlip, PoisonSignFlip, PoisonModelReplacement}
+	spec.Defenses = []string{DefenseFedAvg, DefenseMedian}
+
+	cells := spec.Cells()
+	// (1 none-cell + 3 poisoned strategies) × 2 defenses.
+	if len(cells) != 8 {
+		t.Fatalf("matrix has %d cells, want 8: %+v", len(cells), cells)
+	}
+	seenNone := 0
+	for _, c := range cells {
+		if c.PoisonFrac == 0 {
+			if c.Poison != "none" {
+				t.Fatalf("0-fraction cell carries strategy %q", c.Poison)
+			}
+			seenNone++
+		}
+		if c.Defense == "" {
+			t.Fatalf("cell missing defense: %+v", c)
+		}
+	}
+	if seenNone != 2 {
+		t.Fatalf("%d clean cells, want one per defense", seenNone)
+	}
+}
+
+// TestSweepByzantineCellRuns: an update-space poison cell must run end to
+// end under a robust defense and report its full engine telemetry.
+func TestSweepByzantineCellRuns(t *testing.T) {
+	spec := testSpec()
+	for _, poison := range []string{PoisonSignFlip, PoisonModelReplacement} {
+		cell := SweepCell{Clients: 4, Attack: "none", PoisonFrac: 0.25, Poison: poison, Defense: DefenseMultiKrum}
+		row, err := RunCell(spec, cell)
+		if err != nil {
+			t.Fatalf("%s: %v", poison, err)
+		}
+		if row.Merged != 4*spec.Rounds {
+			t.Fatalf("%s: merged %d updates, want %d", poison, row.Merged, 4*spec.Rounds)
+		}
+		if row.FinalAccuracy < 0 || row.FinalAccuracy > 1 {
+			t.Fatalf("%s: accuracy %v out of range", poison, row.FinalAccuracy)
+		}
+	}
+}
+
+// TestSweepRejectsBadAxes: unknown defenses and strategies fail fast with
+// their cell instead of silently running FedAvg.
+func TestSweepRejectsBadAxes(t *testing.T) {
+	spec := testSpec()
+	if _, err := RunCell(spec, SweepCell{Clients: 2, Defense: "hope"}); err == nil {
+		t.Fatal("unknown defense must fail")
+	}
+	if _, err := RunCell(spec, SweepCell{Clients: 2, PoisonFrac: 0.5, Poison: "wishful"}); err == nil {
+		t.Fatal("unknown poison strategy must fail")
+	}
+	// A 1-client fleet cannot host an update-space poisoner: erroring beats
+	// running clean with poison_frac > 0 stamped on the row.
+	if _, err := RunCell(spec, SweepCell{Clients: 1, PoisonFrac: 0.25, Poison: PoisonSignFlip}); err == nil {
+		t.Fatal("1-client byzantine cell must fail, not silently run clean")
+	}
+}
+
+// TestSweepDefenseCellDeterministic: a defended, poisoned cell must
+// reproduce bit-identically at the same seed — the property the acceptance
+// sweep's two-run comparison rests on.
+func TestSweepDefenseCellDeterministic(t *testing.T) {
+	spec := testSpec()
+	cell := SweepCell{Clients: 4, Attack: "none", PoisonFrac: 0.25, Poison: PoisonModelReplacement, Defense: DefenseTrimmedMean}
+	a, err := RunCell(spec, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCell(spec, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalAccuracy != b.FinalAccuracy || a.UpBytes != b.UpBytes || a.Merged != b.Merged {
+		t.Fatalf("defended cell not reproducible:\n  %+v\n  %+v", a, b)
+	}
+}

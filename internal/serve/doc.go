@@ -24,12 +24,17 @@
 //     adversarial traffic pool, reporting serving accuracy, robust
 //     accuracy under attack traffic, shed counts and latency samples.
 //   - NewHandler — the HTTP surface (NDJSON /query, /metrics, /healthz)
-//     used by cmd/peltaserve.
+//     used by cmd/peltaserve. /query summarizes its line outcomes in
+//     X-Pelta-Served/-Shed/-Errors headers and answers 503 when no line
+//     at all was served, so load clients detect total overload without
+//     parsing the body.
 //
 // Concurrency: Submit is safe from any number of goroutines; replicas are
 // never queried concurrently (one worker each); Metrics is mutex-guarded.
 // Determinism: batched forwards are row-independent, so a sample's logits
 // are bit-identical whether it is served in a batch of 1 or MaxBatch (the
 // fl checkpoint round-trip test pins this), and the coalescing policy is
-// deterministic under the injectable Clock.
+// deterministic under the injectable Clock. The whole time surface —
+// batching, deadline shedding, HTTP latencies, metrics uptime — reads one
+// Clock, so every layer agrees on "now" under a fake clock.
 package serve

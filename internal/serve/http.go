@@ -3,9 +3,12 @@ package serve
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pelta/internal/tensor"
@@ -36,14 +39,32 @@ type QueryResponse struct {
 // unbounded requests server-side; larger streams should use more requests.
 const maxQueryLines = 16384
 
+// Summary headers of a /query response: how many lines were served, shed
+// by admission control, and failed in the inference path. A load client
+// detects total overload from the status code and these counters without
+// parsing every NDJSON line.
+const (
+	HeaderServed = "X-Pelta-Served"
+	HeaderShed   = "X-Pelta-Shed"
+	HeaderErrors = "X-Pelta-Errors"
+)
+
 // NewHandler returns the HTTP surface of a Service:
 //
 //	POST /query   — NDJSON: one QueryRequest per line, one QueryResponse
 //	                per line back, in request order. Lines are submitted
 //	                concurrently, so a single connection still exercises
 //	                the micro-batcher. ?logits=1 echoes full logit rows.
+//	                X-Pelta-Served/-Shed/-Errors summarize the line
+//	                outcomes; a request where no line at all was served
+//	                answers 503 (every line shed or errored) so callers can
+//	                back off without scanning the body.
 //	GET  /metrics — JSON metrics Snapshot.
 //	GET  /healthz — liveness probe.
+//
+// Deadlines and per-line latencies are computed on the Service clock, so
+// HTTP-level shedding agrees with the batcher's and the whole surface is
+// testable under a fake clock.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -99,7 +120,9 @@ func NewHandler(s *Service) http.Handler {
 		// bounded by the admission queue depth, so a large NDJSON batch
 		// streams through the scheduler instead of stampeding the bounded
 		// queue and shedding most of itself while replicas sit idle.
+		clock := s.Clock()
 		out := make([]QueryResponse, len(reqs))
+		var served, shed, failed atomic.Int64
 		sem := make(chan struct{}, s.cfg.QueueDepth)
 		var wg sync.WaitGroup
 		for i, q := range reqs {
@@ -109,19 +132,25 @@ func NewHandler(s *Service) http.Handler {
 				defer wg.Done()
 				defer func() { <-sem }()
 				x := tensor.FromSlice(q.X, s.pool.InputShape()...)
+				start := clock.Now()
 				var deadline time.Time
 				if q.DeadlineMs > 0 {
-					deadline = time.Now().Add(time.Duration(q.DeadlineMs * float64(time.Millisecond)))
+					deadline = start.Add(time.Duration(q.DeadlineMs * float64(time.Millisecond)))
 				}
-				start := time.Now()
 				res, err := s.Submit("query", x, deadline)
 				if err != nil {
+					if errors.Is(err, ErrOverloaded) {
+						shed.Add(1)
+					} else {
+						failed.Add(1)
+					}
 					out[i] = QueryResponse{Error: err.Error()}
 					return
 				}
+				served.Add(1)
 				out[i] = QueryResponse{
 					Class: res.Class,
-					Ms:    float64(time.Since(start)) / float64(time.Millisecond),
+					Ms:    float64(clock.Now().Sub(start)) / float64(time.Millisecond),
 					Batch: res.BatchSize,
 				}
 				if wantLogits {
@@ -130,7 +159,17 @@ func NewHandler(s *Service) http.Handler {
 			}(i, q)
 		}
 		wg.Wait()
-		w.Header().Set("Content-Type", "application/x-ndjson")
+		h := w.Header()
+		h.Set("Content-Type", "application/x-ndjson")
+		h.Set(HeaderServed, strconv.FormatInt(served.Load(), 10))
+		h.Set(HeaderShed, strconv.FormatInt(shed.Load(), 10))
+		h.Set(HeaderErrors, strconv.FormatInt(failed.Load(), 10))
+		if len(reqs) > 0 && served.Load() == 0 {
+			// Nothing in this request got an answer: the service is
+			// overloaded (or down) from this caller's point of view, and a
+			// 200 would force clients to parse every line to notice.
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
 		enc := json.NewEncoder(w)
 		for _, resp := range out {
 			_ = enc.Encode(resp)

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postLines POSTs NDJSON lines to /query and returns the response.
+func postLines(t *testing.T, url string, lines ...string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/query", "application/x-ndjson", strings.NewReader(strings.Join(lines, "\n")+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func headerInt(t *testing.T, resp *http.Response, name string) int {
+	t.Helper()
+	v, err := strconv.Atoi(resp.Header.Get(name))
+	if err != nil {
+		t.Fatalf("header %s = %q: %v", name, resp.Header.Get(name), err)
+	}
+	return v
+}
+
+// TestQuerySummaryHeadersServed: a fully served request answers 200 with
+// the served/shed/error counters summarizing the body.
+func TestQuerySummaryHeadersServed(t *testing.T) {
+	rep := newStubReplica()
+	s := NewService(stubPool(t, rep), Config{MaxBatch: 2, MaxDelay: time.Millisecond, QueueDepth: 8})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	resp := postLines(t, srv.URL, `{"x":[1,1,1,1]}`, `{"x":[2,2,2,2]}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if got := headerInt(t, resp, HeaderServed); got != 2 {
+		t.Fatalf("%s = %d, want 2", HeaderServed, got)
+	}
+	if headerInt(t, resp, HeaderShed) != 0 || headerInt(t, resp, HeaderErrors) != 0 {
+		t.Fatalf("unexpected shed/error counters: %v", resp.Header)
+	}
+}
+
+// TestQueryAllLinesFailedAnswers503: when no line at all is served (here:
+// service closed, every Submit fails) the handler must answer 503 with the
+// failure summarized in headers, not a deceptive 200.
+func TestQueryAllLinesFailedAnswers503(t *testing.T) {
+	s := NewService(stubPool(t, newStubReplica()), Config{MaxBatch: 2, QueueDepth: 8})
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+	s.Close()
+
+	resp := postLines(t, srv.URL, `{"x":[1,1,1,1]}`, `{"x":[2,2,2,2]}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 when zero lines were served", resp.StatusCode)
+	}
+	if got := headerInt(t, resp, HeaderErrors); got != 2 {
+		t.Fatalf("%s = %d, want 2", HeaderErrors, got)
+	}
+	// The body still carries one per-line error for callers that do parse.
+	dec := json.NewDecoder(resp.Body)
+	for i := 0; i < 2; i++ {
+		var qr QueryResponse
+		if err := dec.Decode(&qr); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if qr.Error == "" {
+			t.Fatalf("line %d missing error", i)
+		}
+	}
+}
+
+// TestQueryDeadlineShedOnServiceClock pins the clock-consistency fix: the
+// handler computes per-line deadlines on the Service clock, so under a fake
+// clock a queued line whose deadline lapses is shed by the worker — the
+// HTTP layer and the batcher agree on time, and an all-shed request answers
+// 503 with the shed counter set.
+func TestQueryDeadlineShedOnServiceClock(t *testing.T) {
+	fc := newFakeClock()
+	rep := newStubReplica()
+	rep.gate = make(chan struct{})
+	s := NewService(stubPool(t, rep), Config{MaxBatch: 2, MaxDelay: 2 * time.Millisecond, QueueDepth: 4, Clock: fc})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	// Request A (no deadline): the batcher opens a partial batch and arms
+	// the MaxDelay timer — the observable that A reached the scheduler.
+	aDone := make(chan *http.Response, 1)
+	go func() {
+		aDone <- postLines(t, srv.URL, `{"x":[1,1,1,1]}`)
+	}()
+	waitFor(t, func() bool { return fc.pending() == 1 })
+	// Flush A to the gated replica.
+	fc.Advance(5 * time.Millisecond)
+	waitFor(t, func() bool { return rep.serving.Load() == 1 })
+
+	// Request B carries a 10ms deadline stamped from the fake clock at
+	// admission; its partial batch arms a fresh timer once B is in.
+	bDone := make(chan *http.Response, 1)
+	go func() {
+		bDone <- postLines(t, srv.URL, `{"x":[2,2,2,2],"deadline_ms":10}`)
+	}()
+	waitFor(t, func() bool { return fc.pending() == 1 })
+
+	// The fake clock jumps past B's deadline while B's batch still waits
+	// behind the busy replica; only then does the replica come free.
+	fc.Advance(50 * time.Millisecond)
+	rep.gate <- struct{}{}
+
+	respA := <-aDone
+	defer respA.Body.Close()
+	if respA.StatusCode != http.StatusOK || headerInt(t, respA, HeaderServed) != 1 {
+		t.Fatalf("A: status %d served %s", respA.StatusCode, respA.Header.Get(HeaderServed))
+	}
+	respB := <-bDone
+	defer respB.Body.Close()
+	if respB.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("B: status %d, want 503 (deadline must lapse on the service clock)", respB.StatusCode)
+	}
+	if got := headerInt(t, respB, HeaderShed); got != 1 {
+		t.Fatalf("B: %s = %d, want 1", HeaderShed, got)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(respB.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qr.Error, "overloaded") {
+		t.Fatalf("B line error %q does not mention overload", qr.Error)
+	}
+	// B's shed also lands in the metrics under the same clock.
+	snap := s.Metrics().Snapshot()
+	if len(snap.Routes) != 1 || snap.Routes[0].Shed != 1 || snap.Routes[0].Served != 1 {
+		t.Fatalf("metrics %+v, want served=1 shed=1", snap.Routes)
+	}
+}

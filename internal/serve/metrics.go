@@ -141,13 +141,22 @@ func newRouteStats() *routeStats {
 // latency quantiles. All methods are safe for concurrent use.
 type Metrics struct {
 	mu     sync.Mutex
+	clock  Clock
 	start  time.Time
 	routes map[string]*routeStats
 }
 
-// NewMetrics returns an empty metrics core.
-func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), routes: make(map[string]*routeStats)}
+// NewMetrics returns an empty metrics core on the real clock.
+func NewMetrics() *Metrics { return NewMetricsAt(nil) }
+
+// NewMetricsAt returns an empty metrics core reading uptime from clock
+// (nil = real time), so Snapshot stays consistent with a service running
+// under an injected fake clock.
+func NewMetricsAt(clock Clock) *Metrics {
+	if clock == nil {
+		clock = realClock{}
+	}
+	return &Metrics{clock: clock, start: clock.Now(), routes: make(map[string]*routeStats)}
 }
 
 func (m *Metrics) route(name string) *routeStats {
@@ -225,7 +234,7 @@ type Snapshot struct {
 func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := Snapshot{UptimeSec: time.Since(m.start).Seconds()}
+	s := Snapshot{UptimeSec: m.clock.Now().Sub(m.start).Seconds()}
 	names := make([]string, 0, len(m.routes))
 	for name := range m.routes {
 		names = append(names, name)

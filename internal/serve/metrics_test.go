@@ -71,6 +71,109 @@ func TestP2QuantileSmallCounts(t *testing.T) {
 	}
 }
 
+// TestP2QuantileExtremeMarkers exercises the post-warm-up extreme-marker
+// paths (x < q[0] and x ≥ q[4]) and cross-checks the median against the
+// exact eval.Quantiles on the same stream.
+func TestP2QuantileExtremeMarkers(t *testing.T) {
+	q := serve.NewP2Quantile(0.5)
+	vals := []float64{10, 20, 30, 40, 50} // warm-up: markers exactly 10..50
+	for _, v := range vals {
+		q.Add(v)
+	}
+	// Below the current minimum marker: q[0] must absorb it.
+	vals = append(vals, 1)
+	q.Add(1)
+	// At and above the maximum marker (x >= q[4] covers equality too).
+	vals = append(vals, 50, 99)
+	q.Add(50)
+	q.Add(99)
+	if got := q.Count(); got != 8 {
+		t.Fatalf("count %d, want 8", got)
+	}
+	exact := eval.Quantile(vals, 0.5)
+	got := q.Value()
+	if math.Abs(got-exact) > 0.35*exact {
+		t.Fatalf("median after extreme inserts: sketch %.3f vs exact %.3f", got, exact)
+	}
+	// The estimate must stay inside the observed range whatever the
+	// extremes did to the markers.
+	if got < 1 || got > 99 {
+		t.Fatalf("median %.3f escaped the observed range", got)
+	}
+
+	// A new minimum and maximum keep being tracked exactly at the ends.
+	lo := serve.NewP2Quantile(0.01)
+	hi := serve.NewP2Quantile(0.99)
+	for _, v := range []float64{5, 6, 7, 8, 9, -3, 120, -7, 200} {
+		lo.Add(v)
+		hi.Add(v)
+	}
+	if lo.Value() > 5 {
+		t.Fatalf("p1 %.3f ignored the new minima", lo.Value())
+	}
+	if hi.Value() < 9 {
+		t.Fatalf("p99 %.3f ignored the new maxima", hi.Value())
+	}
+}
+
+// TestP2QuantileHeavyTies: long runs of identical observations must keep
+// the sketch finite and exact — the marker-nudging denominators hit their
+// guard conditions on ties.
+func TestP2QuantileHeavyTies(t *testing.T) {
+	q := serve.NewP2Quantile(0.5)
+	for i := 0; i < 1000; i++ {
+		q.Add(42)
+	}
+	if got := q.Value(); got != 42 {
+		t.Fatalf("all-ties median %.6f, want 42", got)
+	}
+	// Two-valued stream with heavy ties on both sides.
+	q2 := serve.NewP2Quantile(0.5)
+	vals := make([]float64, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		v := 1.0
+		if i%2 == 1 {
+			v = 2.0
+		}
+		q2.Add(v)
+		vals = append(vals, v)
+	}
+	got := q2.Value()
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("tied stream produced %v", got)
+	}
+	if got < 1 || got > 2 {
+		t.Fatalf("tied median %.6f outside [1,2] (exact %.6f)", got, eval.Quantile(vals, 0.5))
+	}
+}
+
+// TestMetricsUptimeOnFakeClock pins the clock-injection fix: uptime and
+// derived throughput must follow the injected clock, not the wall.
+func TestMetricsUptimeOnFakeClock(t *testing.T) {
+	fc := &stepClock{now: time.Unix(5000, 0)}
+	m := serve.NewMetricsAt(fc)
+	if got := m.Snapshot().UptimeSec; got != 0 {
+		t.Fatalf("uptime %.3fs before any advance", got)
+	}
+	fc.now = fc.now.Add(90 * time.Second)
+	if got := m.Snapshot().UptimeSec; got != 90 {
+		t.Fatalf("uptime %.3fs, want 90 from the fake clock", got)
+	}
+	// The nil-clock constructor stays on real time and reports ~0 here.
+	if got := serve.NewMetricsAt(nil).Snapshot().UptimeSec; got > 1 {
+		t.Fatalf("real-clock metrics aged %.3fs instantly", got)
+	}
+}
+
+// stepClock is a minimal manually-stepped serve.Clock for metrics tests.
+type stepClock struct{ now time.Time }
+
+func (c *stepClock) Now() time.Time { return c.now }
+
+func (c *stepClock) NewTimer(d time.Duration) serve.Timer {
+	panic("metrics never arm timers")
+}
+
 func TestMetricsCountersAndSnapshot(t *testing.T) {
 	m := serve.NewMetrics()
 	m.Served("query", 2*time.Millisecond, 4)

@@ -96,10 +96,11 @@ type Service struct {
 
 // NewService starts the scheduler over pool. Close releases it.
 func NewService(pool *ReplicaPool, cfg Config) *Service {
+	cfg = cfg.withDefaults()
 	s := &Service{
 		pool:     pool,
-		cfg:      cfg.withDefaults(),
-		metrics:  NewMetrics(),
+		cfg:      cfg,
+		metrics:  NewMetricsAt(cfg.Clock),
 		dispatch: make(chan []*request),
 	}
 	s.queue = make(chan *request, s.cfg.QueueDepth)
@@ -114,6 +115,11 @@ func NewService(pool *ReplicaPool, cfg Config) *Service {
 
 // Metrics exposes the service's metrics core.
 func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Clock returns the clock the scheduler runs on (real unless injected), so
+// the HTTP layer computes deadlines and latencies on the same timeline the
+// batcher sheds by.
+func (s *Service) Clock() Clock { return s.cfg.Clock }
 
 // Pool returns the served replica pool.
 func (s *Service) Pool() *ReplicaPool { return s.pool }
