@@ -5,6 +5,14 @@
 // micro-batching scheduler (-max-batch/-max-delay/-queue), with -shield
 // selecting shielded or clear replicas.
 //
+// The adaptive control plane is opt-in: -max-replicas enables the replica
+// autoscaler (the pool is built at the upper bound, -min-replicas workers
+// start, and the decision loop scales on queue depth and the windowed p95
+// against -slo-p95); -admit-rate enables weighted-fair admission, with
+// -route-weights splitting the rate across routes (e.g. "benign=8,adv=1"
+// confines an adversarial probe flood to its own token bucket). With both
+// flags unset the deployment is the static scheduler of earlier releases.
+//
 // Serving mode (default) listens on -addr:
 //
 //	POST /query   — NDJSON, one {"x":[...],"deadline_ms":n} per line;
@@ -17,9 +25,13 @@
 // in-process with mixed traffic — benign validation samples plus FGSM/PGD
 // probes crafted against the same weights (-adv-frac, -attack) — at an
 // open-loop arrival rate (-rate) for -n requests, then prints the serving
-// report: throughput, exact latency quantiles, shed counts, benign accuracy
-// and robust accuracy under attack traffic. -benchjson dumps the same
-// numbers machine-readably for the CI BENCH_*.json artifacts.
+// report: throughput, exact latency quantiles, per-route shed counts,
+// benign accuracy and robust accuracy under attack traffic ("n/a" when a
+// stream served nothing). -phases replaces the fixed rate with a burst
+// trace ("rate:dur:advfrac,..." steps) reported per phase and per route —
+// the harness behind the CI autoscale smoke cell and the README's
+// static-vs-autoscaled table. -benchjson dumps the same numbers
+// machine-readably for the CI BENCH_*.json artifacts.
 //
 // Weights warm-start from an internal/fl checkpoint (-checkpoint) written
 // by cmd/flsim or fl.SaveCheckpoint; a stamped checkpoint's provenance

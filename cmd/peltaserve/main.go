@@ -35,6 +35,13 @@ type options struct {
 	shield   bool
 	addr     string
 
+	// Control plane.
+	minReplicas  int
+	maxReplicas  int
+	sloP95       time.Duration
+	admitRate    float64
+	routeWeights string
+
 	// Model / data.
 	checkpoint string
 	hw         int
@@ -53,6 +60,7 @@ type options struct {
 	eps      float64
 	steps    int
 	deadline time.Duration
+	phases   string
 
 	benchJSON string
 }
@@ -65,6 +73,11 @@ func run() error {
 	flag.IntVar(&o.queue, "queue", 0, "admission queue depth (0 = 8×max-batch); overflow sheds with ErrOverloaded")
 	flag.BoolVar(&o.shield, "shield", true, "serve through Pelta-shielded replicas (false = clear forwards)")
 	flag.StringVar(&o.addr, "addr", "127.0.0.1:8321", "HTTP listen address")
+	flag.IntVar(&o.minReplicas, "min-replicas", 1, "autoscaler lower bound on live replicas (with -max-replicas)")
+	flag.IntVar(&o.maxReplicas, "max-replicas", 0, "enable the replica autoscaler with this upper bound (0 = static -replicas provisioning)")
+	flag.DurationVar(&o.sloP95, "slo-p95", 0, "autoscaler latency SLO: scale up when the windowed p95 exceeds it (0 = queue-depth signal only)")
+	flag.Float64Var(&o.admitRate, "admit-rate", 0, "enable weighted-fair admission at this total req/s, split across routes by -route-weights (0 = off)")
+	flag.StringVar(&o.routeWeights, "route-weights", "", "admission weights per route, e.g. \"benign=8,adv=1\" (unlisted routes weigh 1)")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "warm-start weights from an internal/fl checkpoint (see cmd/flsim)")
 	flag.IntVar(&o.hw, "hw", 16, "image side length")
 	flag.IntVar(&o.classes, "classes", 10, "label-space size")
@@ -80,6 +93,7 @@ func run() error {
 	flag.Float64Var(&o.eps, "eps", 0.1, "loadgen: attack ε (l∞)")
 	flag.IntVar(&o.steps, "steps", 10, "loadgen: iterative attack steps")
 	flag.DurationVar(&o.deadline, "deadline", 0, "loadgen: per-request deadline (0 = none)")
+	flag.StringVar(&o.phases, "phases", "", "loadgen: phased trace \"rate:dur:advfrac,...\" (e.g. \"200:2s:0.1,800:1s:0.5,200:2s:0.1\"); overrides -rate/-n")
 	flag.StringVar(&o.benchJSON, "benchjson", "", "write machine-readable serving timings to this JSON file (e.g. BENCH_peltaserve.json)")
 	flag.Parse()
 
@@ -138,24 +152,61 @@ func run() error {
 		}
 		return m, nil
 	}
+	// With -max-replicas the autoscaler owns provisioning: the pool is
+	// built at the upper bound and the control loop decides how many of
+	// those replicas have live workers at any moment.
+	poolSize := o.replicas
+	scfg := serve.Config{
+		MaxBatch:   o.maxBatch,
+		MaxDelay:   o.maxDelay,
+		QueueDepth: o.queue,
+	}
+	if o.maxReplicas > 0 {
+		poolSize = o.maxReplicas
+		scfg.Autoscale = &serve.AutoscaleConfig{
+			Min:       o.minReplicas,
+			Max:       o.maxReplicas,
+			TargetP95: o.sloP95,
+		}
+	}
+	if o.admitRate > 0 {
+		weights, err := serve.ParseWeights(o.routeWeights)
+		if err != nil {
+			return err
+		}
+		// The benign/adv routes exist only in the load generator; all HTTP
+		// traffic submits on route "query". Weights that omit it would
+		// silently cap real traffic at the unlisted-route share.
+		if !o.loadgen && len(weights) > 0 && weights["query"] <= 0 {
+			fmt.Fprintf(os.Stderr, "[peltaserve] warning: -route-weights %q has no \"query\" entry — "+
+				"HTTP traffic runs on route \"query\" and gets weight 1 of the total %.0f req/s\n",
+				o.routeWeights, o.admitRate)
+		}
+		scfg.Admission = &serve.AdmissionConfig{Rate: o.admitRate, Weights: weights}
+	}
 	var pool *serve.ReplicaPool
 	var err error
 	if o.shield {
-		pool, err = serve.NewShieldedPool(o.replicas, 0, buildModel)
+		pool, err = serve.NewShieldedPool(poolSize, 0, buildModel)
 	} else {
-		pool, err = serve.NewClearPool(o.replicas, buildModel)
+		pool, err = serve.NewClearPool(poolSize, buildModel)
 	}
 	if err != nil {
 		return err
 	}
-	svc := serve.NewService(pool, serve.Config{
-		MaxBatch:   o.maxBatch,
-		MaxDelay:   o.maxDelay,
-		QueueDepth: o.queue,
-	})
+	svc := serve.NewService(pool, scfg)
 	defer svc.Close()
-	fmt.Fprintf(os.Stderr, "[peltaserve] %d replicas (shield=%v), max-batch %d, max-delay %v\n",
-		o.replicas, o.shield, o.maxBatch, o.maxDelay)
+	if scfg.Autoscale != nil {
+		fmt.Fprintf(os.Stderr, "[peltaserve] autoscaling %d–%d replicas (shield=%v, slo-p95 %v), max-batch %d, max-delay %v\n",
+			o.minReplicas, o.maxReplicas, o.shield, o.sloP95, o.maxBatch, o.maxDelay)
+	} else {
+		fmt.Fprintf(os.Stderr, "[peltaserve] %d replicas (shield=%v), max-batch %d, max-delay %v\n",
+			poolSize, o.shield, o.maxBatch, o.maxDelay)
+	}
+	if scfg.Admission != nil {
+		fmt.Fprintf(os.Stderr, "[peltaserve] weighted-fair admission at %.0f req/s (weights %q)\n",
+			o.admitRate, o.routeWeights)
+	}
 
 	if o.loadgen {
 		return runLoadgen(o, svc, base, val)
@@ -164,8 +215,19 @@ func run() error {
 	return http.ListenAndServe(o.addr, serve.NewHandler(svc))
 }
 
+// accJSON renders a (value, ok) measurement for the bench record: the
+// value, or nil when nothing was served (JSON has no NaN, and a fake 0
+// would read as a perfect score or instant latency).
+func accJSON(v float64, ok bool) any {
+	if !ok {
+		return nil
+	}
+	return v
+}
+
 // runLoadgen drives the service in-process with mixed benign + adversarial
-// traffic and prints the serving report.
+// traffic and prints the serving report. With -phases the trace is phased
+// (rate × duration × adv-frac steps); otherwise it is one fixed-rate run.
 func runLoadgen(o options, svc *serve.Service, base models.Model, val *dataset.Dataset) error {
 	items, err := buildTraffic(o, base, val)
 	if err != nil {
@@ -177,42 +239,106 @@ func runLoadgen(o options, svc *serve.Service, base models.Model, val *dataset.D
 			nAdv++
 		}
 	}
-	fmt.Fprintf(os.Stderr, "[peltaserve] loadgen: %d-item pool (%d adversarial via %s), %d requests at %.0f req/s\n",
-		len(items), nAdv, o.attackN, o.n, o.rate)
-
-	start := time.Now()
-	rep, err := serve.RunLoad(svc, items, serve.LoadConfig{
-		Rate:     o.rate,
-		Requests: o.n,
-		Deadline: o.deadline,
-		Seed:     o.seed,
-	})
+	phases, err := serve.ParsePhases(o.phases)
 	if err != nil {
 		return err
 	}
-	sum := eval.SummarizeServeLoad(rep)
-	fmt.Print(sum.Render())
+	start := time.Now()
+	lcfg := serve.LoadConfig{Rate: o.rate, Requests: o.n, Deadline: o.deadline, Seed: o.seed}
+
+	// In autoscale mode the pool is sized by -max-replicas, not -replicas;
+	// the record must carry the pool that actually served.
+	poolSize := o.replicas
+	if o.maxReplicas > 0 {
+		poolSize = o.maxReplicas
+	}
+	rec := map[string]any{
+		"max_batch":    o.maxBatch,
+		"max_delay_ms": float64(o.maxDelay) / float64(time.Millisecond),
+		"shield":       o.shield,
+		"replicas":     poolSize,
+	}
+	if o.maxReplicas > 0 {
+		rec["min_replicas"] = o.minReplicas
+		rec["max_replicas"] = o.maxReplicas
+		rec["slo_p95_ms"] = float64(o.sloP95) / float64(time.Millisecond)
+	}
+	if o.admitRate > 0 {
+		rec["admit_rate"] = o.admitRate
+		rec["route_weights"] = o.routeWeights
+	}
+
+	var total *serve.LoadReport
+	if len(phases) > 0 {
+		fmt.Fprintf(os.Stderr, "[peltaserve] loadgen: %d-item pool (%d adversarial via %s), %d phases: %s\n",
+			len(items), nAdv, o.attackN, len(phases), o.phases)
+		prep, err := serve.RunLoadPhases(svc, items, phases, lcfg)
+		if err != nil {
+			return err
+		}
+		sum := eval.SummarizeServePhases(prep)
+		fmt.Print(sum.Render())
+		total = &prep.Total
+		rec["mode"] = "loadgen-phased"
+		var phaseRows []map[string]any
+		for i, p := range prep.Phases {
+			phaseRows = append(phaseRows, map[string]any{
+				"rate":        p.Phase.Rate,
+				"duration_s":  p.Phase.Duration.Seconds(),
+				"adv_frac":    p.Phase.AdvFrac,
+				"sent":        p.Sent,
+				"served":      p.Served,
+				"shed":        p.Shed,
+				"benign_shed": p.BenignShed,
+				"adv_shed":    p.AdvShed,
+				"throughput":  p.Throughput,
+				"p95_ms":      accJSON(sum.PhaseLatency[i].P95, p.Served > 0),
+			})
+		}
+		rec["phases"] = phaseRows
+		rec["p50_ms"] = accJSON(sum.Total.P50, total.Served > 0)
+		rec["p95_ms"] = accJSON(sum.Total.P95, total.Served > 0)
+		rec["p99_ms"] = accJSON(sum.Total.P99, total.Served > 0)
+	} else {
+		fmt.Fprintf(os.Stderr, "[peltaserve] loadgen: %d-item pool (%d adversarial via %s), %d requests at %.0f req/s\n",
+			len(items), nAdv, o.attackN, o.n, o.rate)
+		rep, err := serve.RunLoad(svc, items, lcfg)
+		if err != nil {
+			return err
+		}
+		sum := eval.SummarizeServeLoad(rep)
+		fmt.Print(sum.Render())
+		total = rep
+		rec["mode"] = "loadgen"
+		rec["p50_ms"] = accJSON(sum.Latency.P50, rep.Served > 0)
+		rec["p95_ms"] = accJSON(sum.Latency.P95, rep.Served > 0)
+		rec["p99_ms"] = accJSON(sum.Latency.P99, rep.Served > 0)
+	}
 
 	if o.benchJSON != "" {
-		rec := map[string]any{
-			"mode":         "loadgen",
-			"replicas":     o.replicas,
-			"max_batch":    o.maxBatch,
-			"max_delay_ms": float64(o.maxDelay) / float64(time.Millisecond),
-			"shield":       o.shield,
-			"sent":         rep.Sent,
-			"served":       rep.Served,
-			"shed":         rep.Shed,
-			"offered_rate": rep.OfferedRate,
-			"throughput":   rep.Throughput,
-			"mean_batch":   rep.MeanBatch,
-			"p50_ms":       sum.Latency.P50,
-			"p95_ms":       sum.Latency.P95,
-			"p99_ms":       sum.Latency.P99,
-			"benign_acc":   rep.BenignAccuracy(),
-			"adv_robust":   rep.AdvRobustAccuracy(),
-			"seconds":      time.Since(start).Seconds(),
+		snap := svc.Metrics().Snapshot()
+		rec["sent"] = total.Sent
+		rec["served"] = total.Served
+		rec["shed"] = total.Shed
+		rec["offered_rate"] = total.OfferedRate
+		rec["throughput"] = total.Throughput
+		rec["mean_batch"] = total.MeanBatch
+		rec["benign_served"] = total.BenignServed
+		rec["benign_shed"] = total.BenignShed
+		rec["adv_served"] = total.AdvServed
+		rec["adv_shed"] = total.AdvShed
+		if total.BenignSent > 0 {
+			rec["benign_shed_rate"] = float64(total.BenignShed) / float64(total.BenignSent)
+			if total.Seconds > 0 {
+				rec["benign_throughput"] = float64(total.BenignServed) / total.Seconds
+			}
 		}
+		rec["benign_acc"] = accJSON(total.BenignAccuracy())
+		rec["adv_robust"] = accJSON(total.AdvRobustAccuracy())
+		rec["scale_ups"] = snap.ScaleUps
+		rec["scale_downs"] = snap.ScaleDowns
+		rec["live_replicas"] = snap.LiveReplicas
+		rec["seconds"] = time.Since(start).Seconds()
 		f, err := os.Create(o.benchJSON)
 		if err != nil {
 			return err

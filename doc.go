@@ -15,7 +15,9 @@
 //   - internal/eval     — Tables I/III/IV, Figs. 3/4, sweep and serving-load
 //     summaries, exact quantile helpers
 //   - internal/serve    — the shielded-inference serving subsystem: replica
-//     pools, micro-batching scheduler, admission control, streaming metrics
+//     pools, micro-batching scheduler, streaming metrics, and the adaptive
+//     control plane (replica autoscaler, weighted-fair per-route admission,
+//     phased load generation)
 //
 // bench_test.go regenerates every table and figure; cmd/peltabench is the
 // command-line entry point, cmd/flsim runs federations and scenario sweeps,
@@ -24,4 +26,4 @@
 package pelta
 
 // Version identifies this reproduction release.
-const Version = "1.3.0"
+const Version = "1.4.0"

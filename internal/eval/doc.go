@@ -11,7 +11,9 @@
 // by the sweep summaries and (as the validation reference for the P²
 // streaming sketches) the internal/serve metrics; SummarizeServeLoad
 // renders a serving load-generator run the same way the sweep summaries
-// render a federation matrix. Evaluation is deterministic given an AttackSet seed;
+// render a federation matrix, and SummarizeServePhases renders a phased
+// burst trace as a per-phase, per-route shed/latency table (zero-served
+// accuracies read "n/a", never a fake 0%). Evaluation is deterministic given an AttackSet seed;
 // batch fan-out across oracle workers (SetOracleWorkers) never changes
 // results, only wall time.
 package eval

@@ -9,20 +9,39 @@
 //     NewShieldedPool and NewClearPool build the two flavors.
 //   - Service — the micro-batching scheduler: Submit enqueues one sample,
 //     a batcher coalesces queued requests into tensor batches under a
-//     MaxBatch/MaxDelay policy, and one worker goroutine per replica runs
-//     batches and fans logit rows back to per-request futures.
+//     MaxBatch/MaxDelay policy, and one worker goroutine per live replica
+//     runs batches and fans logit rows back to per-request futures.
 //   - Config — batching policy plus admission control: the queue is
 //     bounded (QueueDepth) and requests are shed with the typed
 //     ErrOverloaded when the queue is full or a deadline expires before
 //     service, so overload degrades predictably instead of growing an
-//     unbounded backlog.
-//   - Metrics — the serving metrics core: per-route counters (served,
-//     shed, errors, mean batch) and p50/p95/p99 latency via the P²
-//     streaming quantile sketch (P2Quantile), validated in tests against
-//     the exact eval.Quantiles on the same samples.
-//   - RunLoad — an open-loop load generator over a mixed benign +
-//     adversarial traffic pool, reporting serving accuracy, robust
-//     accuracy under attack traffic, shed counts and latency samples.
+//     unbounded backlog. Malformed samples (wrong shape/rank) are refused
+//     with a per-route Rejected counter.
+//
+// The adaptive control plane (both knobs off by default — the service then
+// behaves exactly like the statically provisioned scheduler):
+//
+//   - AutoscaleConfig — the replica autoscaler: a decision loop on the
+//     service clock grows/shrinks the live worker set between Min and Max,
+//     scaling up on queue depth or a windowed p95 above TargetP95 and down
+//     only after DownStable consecutive calm ticks (hysteresis), with a
+//     Cooldown between any two actions so the loop cannot flap. Decisions
+//     land in Service.ScaleEvents and the Metrics gauges (live_replicas,
+//     scale_ups, scale_downs), so /metrics shows why the fleet moved.
+//   - AdmissionConfig — weighted-fair admission: every route owns a token
+//     bucket refilled at Rate·w/ΣW, so an "adv" probe flood sheds at its
+//     own bucket instead of filling the shared queue and starving "benign"
+//     traffic. Refill is lazy on the service clock (fake-clock testable).
+//   - Metrics — the serving metrics core: per-route counters (offered,
+//     served, shed, rejected, errors, mean batch) and p50/p95/p99 latency via the
+//     P² streaming quantile sketch (P2Quantile), validated in tests
+//     against the exact eval.Quantiles on the same samples.
+//   - RunLoad / RunLoadPhases — open-loop load generators over a mixed
+//     benign + adversarial traffic pool: RunLoad fires a fixed-rate run,
+//     RunLoadPhases a LoadPhase trace (rate × duration × adv-frac steps —
+//     ramps, bursts, diurnal shapes) with per-phase, per-route accounting.
+//     All pacing, deadline stamps and latency measurements read the
+//     service clock.
 //   - NewHandler — the HTTP surface (NDJSON /query, /metrics, /healthz)
 //     used by cmd/peltaserve. /query summarizes its line outcomes in
 //     X-Pelta-Served/-Shed/-Errors headers and answers 503 when no line
@@ -30,11 +49,13 @@
 //     parsing the body.
 //
 // Concurrency: Submit is safe from any number of goroutines; replicas are
-// never queried concurrently (one worker each); Metrics is mutex-guarded.
-// Determinism: batched forwards are row-independent, so a sample's logits
-// are bit-identical whether it is served in a batch of 1 or MaxBatch (the
-// fl checkpoint round-trip test pins this), and the coalescing policy is
-// deterministic under the injectable Clock. The whole time surface —
-// batching, deadline shedding, HTTP latencies, metrics uptime — reads one
-// Clock, so every layer agrees on "now" under a fake clock.
+// never queried concurrently (one worker each, and a scale-up never reuses
+// a replica whose previous worker is still draining); Metrics is
+// mutex-guarded. Determinism: batched forwards are row-independent, so a
+// sample's logits are bit-identical whether it is served in a batch of 1
+// or MaxBatch (the fl checkpoint round-trip test pins this), and the
+// coalescing policy is deterministic under the injectable Clock. The whole
+// time surface — batching, deadline shedding, admission buckets, autoscale
+// ticks, loadgen pacing, HTTP latencies, metrics uptime — reads one Clock,
+// so every layer agrees on "now" under a fake clock.
 package serve

@@ -97,20 +97,33 @@ func NewHandler(s *Service) http.Handler {
 			}
 			var q QueryRequest
 			if err := json.Unmarshal(line, &q); err != nil {
+				// Malformed traffic must show up in /metrics, not just in
+				// the caller's 400 — see Metrics.Rejected. Offered keeps the
+				// offered−requests in-flight invariant for lines that never
+				// reach Submit.
+				s.metrics.Offered("query")
+				s.metrics.Rejected("query")
 				http.Error(w, fmt.Sprintf("line %d: %v", len(reqs)+1, err), http.StatusBadRequest)
 				return
 			}
 			if len(q.X) != dim {
+				s.metrics.Offered("query")
+				s.metrics.Rejected("query")
 				http.Error(w, fmt.Sprintf("line %d: sample has %d values, want %d", len(reqs)+1, len(q.X), dim), http.StatusBadRequest)
 				return
 			}
 			if len(reqs) == maxQueryLines {
+				s.metrics.Offered("query")
+				s.metrics.Rejected("query")
 				http.Error(w, fmt.Sprintf("too many lines (max %d)", maxQueryLines), http.StatusRequestEntityTooLarge)
 				return
 			}
 			reqs = append(reqs, q)
 		}
 		if err := sc.Err(); err != nil {
+			// An oversized or truncated line is rejected traffic too.
+			s.metrics.Offered("query")
+			s.metrics.Rejected("query")
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}

@@ -145,3 +145,32 @@ func TestQueryDeadlineShedOnServiceClock(t *testing.T) {
 		t.Fatalf("metrics %+v, want served=1 shed=1", snap.Routes)
 	}
 }
+
+// TestQueryMalformedLinesCounted pins the rejected-traffic bugfix on the
+// HTTP surface: a 400 for an unparsable or wrong-dimension line must also
+// bump the query route's rejected counter, so a stream of malformed
+// traffic shows up in /metrics instead of vanishing into per-caller 400s.
+func TestQueryMalformedLinesCounted(t *testing.T) {
+	s := NewService(stubPool(t, newStubReplica()), Config{MaxBatch: 2, QueueDepth: 8})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	bad := postLines(t, srv.URL, `{oops`)
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON line gave %d, want 400", bad.StatusCode)
+	}
+	short := postLines(t, srv.URL, `{"x":[1,2]}`)
+	short.Body.Close()
+	if short.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-dimension line gave %d, want 400", short.StatusCode)
+	}
+	snap := s.Metrics().Snapshot()
+	if len(snap.Routes) != 1 || snap.Routes[0].Route != "query" {
+		t.Fatalf("routes %+v, want only query", snap.Routes)
+	}
+	if r := snap.Routes[0]; r.Rejected != 2 || r.Requests != 2 || r.Offered != 2 || r.Served != 0 {
+		t.Fatalf("query route %+v, want offered=rejected=requests=2", r)
+	}
+}

@@ -3,7 +3,10 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,22 +40,26 @@ type LoadConfig struct {
 }
 
 // LoadReport summarizes one load run. BenignServed/AdvServed count served
-// requests per stream (shed and failed requests appear only in the
-// aggregate Shed/Failed counters). Accuracy is reported separately for
-// benign and adversarial traffic: BenignAccuracy is plain accuracy,
-// AdvRobustAccuracy is the fraction of served adversarial probes still
-// classified as their true label (the serving-path analogue of robust
-// accuracy).
+// requests per stream and BenignShed/AdvShed the per-stream sheds — the
+// fairness question "who paid for the overload" is unanswerable from the
+// aggregate Shed alone. Accuracy is reported separately for benign and
+// adversarial traffic: BenignAccuracy is plain accuracy, AdvRobustAccuracy
+// is the fraction of served adversarial probes still classified as their
+// true label (the serving-path analogue of robust accuracy).
 type LoadReport struct {
 	Sent   int `json:"sent"`
 	Served int `json:"served"`
 	Shed   int `json:"shed"`
 	Failed int `json:"failed"`
 
+	BenignSent    int `json:"benign_sent"`
 	BenignServed  int `json:"benign_served"`
 	BenignCorrect int `json:"benign_correct"`
+	BenignShed    int `json:"benign_shed"`
+	AdvSent       int `json:"adv_sent"`
 	AdvServed     int `json:"adv_served"`
 	AdvCorrect    int `json:"adv_correct"`
+	AdvShed       int `json:"adv_shed"`
 
 	Elapsed time.Duration `json:"-"`
 	Seconds float64       `json:"seconds"`
@@ -66,22 +73,132 @@ type LoadReport struct {
 	// exact quantiles (eval.Quantiles); the service metrics hold the
 	// streaming-sketch view of the same distribution.
 	LatenciesMs []float64 `json:"-"`
+
+	batchSum int
 }
 
-// BenignAccuracy returns the benign traffic's serving accuracy.
-func (r *LoadReport) BenignAccuracy() float64 {
+// BenignAccuracy returns the benign traffic's serving accuracy. ok is
+// false — and the value NaN — when no benign request was served, so a run
+// that shed everything is distinguishable from a genuine 0% accuracy.
+func (r *LoadReport) BenignAccuracy() (acc float64, ok bool) {
 	if r.BenignServed == 0 {
-		return 0
+		return math.NaN(), false
 	}
-	return float64(r.BenignCorrect) / float64(r.BenignServed)
+	return float64(r.BenignCorrect) / float64(r.BenignServed), true
 }
 
-// AdvRobustAccuracy returns robust accuracy over served adversarial probes.
-func (r *LoadReport) AdvRobustAccuracy() float64 {
+// AdvRobustAccuracy returns robust accuracy over served adversarial
+// probes; ok is false (value NaN) when none were served.
+func (r *LoadReport) AdvRobustAccuracy() (acc float64, ok bool) {
 	if r.AdvServed == 0 {
-		return 0
+		return math.NaN(), false
 	}
-	return float64(r.AdvCorrect) / float64(r.AdvServed)
+	return float64(r.AdvCorrect) / float64(r.AdvServed), true
+}
+
+// shot is one scheduled request of a load run.
+type shot struct {
+	due   time.Time
+	item  int // index into the traffic pool
+	phase int
+}
+
+// outcome is one resolved request.
+type outcome struct {
+	item, phase int
+	res         *Result
+	err         error
+	lat         time.Duration
+	end         time.Time
+}
+
+// fire launches every shot at its due time on the service clock and waits
+// for all of them to resolve. Pacing sleeps only when ahead of schedule
+// (rather than ticking once per request), so a generator starved of CPU
+// catches up in a burst instead of silently lowering the offered rate —
+// without this, an overloaded single-core service throttles its own load
+// generator and the admission limit is never reached (coordinated
+// omission). Every timestamp — pacing, deadline stamps, latency
+// measurements — reads s.Clock(), the same timeline Submit and the workers
+// shed by, so the generator is deterministic under a fake clock.
+func fire(s *Service, items []TrafficItem, shots []shot, deadline time.Duration) []outcome {
+	clk := s.Clock()
+	outcomes := make([]outcome, len(shots))
+	var wg sync.WaitGroup
+	for i, sh := range shots {
+		if now := clk.Now(); sh.due.After(now) {
+			t := clk.NewTimer(sh.due.Sub(now))
+			<-t.C()
+		}
+		wg.Add(1)
+		go func(i int, sh shot) {
+			defer wg.Done()
+			it := items[sh.item]
+			route := "benign"
+			if it.Adversarial {
+				route = "adv"
+			}
+			t0 := clk.Now()
+			var dl time.Time
+			if deadline > 0 {
+				dl = t0.Add(deadline)
+			}
+			res, err := s.Submit(route, it.X, dl)
+			end := clk.Now()
+			outcomes[i] = outcome{item: sh.item, phase: sh.phase, res: res, err: err, lat: end.Sub(t0), end: end}
+		}(i, sh)
+	}
+	wg.Wait()
+	return outcomes
+}
+
+// tally folds one outcome into a report.
+func (r *LoadReport) tally(items []TrafficItem, o outcome) {
+	r.Sent++
+	adv := items[o.item].Adversarial
+	if adv {
+		r.AdvSent++
+	} else {
+		r.BenignSent++
+	}
+	switch {
+	case o.err == nil:
+		r.Served++
+		r.LatenciesMs = append(r.LatenciesMs, float64(o.lat)/float64(time.Millisecond))
+		r.batchSum += o.res.BatchSize
+		if adv {
+			r.AdvServed++
+			if o.res.Class == items[o.item].Label {
+				r.AdvCorrect++
+			}
+		} else {
+			r.BenignServed++
+			if o.res.Class == items[o.item].Label {
+				r.BenignCorrect++
+			}
+		}
+	case errors.Is(o.err, ErrOverloaded):
+		r.Shed++
+		if adv {
+			r.AdvShed++
+		} else {
+			r.BenignShed++
+		}
+	default:
+		r.Failed++
+	}
+}
+
+// finish derives the rate fields once every outcome is tallied.
+func (r *LoadReport) finish(elapsed time.Duration) {
+	r.Elapsed = elapsed
+	r.Seconds = elapsed.Seconds()
+	if elapsed > 0 {
+		r.Throughput = float64(r.Served) / elapsed.Seconds()
+	}
+	if r.Served > 0 {
+		r.MeanBatch = float64(r.batchSum) / float64(r.Served)
+	}
 }
 
 // RunLoad fires cfg.Requests items drawn from the traffic mix at the
@@ -95,85 +212,165 @@ func RunLoad(s *Service, items []TrafficItem, cfg LoadConfig) (*LoadReport, erro
 	if cfg.Rate <= 0 || cfg.Requests <= 0 {
 		return nil, fmt.Errorf("serve: loadgen needs Rate > 0 and Requests > 0")
 	}
+	clk := s.Clock()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	order := make([]int, cfg.Requests)
-	for i := range order {
-		order[i] = rng.Intn(len(items))
-	}
-
-	type outcome struct {
-		item   int
-		res    *Result
-		err    error
-		lat    time.Duration
-		served bool
-	}
-	outcomes := make([]outcome, cfg.Requests)
-	var wg sync.WaitGroup
-
-	// Open-loop pacing: request i is due at start + i/Rate regardless of
-	// completions. Sleeping only when ahead (rather than ticking once per
-	// request) means a generator starved of CPU catches up in a burst
-	// instead of silently lowering the offered rate — without this, an
-	// overloaded single-core service throttles its own load generator and
-	// the admission limit is never reached (coordinated omission).
 	interval := time.Duration(float64(time.Second) / cfg.Rate)
-	start := time.Now()
-	for i := 0; i < cfg.Requests; i++ {
-		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
-			time.Sleep(d)
-		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			it := items[order[i]]
-			route := "benign"
-			if it.Adversarial {
-				route = "adv"
-			}
-			var deadline time.Time
-			t0 := time.Now()
-			if cfg.Deadline > 0 {
-				deadline = t0.Add(cfg.Deadline)
-			}
-			res, err := s.Submit(route, it.X, deadline)
-			outcomes[i] = outcome{item: order[i], res: res, err: err, lat: time.Since(t0), served: err == nil}
-		}(i)
+	start := clk.Now()
+	shots := make([]shot, cfg.Requests)
+	for i := range shots {
+		shots[i] = shot{due: start.Add(time.Duration(i) * interval), item: rng.Intn(len(items))}
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
+	outcomes := fire(s, items, shots, cfg.Deadline)
+	elapsed := clk.Now().Sub(start)
 
-	rep := &LoadReport{Sent: cfg.Requests, Elapsed: elapsed, Seconds: elapsed.Seconds(), OfferedRate: cfg.Rate}
-	batchSum := 0
+	rep := &LoadReport{OfferedRate: cfg.Rate}
 	for _, o := range outcomes {
-		it := items[o.item]
-		switch {
-		case o.served:
-			rep.Served++
-			rep.LatenciesMs = append(rep.LatenciesMs, float64(o.lat)/float64(time.Millisecond))
-			batchSum += o.res.BatchSize
-			if it.Adversarial {
-				rep.AdvServed++
-				if o.res.Class == it.Label {
-					rep.AdvCorrect++
-				}
-			} else {
-				rep.BenignServed++
-				if o.res.Class == it.Label {
-					rep.BenignCorrect++
-				}
+		rep.tally(items, o)
+	}
+	rep.finish(elapsed)
+	return rep, nil
+}
+
+// LoadPhase is one step of a phased load trace: Rate req/s for Duration,
+// with AdvFrac of the requests drawn from the adversarial pool. Chaining
+// phases expresses ramps, bursts and diurnal steps — the traces that
+// exercise autoscaler scale-up, scale-down and admission fairness.
+type LoadPhase struct {
+	Rate     float64       `json:"rate"`
+	Duration time.Duration `json:"duration"`
+	AdvFrac  float64       `json:"adv_frac"`
+}
+
+// String renders the phase in the -phases flag syntax.
+func (p LoadPhase) String() string {
+	return fmt.Sprintf("%g:%s:%g", p.Rate, p.Duration, p.AdvFrac)
+}
+
+// ParsePhases parses a phase trace spec: comma-separated
+// "rate:duration:advfrac" steps, e.g. "200:2s:0.1,800:1s:0.5,200:2s:0.1"
+// (the adv fraction may be omitted for pure benign phases).
+func ParsePhases(spec string) ([]LoadPhase, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var phases []LoadPhase
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("serve: phase %q, want rate:duration[:advfrac]", part)
+		}
+		rate, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("serve: phase %q needs a positive rate", part)
+		}
+		dur, err := time.ParseDuration(fields[1])
+		if err != nil || dur <= 0 {
+			return nil, fmt.Errorf("serve: phase %q needs a positive duration", part)
+		}
+		p := LoadPhase{Rate: rate, Duration: dur}
+		if len(fields) == 3 {
+			f, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("serve: phase %q needs adv frac in [0,1]", part)
 			}
-		case errors.Is(o.err, ErrOverloaded):
-			rep.Shed++
-		default:
-			rep.Failed++
+			p.AdvFrac = f
+		}
+		phases = append(phases, p)
+	}
+	return phases, nil
+}
+
+// PhaseReport is one phase's slice of a phased run.
+type PhaseReport struct {
+	Phase LoadPhase `json:"phase"`
+	LoadReport
+}
+
+// PhasedReport is the per-phase plus aggregate view of RunLoadPhases.
+type PhasedReport struct {
+	Phases []PhaseReport `json:"phases"`
+	Total  LoadReport    `json:"total"`
+}
+
+// RunLoadPhases fires a phased trace: each phase launches Rate×Duration
+// requests at its open-loop rate, drawing each request from the
+// adversarial pool with probability AdvFrac and from the benign pool
+// otherwise (unlike RunLoad, which inherits the pool's fixed mix). The
+// timeline is continuous — phase i+1 starts on schedule even if phase i
+// still has requests in flight, exactly how a real burst lands on a
+// service that has not drained — and every request's outcome is accounted
+// to the phase that launched it.
+func RunLoadPhases(s *Service, items []TrafficItem, phases []LoadPhase, cfg LoadConfig) (*PhasedReport, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("serve: phased loadgen needs at least one phase")
+	}
+	var benign, adv []int
+	for i, it := range items {
+		if it.Adversarial {
+			adv = append(adv, i)
+		} else {
+			benign = append(benign, i)
 		}
 	}
-	if elapsed > 0 {
-		rep.Throughput = float64(rep.Served) / elapsed.Seconds()
+	for _, p := range phases {
+		if p.AdvFrac > 0 && len(adv) == 0 {
+			return nil, fmt.Errorf("serve: phase %s draws adversarial traffic but the pool has none", p)
+		}
+		if p.AdvFrac < 1 && len(benign) == 0 {
+			return nil, fmt.Errorf("serve: phase %s draws benign traffic but the pool has none", p)
+		}
 	}
-	if rep.Served > 0 {
-		rep.MeanBatch = float64(batchSum) / float64(rep.Served)
+
+	clk := s.Clock()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := clk.Now()
+	phaseStart := make([]time.Time, len(phases))
+	var shots []shot
+	at := start
+	for pi, p := range phases {
+		phaseStart[pi] = at
+		n := int(p.Rate*p.Duration.Seconds() + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		interval := time.Duration(float64(time.Second) / p.Rate)
+		for j := 0; j < n; j++ {
+			idx := 0
+			if rng.Float64() < p.AdvFrac {
+				idx = adv[rng.Intn(len(adv))]
+			} else {
+				idx = benign[rng.Intn(len(benign))]
+			}
+			shots = append(shots, shot{due: at.Add(time.Duration(j) * interval), item: idx, phase: pi})
+		}
+		at = at.Add(p.Duration)
 	}
+
+	outcomes := fire(s, items, shots, cfg.Deadline)
+	end := clk.Now()
+
+	rep := &PhasedReport{Phases: make([]PhaseReport, len(phases))}
+	if sched := at.Sub(start); sched > 0 {
+		// The aggregate offered rate is total launches over the scheduled
+		// trace length (not the drain-extended elapsed time).
+		rep.Total.OfferedRate = float64(len(shots)) / sched.Seconds()
+	}
+	phaseEnd := make([]time.Time, len(phases))
+	for pi, p := range phases {
+		rep.Phases[pi].Phase = p
+		rep.Phases[pi].OfferedRate = p.Rate
+		phaseEnd[pi] = phaseStart[pi]
+	}
+	for _, o := range outcomes {
+		rep.Phases[o.phase].tally(items, o)
+		rep.Total.tally(items, o)
+		if o.end.After(phaseEnd[o.phase]) {
+			phaseEnd[o.phase] = o.end
+		}
+	}
+	for pi := range rep.Phases {
+		rep.Phases[pi].finish(phaseEnd[pi].Sub(phaseStart[pi]))
+	}
+	rep.Total.finish(end.Sub(start))
 	return rep, nil
 }

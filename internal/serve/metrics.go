@@ -115,9 +115,11 @@ func (e *P2Quantile) Count() int { return e.count }
 
 // routeStats accumulates one route's counters and latency sketches.
 type routeStats struct {
-	requests uint64 // admitted + shed + errored
+	offered  uint64 // every Submit attempt, counted before any decision
+	requests uint64 // resolved: served + shed + rejected + errored
 	served   uint64
 	shed     uint64 // rejected by admission control or deadline shedding
+	rejected uint64 // malformed (wrong shape/rank) before admission
 	errors   uint64
 
 	// batchSamples sums the batch size each served request rode in, so
@@ -144,6 +146,18 @@ type Metrics struct {
 	clock  Clock
 	start  time.Time
 	routes map[string]*routeStats
+
+	// Control-plane view: the autoscaler's windowed latency signal plus the
+	// scale decisions it took, surfaced so /metrics shows why the replica
+	// count moved. The window is maintained only when winOn is set (the
+	// service enables it with the autoscaler) — a static service must not
+	// pay per-request for a signal nothing drains.
+	winOn        bool
+	winP95       *P2Quantile
+	winN         int
+	liveReplicas int
+	scaleUps     uint64
+	scaleDowns   uint64
 }
 
 // NewMetrics returns an empty metrics core on the real clock.
@@ -185,6 +199,55 @@ func (m *Metrics) Served(route string, latency time.Duration, batch int) {
 	r.p50.Add(ms)
 	r.p95.Add(ms)
 	r.p99.Add(ms)
+	if m.winOn {
+		if m.winP95 == nil {
+			m.winP95 = NewP2Quantile(0.95)
+		}
+		m.winP95.Add(ms)
+		m.winN++
+	}
+}
+
+// EnableWindow turns on the windowed latency signal TakeWindow drains —
+// called by the service when the autoscaler is configured.
+func (m *Metrics) EnableWindow() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.winOn = true
+}
+
+// TakeWindow returns the p95 latency (ms) and sample count observed since
+// the previous TakeWindow call, then resets the window (always 0, 0 before
+// EnableWindow). The autoscaler reads this each decision interval: unlike
+// the lifetime sketches, the window drains with the load, so a past burst
+// cannot pin the p95 signal high forever and block scale-down.
+func (m *Metrics) TakeWindow() (p95Ms float64, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.winP95 != nil {
+		p95Ms, n = m.winP95.Value(), m.winN
+	}
+	m.winP95, m.winN = nil, 0
+	return p95Ms, n
+}
+
+// SetReplicas records the current live-replica gauge.
+func (m *Metrics) SetReplicas(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.liveReplicas = n
+}
+
+// RecordScale records one autoscaler action from → to live replicas.
+func (m *Metrics) RecordScale(from, to int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.liveReplicas = to
+	if to > from {
+		m.scaleUps++
+	} else if to < from {
+		m.scaleDowns++
+	}
 }
 
 // Shed records one request rejected by admission control (queue full or
@@ -206,12 +269,35 @@ func (m *Metrics) Error(route string) {
 	r.errors++
 }
 
+// Offered records one request entering Submit, before any admission
+// decision. offered − requests is therefore the in-flight count, and
+// offered vs served separates the load a route *asked* for from what it
+// got — the difference the fairness story is about.
+func (m *Metrics) Offered(route string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.route(route).offered++
+}
+
+// Rejected records one malformed request (wrong sample shape or rank)
+// refused before admission — without this counter a stream of garbage
+// traffic is invisible to /metrics.
+func (m *Metrics) Rejected(route string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.route(route)
+	r.requests++
+	r.rejected++
+}
+
 // RouteSnapshot is the serializable view of one route's stats.
 type RouteSnapshot struct {
 	Route    string `json:"route"`
+	Offered  uint64 `json:"offered"`
 	Requests uint64 `json:"requests"`
 	Served   uint64 `json:"served"`
 	Shed     uint64 `json:"shed"`
+	Rejected uint64 `json:"rejected"`
 	Errors   uint64 `json:"errors"`
 	// MeanBatch is the average tensor-batch size a request of this route
 	// was coalesced into.
@@ -225,8 +311,16 @@ type RouteSnapshot struct {
 
 // Snapshot is the serializable view of the whole metrics core.
 type Snapshot struct {
-	UptimeSec float64         `json:"uptime_sec"`
-	Routes    []RouteSnapshot `json:"routes"`
+	UptimeSec float64 `json:"uptime_sec"`
+	// LiveReplicas / ScaleUps / ScaleDowns expose the control-plane state:
+	// LiveReplicas is the current live worker count (the full pool size on
+	// a statically provisioned service); the scale counters record how
+	// often the autoscaler grew or shrank the set and stay zero when it is
+	// disabled.
+	LiveReplicas int             `json:"live_replicas,omitempty"`
+	ScaleUps     uint64          `json:"scale_ups,omitempty"`
+	ScaleDowns   uint64          `json:"scale_downs,omitempty"`
+	Routes       []RouteSnapshot `json:"routes"`
 }
 
 // Snapshot returns a consistent copy of every route's stats, sorted by
@@ -234,7 +328,12 @@ type Snapshot struct {
 func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := Snapshot{UptimeSec: m.clock.Now().Sub(m.start).Seconds()}
+	s := Snapshot{
+		UptimeSec:    m.clock.Now().Sub(m.start).Seconds(),
+		LiveReplicas: m.liveReplicas,
+		ScaleUps:     m.scaleUps,
+		ScaleDowns:   m.scaleDowns,
+	}
 	names := make([]string, 0, len(m.routes))
 	for name := range m.routes {
 		names = append(names, name)
@@ -244,9 +343,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		r := m.routes[name]
 		rs := RouteSnapshot{
 			Route:    name,
+			Offered:  r.offered,
 			Requests: r.requests,
 			Served:   r.served,
 			Shed:     r.shed,
+			Rejected: r.rejected,
 			Errors:   r.errors,
 			P50Ms:    r.p50.Value(),
 			P95Ms:    r.p95.Value(),

@@ -32,6 +32,15 @@ type Config struct {
 	QueueDepth int
 	// Clock overrides wall time (tests); nil selects the real clock.
 	Clock Clock
+	// Autoscale, when non-nil, enables the replica autoscaler: the service
+	// starts Autoscale.Min live workers instead of one per pool replica
+	// and a control loop grows/shrinks the live set. Nil keeps the static
+	// one-worker-per-replica provisioning.
+	Autoscale *AutoscaleConfig
+	// Admission, when non-nil with Rate > 0, enables per-route
+	// weighted-fair admission (token buckets) ahead of the shared queue.
+	// Nil keeps the shared-queue-only admission.
+	Admission *AdmissionConfig
 }
 
 // withDefaults fills unset knobs.
@@ -85,32 +94,139 @@ type Service struct {
 	pool    *ReplicaPool
 	cfg     Config
 	metrics *Metrics
+	admit   *admitter   // nil = admission control disabled
+	scaler  *autoscaler // nil = static provisioning
 
-	queue    chan *request
-	dispatch chan []*request
-	wg       sync.WaitGroup
+	queue     chan *request
+	dispatch  chan []*request
+	scaleQuit chan struct{}
+	wg        sync.WaitGroup
 
-	mu     sync.RWMutex
-	closed bool
+	mu      sync.RWMutex
+	closed  bool
+	workers []*workerHandle // indexed by replica; nil = never started
+	liveN   int             // workers[:liveN] are live (not stop-signalled)
+	events  []ScaleEvent
 }
 
-// NewService starts the scheduler over pool. Close releases it.
+// workerHandle tracks one worker goroutine's lifecycle: stop asks it to
+// exit between batches, done closes when it has fully exited (so a replica
+// is never handed to a new worker while the old one still runs a batch).
+type workerHandle struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewService starts the scheduler over pool. Close releases it. Without
+// Autoscale every pool replica gets a worker immediately (static
+// provisioning, the pre-control-plane behavior); with it, Min workers start
+// and the autoscale loop owns the rest.
 func NewService(pool *ReplicaPool, cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	if cfg.Autoscale != nil {
+		a := cfg.Autoscale.withDefaults(pool.Size())
+		cfg.Autoscale = &a
+	}
 	s := &Service{
 		pool:     pool,
 		cfg:      cfg,
 		metrics:  NewMetricsAt(cfg.Clock),
 		dispatch: make(chan []*request),
+		workers:  make([]*workerHandle, pool.Size()),
+	}
+	if cfg.Admission != nil && cfg.Admission.Rate > 0 {
+		s.admit = newAdmitter(*cfg.Admission)
 	}
 	s.queue = make(chan *request, s.cfg.QueueDepth)
 	s.wg.Add(1)
 	go s.batcher()
-	for _, rep := range pool.replicas {
+	initial := pool.Size()
+	if cfg.Autoscale != nil {
+		initial = cfg.Autoscale.Min
+	}
+	s.mu.Lock()
+	for s.liveN < initial {
+		s.startWorkerLocked()
+	}
+	s.mu.Unlock()
+	s.metrics.SetReplicas(initial)
+	if cfg.Autoscale != nil {
+		s.metrics.EnableWindow()
+		s.scaler = &autoscaler{s: s, cfg: *cfg.Autoscale}
+		s.scaleQuit = make(chan struct{})
 		s.wg.Add(1)
-		go s.worker(rep)
+		go s.autoscaleLoop()
 	}
 	return s
+}
+
+// startWorkerLocked starts the next worker (replica index liveN) under
+// s.mu. It reports false when that replica's previous worker has not fully
+// exited yet — the caller retries on a later tick rather than ever running
+// two workers on one replica.
+func (s *Service) startWorkerLocked() bool {
+	i := s.liveN
+	if h := s.workers[i]; h != nil {
+		select {
+		case <-h.done:
+		default:
+			return false // still draining its last batch
+		}
+	}
+	h := &workerHandle{stop: make(chan struct{}), done: make(chan struct{})}
+	s.workers[i] = h
+	s.liveN++
+	s.wg.Add(1)
+	go s.worker(s.pool.replicas[i], h)
+	return true
+}
+
+// maxScaleEvents bounds the retained scale-event history: a long-running
+// deployment oscillating once per cooldown must not grow the log without
+// bound. The metrics counters keep the lifetime totals; the log keeps the
+// recent story.
+const maxScaleEvents = 1024
+
+// scaleLocked moves the live worker count to target under s.mu, recording
+// the event and the metrics gauge. It reports whether the count changed
+// (scale-up can be blocked by a still-draining replica).
+func (s *Service) scaleLocked(target int, now time.Time, reason string) bool {
+	from := s.liveN
+	for s.liveN < target {
+		if !s.startWorkerLocked() {
+			break
+		}
+	}
+	for s.liveN > target {
+		s.liveN--
+		close(s.workers[s.liveN].stop)
+	}
+	if s.liveN == from {
+		return false
+	}
+	if len(s.events) == maxScaleEvents {
+		copy(s.events, s.events[1:])
+		s.events = s.events[:maxScaleEvents-1]
+	}
+	s.events = append(s.events, ScaleEvent{At: now, From: from, To: s.liveN, Reason: reason})
+	s.metrics.RecordScale(from, s.liveN)
+	return true
+}
+
+// LiveReplicas returns how many workers are currently live — the
+// autoscaler's gauge, equal to the pool size on a static service.
+func (s *Service) LiveReplicas() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.liveN
+}
+
+// ScaleEvents returns a copy of the autoscaler's actions in order (the
+// most recent maxScaleEvents; lifetime totals live in the metrics).
+func (s *Service) ScaleEvents() []ScaleEvent {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]ScaleEvent(nil), s.events...)
 }
 
 // Metrics exposes the service's metrics core.
@@ -133,6 +249,9 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
+	if s.scaleQuit != nil {
+		close(s.scaleQuit)
+	}
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -144,29 +263,41 @@ func (s *Service) Close() {
 // ErrOverloaded instead of being served late. x must not be mutated until
 // Submit returns.
 func (s *Service) Submit(route string, x *tensor.Tensor, deadline time.Time) (*Result, error) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		// No metrics on a closed service: a closed-path Offered with no
+		// resolving counter would read as an in-flight request forever.
+		return nil, ErrClosed
+	}
+	s.metrics.Offered(route)
 	want := s.pool.InputShape()
 	if x.Rank() == len(want)+1 && x.Dim(0) == 1 {
 		x = x.Slice(0)
 	}
 	if x.Rank() != len(want) {
+		s.mu.RUnlock()
+		s.metrics.Rejected(route)
 		return nil, fmt.Errorf("serve: sample rank %d, want shape %v", x.Rank(), want)
 	}
 	for i, d := range want {
 		if x.Dim(i) != d {
+			s.mu.RUnlock()
+			s.metrics.Rejected(route)
 			return nil, fmt.Errorf("serve: sample shape %v, want %v", x.Shape(), want)
 		}
 	}
 
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
-		return nil, ErrClosed
-	}
 	now := s.cfg.Clock.Now()
 	if !deadline.IsZero() && now.After(deadline) {
 		s.mu.RUnlock()
 		s.metrics.Shed(route)
 		return nil, fmt.Errorf("serve: deadline passed at admission: %w", ErrOverloaded)
+	}
+	if s.admit != nil && !s.admit.allow(route, now) {
+		s.mu.RUnlock()
+		s.metrics.Shed(route)
+		return nil, fmt.Errorf("serve: admission limit for route %q (weighted token bucket): %w", route, ErrOverloaded)
 	}
 	r := &request{x: x, route: route, deadline: deadline, enqueued: now, done: make(chan response, 1)}
 	select {
@@ -239,11 +370,30 @@ func (s *Service) batcher() {
 }
 
 // worker owns one replica: it sheds expired requests, stacks the rest into
-// a [B,C,H,W] tensor, runs the replica, and fans rows back.
-func (s *Service) worker(rep Replica) {
+// a [B,C,H,W] tensor, runs the replica, and fans rows back. It exits when
+// the dispatch channel closes (service shutdown) or its stop channel closes
+// (autoscaler scale-down) — in the latter case always between batches,
+// never abandoning one mid-flight.
+func (s *Service) worker(rep Replica, h *workerHandle) {
 	defer s.wg.Done()
+	defer close(h.done)
 	var bx *tensor.Tensor
-	for batch := range s.dispatch {
+	for {
+		var batch []*request
+		select {
+		case <-h.stop:
+			return
+		default:
+		}
+		select {
+		case <-h.stop:
+			return
+		case b, ok := <-s.dispatch:
+			if !ok {
+				return
+			}
+			batch = b
+		}
 		now := s.cfg.Clock.Now()
 		live := batch[:0]
 		for _, r := range batch {
