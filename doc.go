@@ -26,4 +26,4 @@
 package pelta
 
 // Version identifies this reproduction release.
-const Version = "1.4.0"
+const Version = "1.5.0"

@@ -24,6 +24,11 @@ type Upsampler struct {
 	// into a patch grid before upsampling.
 	vit  bool
 	grid int // √(T−1) for vit adjoints
+
+	// pool feeds the transposed-convolution scratch (and the vit patch-grid
+	// buffer), making repeated Apply calls allocation-light on the attack
+	// hot path. Upsamplers are per-worker, so the pool stays uncontended.
+	pool *tensor.Pool
 }
 
 // NewUpsampler builds an upsampler from the adjoint shape (including batch
@@ -32,7 +37,7 @@ func NewUpsampler(adjointShape, inputShape []int, seed int64) (*Upsampler, error
 	if len(inputShape) != 3 {
 		return nil, fmt.Errorf("attack: input shape %v must be [C,H,W]", inputShape)
 	}
-	u := &Upsampler{dstC: inputShape[0], dstH: inputShape[1], dstW: inputShape[2]}
+	u := &Upsampler{dstC: inputShape[0], dstH: inputShape[1], dstW: inputShape[2], pool: tensor.NewPool()}
 	rng := tensor.NewRNG(seed)
 	switch len(adjointShape) {
 	case 3: // [B, T, D] — ViT boundary z0
@@ -73,27 +78,37 @@ func NewUpsampler(adjointShape, inputShape []int, seed int64) (*Upsampler, error
 // Apply upsamples a batched adjoint to [B, C, H, W].
 func (u *Upsampler) Apply(adj *tensor.Tensor) (*tensor.Tensor, error) {
 	var x4 *tensor.Tensor
+	borrowed := false
 	switch {
 	case u.vit:
 		if adj.Rank() != 3 {
 			return nil, fmt.Errorf("attack: expected [B,T,D] adjoint, got %v", adj.Shape())
 		}
 		x4 = u.tokensToGrid(adj)
+		borrowed = true
 	default:
 		if adj.Rank() != 4 {
 			return nil, fmt.Errorf("attack: expected [B,C,h,w] adjoint, got %v", adj.Shape())
 		}
 		x4 = adj
 	}
-	up := tensor.ConvTranspose2d(x4, u.kernel, u.stride, 0)
+	k := u.kernel.Dim(2)
+	oh := (x4.Dim(2)-1)*u.stride + k
+	ow := (x4.Dim(3)-1)*u.stride + u.kernel.Dim(3)
+	up := tensor.New(x4.Dim(0), u.kernel.Dim(1), oh, ow)
+	tensor.ConvTranspose2dInto(u.pool, up, x4, u.kernel, u.stride, 0)
+	if borrowed {
+		u.pool.Put(x4)
+	}
 	return fitSpatial(up, u.dstH, u.dstW), nil
 }
 
 // tokensToGrid drops the class token and lays the patch tokens out as a
-// [B, D, grid, grid] feature map.
+// [B, D, grid, grid] feature map, borrowed from the upsampler's pool (every
+// element is overwritten).
 func (u *Upsampler) tokensToGrid(adj *tensor.Tensor) *tensor.Tensor {
 	b, t, d := adj.Dim(0), adj.Dim(1), adj.Dim(2)
-	out := tensor.New(b, d, u.grid, u.grid)
+	out := u.pool.Get(b, d, u.grid, u.grid)
 	for i := 0; i < b; i++ {
 		src := adj.Slice(i) // [T, D]
 		dst := out.Slice(i) // [D, g, g]

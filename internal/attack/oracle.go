@@ -133,6 +133,9 @@ func (o *ClearOracle) GradCERollout(x *tensor.Tensor, y []int) (*tensor.Tensor, 
 		return nil, nil, nil, fmt.Errorf("attack: %s records no attention maps", o.M.Name())
 	}
 	g := o.arena()
+	// The rollout consumes the recorded maps, so opt this pass out of the
+	// fused attention fast path.
+	g.RequestRecorded(autograd.RecordAttention)
 	in := g.Input(x, "x")
 	_, logits := o.M.Forward(g, in)
 	loss, info := g.CrossEntropy(logits, y, autograd.ReduceSum)

@@ -38,6 +38,7 @@ func (r *ViTRollout) AttentionRollout(x *tensor.Tensor) (*tensor.Tensor, error) 
 		r.g.SetTrackParamGrads(false)
 	}
 	r.g.Release()
+	r.g.RequestRecorded(autograd.RecordAttention)
 	r.V.Forward(r.g, r.g.Input(x, "x"))
 	maps := r.V.AttentionMaps(r.g)
 	if len(maps) == 0 {

@@ -124,6 +124,12 @@ type Graph struct {
 	// shared weights race-free.
 	recorded map[string][]*Value
 
+	// wants marks Record keys the consumer of the next pass will read.
+	// Layers with a fused fast path (attention) only materialize and Record
+	// the full artifact when its key is requested; the request is cleared by
+	// Release, so consumers re-arm it each pass.
+	wants map[string]bool
+
 	// freeVals recycles Value structs (and their parent slices) across
 	// Release cycles, so steady-state graph recording allocates no vertex
 	// objects. Only populated on pooled graphs.
@@ -186,6 +192,7 @@ func (g *Graph) Release() {
 	for k := range g.recorded {
 		g.recorded[k] = g.recorded[k][:0]
 	}
+	clear(g.wants)
 }
 
 // alloc borrows an uninitialized tensor for an op output that overwrites
@@ -268,6 +275,22 @@ func (g *Graph) Record(key string, v *Value) {
 // Recorded returns the values tagged under key during the current pass, in
 // recording order.
 func (g *Graph) Recorded(key string) []*Value { return g.recorded[key] }
+
+// RequestRecorded arms recording for key on the NEXT forward pass built on
+// this graph: layers that would otherwise take a fused fast path (and skip
+// materializing the artifact) fall back to the recording path. The request
+// lasts until Release, so callers re-arm it before every pass that reads
+// Recorded(key).
+func (g *Graph) RequestRecorded(key string) {
+	if g.wants == nil {
+		g.wants = make(map[string]bool)
+	}
+	g.wants[key] = true
+}
+
+// WantsRecorded reports whether a consumer requested Record(key) artifacts
+// for the current pass.
+func (g *Graph) WantsRecorded(key string) bool { return g.wants[key] }
 
 // RecordAttention is the Record key under which attention layers store their
 // per-block probability vertices ([B*heads, T, T]).

@@ -23,6 +23,7 @@ func TestViTForwardShapes(t *testing.T) {
 	v := NewViT(SmallViT("vit-test", 10, 16, 4), rng)
 	x := rng.Uniform(0, 1, 2, 3, 16, 16)
 	g := autograd.NewGraph()
+	g.RequestRecorded(autograd.RecordAttention)
 	boundary, logits := v.Forward(g, g.Input(x, "x"))
 	if logits.Data.Dim(0) != 2 || logits.Data.Dim(1) != 10 {
 		t.Fatalf("logits shape = %v", logits.Data.Shape())

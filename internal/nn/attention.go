@@ -8,12 +8,15 @@ import (
 )
 
 // MultiHeadSelfAttention implements the transformer self-attention block.
-// Every forward pass records its softmax attention-probability vertex
-// ([B*heads, T, T]) — the W^(att) matrices consumed by the Self-Attention
-// Gradient Attack (Eq. 4) — into the pass's graph under
-// autograd.RecordAttention. Keeping the record graph-scoped (instead of on
-// the layer) lets concurrent passes share the same weights race-free, which
-// the parallel batched oracle relies on.
+// By default it runs the fused strip kernel (tensor.FusedAttentionInto),
+// which never materializes the [B*heads, T, T] score tensor. When the
+// pass's consumer has called g.RequestRecorded(autograd.RecordAttention) —
+// the W^(att) matrices consumed by the Self-Attention Gradient Attack
+// (Eq. 4) — the layer falls back to the materializing chain and records the
+// softmax probability vertex into the graph; both paths produce identical
+// bits. Keeping the record graph-scoped (instead of on the layer) lets
+// concurrent passes share the same weights race-free, which the parallel
+// batched oracle relies on.
 type MultiHeadSelfAttention struct {
 	Heads int
 	Dim   int
@@ -51,11 +54,19 @@ func (m *MultiHeadSelfAttention) Forward(g *autograd.Graph, x *autograd.Value) *
 	k := split(m.Wk.Forward(g, x))
 	v := split(m.Wv.Forward(g, x))
 
-	kT := g.Permute(k, 0, 2, 1)                                        // [B*h, dh, T]
-	scores := g.Scale(g.BMM(q, kT), float32(1/math.Sqrt(float64(dh)))) // [B*h, T, T]
-	attn := g.SoftmaxLastDim(scores)
-	g.Record(autograd.RecordAttention, attn)
-	ctx := g.BMM(attn, v) // [B*h, T, dh]
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	var ctx *autograd.Value
+	if g.WantsRecorded(autograd.RecordAttention) {
+		// Recording path: materialize the [B*h,T,T] probability vertex the
+		// SAGA rollout consumes. Bit-identical to the fused kernel below.
+		kT := g.Permute(k, 0, 2, 1)            // [B*h, dh, T]
+		scores := g.Scale(g.BMM(q, kT), scale) // [B*h, T, T]
+		attn := g.SoftmaxLastDim(scores)
+		g.Record(autograd.RecordAttention, attn)
+		ctx = g.BMM(attn, v) // [B*h, T, dh]
+	} else {
+		ctx = g.FusedAttention(q, k, v, scale) // [B*h, T, dh]
+	}
 	// [B*h,T,dh] -> [B,h,T,dh] -> [B,T,h,dh] -> [B,T,D]
 	merged := g.Reshape(g.Permute(g.Reshape(ctx, b, h, t, dh), 0, 2, 1, 3), b, t, d)
 	return m.Wo.Forward(g, merged)

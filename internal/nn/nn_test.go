@@ -99,6 +99,7 @@ func TestMHSAAttentionRecorded(t *testing.T) {
 	rng := tensor.NewRNG(5)
 	m := NewMHSA("attn", 8, 2, rng)
 	g := autograd.NewGraph()
+	g.RequestRecorded(autograd.RecordAttention)
 	y := m.Forward(g, g.Input(rng.Normal(0, 1, 2, 5, 8), "x"))
 	if !y.Data.SameShape(tensor.New(2, 5, 8)) {
 		t.Fatalf("attn out shape = %v", y.Data.Shape())
@@ -112,6 +113,41 @@ func TestMHSAAttentionRecorded(t *testing.T) {
 	}
 	if len(m.Params()) != 8 {
 		t.Fatalf("params = %d, want 8 (4 linears × W,b)", len(m.Params()))
+	}
+}
+
+func TestMHSAFusedMatchesRecordedBitwise(t *testing.T) {
+	// The fused attention kernel and the materializing RequestRecorded chain
+	// must be interchangeable: identical logits AND identical input
+	// gradients, bit for bit, so consumers can opt into recording without
+	// perturbing the attack trajectory.
+	rng := tensor.NewRNG(21)
+	m := NewMHSA("attn", 16, 4, rng)
+	x := rng.Normal(0, 1, 3, 9, 16)
+
+	run := func(record bool) (y, gx []float32) {
+		g := autograd.NewGraph()
+		if record {
+			g.RequestRecorded(autograd.RecordAttention)
+		}
+		in := g.Input(x, "x")
+		out := m.Forward(g, in)
+		g.Backward(g.Sum(out))
+		y = append([]float32(nil), out.Data.Data()...)
+		gx = append([]float32(nil), in.Grad.Data()...)
+		return
+	}
+	yF, gxF := run(false)
+	yR, gxR := run(true)
+	for i := range yF {
+		if math.Float32bits(yF[i]) != math.Float32bits(yR[i]) {
+			t.Fatalf("fused and recorded outputs diverge at %d: %v vs %v", i, yF[i], yR[i])
+		}
+	}
+	for i := range gxF {
+		if math.Float32bits(gxF[i]) != math.Float32bits(gxR[i]) {
+			t.Fatalf("fused and recorded input grads diverge at %d: %v vs %v", i, gxF[i], gxR[i])
+		}
 	}
 }
 

@@ -37,9 +37,19 @@ func Im2ColInto(cols, x *Tensor, kh, kw, stride, pad int) {
 }
 
 // im2colRaw lowers one [C,H,W] raw image into cols [outH*outW, C*kh*kw].
+// Output rows are disjoint, so the lowering is sharded over the worker pool
+// for large images (each row is written identically on every path).
 func im2colRaw(cols, x []float32, c, h, w, kh, kw, stride, pad int) {
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
-	for oy := 0; oy < oh; oy++ {
+	parallelFor(oh, oh*ow*c*kh*kw, func(y0, y1 int) {
+		im2colRows(cols, x, c, h, w, kh, kw, stride, pad, y0, y1)
+	})
+}
+
+// im2colRows lowers output rows [y0,y1) of one image.
+func im2colRows(cols, x []float32, c, h, w, kh, kw, stride, pad, y0, y1 int) {
+	ow := ConvOut(w, kw, stride, pad)
+	for oy := y0; oy < y1; oy++ {
 		for ox := 0; ox < ow; ox++ {
 			row := cols[(oy*ow+ox)*c*kh*kw:]
 			idx := 0
@@ -86,23 +96,76 @@ func Col2ImInto(img, cols *Tensor, kh, kw, stride, pad int) {
 	col2imRaw(img.data, cols.data, c, h, w, kh, kw, stride, pad)
 }
 
-// col2imRaw scatters cols back onto a zeroed [C,H,W] raw image buffer.
+// col2imRaw scatters cols back onto a [C,H,W] raw image buffer (img is
+// zeroed first). Output rows of the scatter overlap, so the parallel axis is
+// channels: each channel plane receives its contributions from exactly one
+// worker. Serially the row-major loop is preferred — it reads cols exactly
+// once in storage order, where the channel-major loop re-walks it per
+// channel. Both orders deliver every output element its contributions in
+// the same ascending (oy, ox) sequence (an element only receives from its
+// own channel's columns), so the accumulation is bit-identical either way
+// and for every worker count.
 func col2imRaw(img, cols []float32, c, h, w, kh, kw, stride, pad int) {
-	for i := range img {
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	ckk := c * kh * kw
+	if !shouldParallel(c, oh*ow*ckk) {
+		col2imRowMajor(img, cols, c, h, w, kh, kw, stride, pad)
+		return
+	}
+	parallelFor(c, oh*ow*ckk, func(c0, c1 int) {
+		for ch := c0; ch < c1; ch++ {
+			plane := img[ch*h*w : (ch+1)*h*w]
+			for i := range plane {
+				plane[i] = 0
+			}
+			base := ch * kh * kw
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					row := cols[(oy*ow+ox)*ckk+base:]
+					idx := 0
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= h {
+							idx += kw
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride - pad + kx
+							if ix >= 0 && ix < w {
+								plane[iy*w+ix] += row[idx]
+							}
+							idx++
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// col2imRowMajor is the cache-friendly serial scatter: one sequential pass
+// over cols in storage order.
+func col2imRowMajor(img, cols []float32, c, h, w, kh, kw, stride, pad int) {
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	ckk := c * kh * kw
+	for i := 0; i < c*h*w; i++ {
 		img[i] = 0
 	}
-	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
-			row := cols[(oy*ow+ox)*c*kh*kw:]
+			row := cols[(oy*ow+ox)*ckk:]
 			idx := 0
 			for ch := 0; ch < c; ch++ {
-				plane := img[ch*h*w:]
+				plane := img[ch*h*w : (ch+1)*h*w]
 				for ky := 0; ky < kh; ky++ {
 					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						idx += kw
+						continue
+					}
 					for kx := 0; kx < kw; kx++ {
 						ix := ox*stride - pad + kx
-						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+						if ix >= 0 && ix < w {
 							plane[iy*w+ix] += row[idx]
 						}
 						idx++
@@ -159,28 +222,55 @@ func Conv2dInto(p *Pool, dst, x, weight, bias *Tensor, stride, pad int) {
 		panic(fmt.Sprintf("tensor: Conv2dInto destination %v incompatible", dst.shape))
 	}
 	wmat := weight.Reshape(oc, c*kh*kw)
-	cols := scratch(p, oh*ow, c*kh*kw)
-	prod := scratch(p, oh*ow, oc)
-	for i := 0; i < b; i++ {
-		im2colRaw(cols.data, x.data[i*c*h*w:(i+1)*c*h*w], c, h, w, kh, kw, stride, pad)
-		MatMulTransBInto(prod, cols, wmat)               // [oh*ow, oc]
-		dstData := dst.data[i*oc*oh*ow : (i+1)*oc*oh*ow] // [oc, oh, ow]
-		for pp := 0; pp < oh*ow; pp++ {
-			for o := 0; o < oc; o++ {
-				dstData[o*oh*ow+pp] = prod.data[pp*oc+o]
-			}
+	var biasData []float32
+	if bias != nil {
+		biasData = bias.data
+	}
+	// Samples are independent: shard the batch over the worker pool, with
+	// im2col/product scratch borrowed per shard (Pool is concurrency-safe).
+	parallelFor(b, b*oh*ow*oc*c*kh*kw, func(i0, i1 int) {
+		cols := scratch(p, oh*ow, c*kh*kw)
+		prod := scratch(p, oh*ow, oc)
+		for i := i0; i < i1; i++ {
+			im2colRaw(cols.data, x.data[i*c*h*w:(i+1)*c*h*w], c, h, w, kh, kw, stride, pad)
+			MatMulTransBInto(prod, cols, wmat) // [oh*ow, oc]
+			transposeScatterBias(dst.data[i*oc*oh*ow:(i+1)*oc*oh*ow], prod.data, biasData, oc, oh*ow)
 		}
-		if bias != nil {
-			for o := 0; o < oc; o++ {
-				plane := dstData[o*oh*ow : (o+1)*oh*ow]
-				bv := bias.data[o]
-				for j := range plane {
-					plane[j] += bv
+		unscratch(p, cols, prod)
+	})
+}
+
+// transposeScatterBias transposes prod [np, oc] into dst [oc, np] in square
+// cache-resident tiles, folding the bias add into the same pass. Each dst
+// element is produced by a single rounded add (prod + bias), exactly what
+// the historical copy-then-add loops computed.
+func transposeScatterBias(dst, prod, bias []float32, oc, np int) {
+	const tb = 32
+	for o0 := 0; o0 < oc; o0 += tb {
+		o1 := o0 + tb
+		if o1 > oc {
+			o1 = oc
+		}
+		for p0 := 0; p0 < np; p0 += tb {
+			p1 := p0 + tb
+			if p1 > np {
+				p1 = np
+			}
+			for o := o0; o < o1; o++ {
+				dr := dst[o*np:]
+				if bias != nil {
+					bv := bias[o]
+					for pp := p0; pp < p1; pp++ {
+						dr[pp] = prod[pp*oc+o] + bv
+					}
+				} else {
+					for pp := p0; pp < p1; pp++ {
+						dr[pp] = prod[pp*oc+o]
+					}
 				}
 			}
 		}
 	}
-	unscratch(p, cols, prod)
 }
 
 // Conv2dBackward computes the gradients of a Conv2d given the upstream
@@ -208,47 +298,76 @@ func Conv2dBackwardInto(p *Pool, gx, gw, gb, x, weight, gy *Tensor, stride, pad 
 	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oc, kh, kw := weight.shape[0], weight.shape[2], weight.shape[3]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
-	wmat := weight.Reshape(oc, c*kh*kw)
+	ckk := c * kh * kw
+	wmat := weight.Reshape(oc, ckk)
 
-	var gwmat, gwTmp, cols *Tensor
+	// gx is per-sample disjoint and parallelizes directly. The gw/gb
+	// reductions cross samples, so the parallel phase only writes per-sample
+	// partials; the cross-sample sum happens serially below, in ascending
+	// sample order, reproducing the historical accumulation bit-for-bit.
+	var gwPart, gbPart *Tensor
+	if gw != nil {
+		gwPart = scratch(p, b, oc*ckk)
+	}
+	if gb != nil {
+		gbPart = scratch(p, b, oc)
+	}
+	parallelFor(b, 2*b*oh*ow*oc*ckk, func(i0, i1 int) {
+		gyMat := scratch(p, oh*ow, oc)
+		gcols := scratch(p, oh*ow, ckk)
+		var cols *Tensor
+		if gw != nil {
+			cols = scratch(p, oh*ow, ckk)
+		}
+		for i := i0; i < i1; i++ {
+			gyData := gy.data[i*oc*oh*ow : (i+1)*oc*oh*ow] // [oc, oh, ow]
+			// gyMat [oh*ow, oc]
+			for o := 0; o < oc; o++ {
+				plane := gyData[o*oh*ow : (o+1)*oh*ow]
+				for pp, v := range plane {
+					gyMat.data[pp*oc+o] = v
+				}
+				if gbPart != nil {
+					var s float32
+					for _, v := range plane {
+						s += v
+					}
+					gbPart.data[i*oc+o] = s
+				}
+			}
+			if gw != nil {
+				// Per-sample partial gyMatᵀ @ cols into this sample's row.
+				im2colRaw(cols.data, x.data[i*c*h*w:(i+1)*c*h*w], c, h, w, kh, kw, stride, pad)
+				gwRow := gwPart.data[i*oc*ckk : (i+1)*oc*ckk]
+				for j := range gwRow {
+					gwRow[j] = 0
+				}
+				MatMulTransAAddRaw(gwRow, gyMat.data, cols.data, oc, oh*ow, ckk)
+			}
+			// gcols = gyMat @ wmat, then scatter back
+			MatMulRaw(gcols.data, gyMat.data, wmat.data, oh*ow, oc, ckk)
+			col2imRaw(gx.data[i*c*h*w:(i+1)*c*h*w], gcols.data, c, h, w, kh, kw, stride, pad)
+		}
+		unscratch(p, gyMat, gcols)
+		if cols != nil {
+			unscratch(p, cols)
+		}
+	})
 	if gw != nil {
 		gw.Zero()
-		gwmat = gw.Reshape(oc, c*kh*kw)
-		gwTmp = scratch(p, oc, c*kh*kw)
-		cols = scratch(p, oh*ow, c*kh*kw)
+		for i := 0; i < b; i++ {
+			saxpy(gw.data, gwPart.data[i*oc*ckk:(i+1)*oc*ckk], 1)
+		}
+		unscratch(p, gwPart)
 	}
-	gyMat := scratch(p, oh*ow, oc)
-	gcols := scratch(p, oh*ow, c*kh*kw)
-	for i := 0; i < b; i++ {
-		gyData := gy.data[i*oc*oh*ow : (i+1)*oc*oh*ow] // [oc, oh, ow]
-		// gyMat [oh*ow, oc]
-		for o := 0; o < oc; o++ {
-			plane := gyData[o*oh*ow : (o+1)*oh*ow]
-			for pp, v := range plane {
-				gyMat.data[pp*oc+o] = v
-			}
-			if gb != nil {
-				var s float32
-				for _, v := range plane {
-					s += v
-				}
-				gb.data[o] += s
+	if gb != nil {
+		for i := 0; i < b; i++ {
+			row := gbPart.data[i*oc : (i+1)*oc]
+			for o, v := range row {
+				gb.data[o] += v
 			}
 		}
-		if gw != nil {
-			// gw += gyMatᵀ @ cols (per-sample partial first, matching the
-			// historical accumulation order bit-for-bit)
-			im2colRaw(cols.data, x.data[i*c*h*w:(i+1)*c*h*w], c, h, w, kh, kw, stride, pad)
-			MatMulTransAInto(gwTmp, gyMat, cols)
-			AddIn(gwmat, gwTmp)
-		}
-		// gcols = gyMat @ wmat, then scatter back
-		MatMulInto(gcols, gyMat, wmat)
-		col2imRaw(gx.data[i*c*h*w:(i+1)*c*h*w], gcols.data, c, h, w, kh, kw, stride, pad)
-	}
-	unscratch(p, gyMat, gcols)
-	if gw != nil {
-		unscratch(p, gwTmp, cols)
+		unscratch(p, gbPart)
 	}
 }
 
@@ -260,49 +379,56 @@ func ConvTranspose2d(x, weight *Tensor, stride, pad int) *Tensor {
 	if len(x.shape) != 4 || len(weight.shape) != 4 {
 		panic(fmt.Sprintf("tensor: ConvTranspose2d requires x [B,C,H,W] and weight [C,O,kh,kw], got %v and %v", x.shape, weight.shape))
 	}
-	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	wc, oc, kh, kw := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
-	if wc != c {
-		panic(fmt.Sprintf("tensor: ConvTranspose2d channel mismatch x=%v weight=%v", x.shape, weight.shape))
-	}
+	h, w := x.shape[2], x.shape[3]
+	oc, kh, kw := weight.shape[1], weight.shape[2], weight.shape[3]
 	oh := (h-1)*stride - 2*pad + kh
 	ow := (w-1)*stride - 2*pad + kw
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: ConvTranspose2d output would be empty (%dx%d)", oh, ow))
 	}
-	out := New(b, oc, oh, ow)
-	for i := 0; i < b; i++ {
-		xi := x.Slice(i)
-		dst := out.Slice(i)
-		for iy := 0; iy < h; iy++ {
-			for ix := 0; ix < w; ix++ {
-				for ch := 0; ch < c; ch++ {
-					v := xi.data[ch*h*w+iy*w+ix]
-					if v == 0 {
-						continue
-					}
-					kern := weight.data[ch*oc*kh*kw:]
-					for o := 0; o < oc; o++ {
-						plane := dst.data[o*oh*ow : (o+1)*oh*ow]
-						for ky := 0; ky < kh; ky++ {
-							oy := iy*stride - pad + ky
-							if oy < 0 || oy >= oh {
-								continue
-							}
-							for kx := 0; kx < kw; kx++ {
-								ox := ix*stride - pad + kx
-								if ox < 0 || ox >= ow {
-									continue
-								}
-								plane[oy*ow+ox] += v * kern[o*kh*kw+ky*kw+kx]
-							}
-						}
-					}
-				}
-			}
-		}
-	}
+	out := New(x.shape[0], oc, oh, ow)
+	ConvTranspose2dInto(nil, out, x, weight, stride, pad)
 	return out
+}
+
+// ConvTranspose2dInto performs the transposed convolution into the
+// pre-allocated dst [B,outC,outH,outW], overwriting it, with scratch
+// borrowed from p when non-nil. Instead of the naive scalar scatter it runs
+// the adjoint of the im2col convolution: per sample, lift x [C,h,w] to
+// [h*w, C], multiply by the [C, outC*kh*kw] kernel matrix through the
+// blocked matmul, and Col2Im-scatter the result onto the output grid. The
+// batch is sharded over the worker pool; each sample stays serial, so
+// results are bit-identical for every worker count.
+func ConvTranspose2dInto(p *Pool, dst, x, weight *Tensor, stride, pad int) {
+	if len(x.shape) != 4 || len(weight.shape) != 4 {
+		panic(fmt.Sprintf("tensor: ConvTranspose2dInto requires x [B,C,H,W] and weight [C,O,kh,kw], got %v and %v", x.shape, weight.shape))
+	}
+	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	wc, oc, kh, kw := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
+	if wc != c {
+		panic(fmt.Sprintf("tensor: ConvTranspose2dInto channel mismatch x=%v weight=%v", x.shape, weight.shape))
+	}
+	oh := (h-1)*stride - 2*pad + kh
+	ow := (w-1)*stride - 2*pad + kw
+	if len(dst.data) != b*oc*oh*ow {
+		panic(fmt.Sprintf("tensor: ConvTranspose2dInto destination %v incompatible", dst.shape))
+	}
+	okk := oc * kh * kw
+	wmat := weight.Reshape(c, okk)
+	parallelFor(b, b*h*w*c*okk, func(i0, i1 int) {
+		xT := scratch(p, h*w, c)
+		gcols := scratch(p, h*w, okk)
+		for i := i0; i < i1; i++ {
+			// x sample [c, h*w] -> xT [h*w, c]
+			transposeScatterBias(xT.data, x.data[i*c*h*w:(i+1)*c*h*w], nil, h*w, c)
+			MatMulRaw(gcols.data, xT.data, wmat.data, h*w, c, okk)
+			// The (h,w) grid is exactly the conv-output grid of the adjoint
+			// ((oh+2*pad-kh)/stride+1 == h), so Col2Im scatters gcols onto
+			// the upsampled [oc,oh,ow] sample.
+			col2imRaw(dst.data[i*oc*oh*ow:(i+1)*oc*oh*ow], gcols.data, oc, oh, ow, kh, kw, stride, pad)
+		}
+		unscratch(p, xT, gcols)
+	})
 }
 
 // MaxPool2d applies max pooling with square window k and stride s over a

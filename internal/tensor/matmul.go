@@ -2,13 +2,8 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 )
-
-// parallelThreshold is the number of multiply-adds below which matmul runs
-// serially; spawning goroutines for tiny products costs more than it saves.
-const parallelThreshold = 1 << 16
 
 // MatMul returns the matrix product a@b for 2-D tensors [m,k]x[k,n] -> [m,n].
 // Large products are parallelized across rows.
@@ -42,16 +37,41 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 	MatMulTransBRaw(dst.data, a.data, b.data, m, k, n)
 }
 
+// dotTileElems bounds (in float32 elements, ~32KB) the window of B rows the
+// tiled dot kernel keeps hot while sweeping all A rows over it.
+const dotTileElems = 1 << 13
+
 // dotRows computes out[i,j] = Σ_p a[i,p]·b[j,p] for a [m,k] and b [n,k].
-// Four output columns share each a-row load; every output element keeps the
-// plain sequential summation order over p, so results are bit-identical to
-// the naive loop.
+// When B is too large to stay cache-resident across the m-row sweep, the
+// column range is tiled so each window of B rows is reused by every A row
+// before moving on. Each output element is an independent register dot with
+// sequential summation over p, so tiling cannot change any bit.
 func dotRows(out, a, b []float32, m, k, n int) {
+	if m == 1 || n*k <= 4*dotTileElems {
+		dotRowsSeg(out, a, b, m, k, n, 0, n)
+		return
+	}
+	jb := (dotTileElems / k) &^ 3
+	if jb < 4 {
+		jb = 4
+	}
+	for j0 := 0; j0 < n; j0 += jb {
+		j1 := j0 + jb
+		if j1 > n {
+			j1 = n
+		}
+		dotRowsSeg(out, a, b, m, k, n, j0, j1)
+	}
+}
+
+// dotRowsSeg computes the [j0,j1) column segment of every out row. Four
+// output columns share each a-row load.
+func dotRowsSeg(out, a, b []float32, m, k, n, j0, j1 int) {
 	for i := 0; i < m; i++ {
 		ar := a[i*k : (i+1)*k]
 		or := out[i*n : (i+1)*n]
-		j := 0
-		for ; j+4 <= n; j += 4 {
+		j := j0
+		for ; j+4 <= j1; j += 4 {
 			b0 := b[j*k : (j+1)*k]
 			b1 := b[(j+1)*k : (j+2)*k]
 			b2 := b[(j+2)*k : (j+3)*k]
@@ -65,7 +85,7 @@ func dotRows(out, a, b []float32, m, k, n int) {
 			}
 			or[j], or[j+1], or[j+2], or[j+3] = s0, s1, s2, s3
 		}
-		for ; j < n; j++ {
+		for ; j < j1; j++ {
 			br := b[j*k : (j+1)*k]
 			var s float32
 			for p, av := range ar {
@@ -175,30 +195,51 @@ func checkBMM(op string, dst, a, b *Tensor, transA, transB bool) (G, m, k, n int
 }
 
 // BMMInto stores the batched product a[G,m,k] @ b[G,k,n] into dst [G,m,n],
-// overwriting it. It walks raw offsets, so the hot attention loops allocate
-// nothing.
+// overwriting it. Slices are independent, so large batches are sharded over
+// the worker pool (per-slice kernels stay serial, keeping bits fixed); it
+// walks raw offsets, so the hot attention loops allocate nothing.
 func BMMInto(dst, a, b *Tensor) {
 	G, m, k, n := checkBMM("BMMInto", dst, a, b, false, false)
-	for i := 0; i < G; i++ {
-		matMulInto(dst.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*k*n:(i+1)*k*n], m, k, n)
+	if G == 1 {
+		matMulInto(dst.data, a.data, b.data, m, k, n)
+		return
 	}
+	parallelFor(G, G*m*k*n, func(g0, g1 int) {
+		for i := g0; i < g1; i++ {
+			matMulRowsBlocked(dst.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*k*n:(i+1)*k*n], 0, m, k, n)
+		}
+	})
 }
 
-// BMMTransBInto stores a[G,m,k] @ bᵀ[G,n,k] into dst [G,m,n].
+// BMMTransBInto stores a[G,m,k] @ bᵀ[G,n,k] into dst [G,m,n], sharding
+// slices over the worker pool.
 func BMMTransBInto(dst, a, b *Tensor) {
 	G, m, k, n := checkBMM("BMMTransBInto", dst, a, b, false, true)
-	for i := 0; i < G; i++ {
-		dotRows(dst.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*n*k:(i+1)*n*k], m, k, n)
+	if G == 1 {
+		MatMulTransBRaw(dst.data, a.data, b.data, m, k, n)
+		return
 	}
+	parallelFor(G, G*m*k*n, func(g0, g1 int) {
+		for i := g0; i < g1; i++ {
+			dotRows(dst.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*n*k:(i+1)*n*k], m, k, n)
+		}
+	})
 }
 
 // BMMTransAAddInto accumulates aᵀ[G,k,m] @ gy[G,k,n] into dst [G,m,n]
-// (dst += per slice; dst must hold the accumulation base, typically zeros).
+// (dst += per slice; dst must hold the accumulation base, typically zeros),
+// sharding slices over the worker pool.
 func BMMTransAAddInto(dst, a, b *Tensor) {
 	G, m, k, n := checkBMM("BMMTransAAddInto", dst, a, b, true, false)
-	for i := 0; i < G; i++ {
-		transAOuter(dst.data[i*m*n:(i+1)*m*n], a.data[i*k*m:(i+1)*k*m], b.data[i*k*n:(i+1)*k*n], m, k, n)
+	if G == 1 {
+		transAOuter(dst.data, a.data, b.data, m, k, n)
+		return
 	}
+	parallelFor(G, G*m*k*n, func(g0, g1 int) {
+		for i := g0; i < g1; i++ {
+			transARows(dst.data[i*m*n:(i+1)*m*n], a.data[i*k*m:(i+1)*k*m], b.data[i*k*n:(i+1)*k*n], 0, m, m, k, n)
+		}
+	})
 }
 
 func checkMatMul(a, b *Tensor, transA, transB bool) (m, k, n int) {
@@ -219,16 +260,74 @@ func checkMatMul(a, b *Tensor, transA, transB bool) (m, k, n int) {
 	return am, ak, bn
 }
 
-// matMulInto computes out = a@b with a [m,k], b [k,n] row-major. The serial
-// path calls the row kernel directly so the hot loop allocates no closure.
+// matMulInto computes out = a@b with a [m,k], b [k,n] row-major. Rows are
+// sharded over the worker pool when the product is large enough; each shard
+// runs the cache-blocked row kernel.
 func matMulInto(out, a, b []float32, m, k, n int) {
-	if !shouldParallel(m, m*k*n) {
-		matMulRows(out, a, b, 0, m, k, n)
+	work := m * k * n
+	if !shouldParallel(m, work) {
+		matMulRowsBlocked(out, a, b, 0, m, k, n)
 		return
 	}
-	parallelRows(m, m*k*n, func(r0, r1 int) {
-		matMulRows(out, a, b, r0, r1, k, n)
+	parallelRows(m, work, func(r0, r1 int) {
+		matMulRowsBlocked(out, a, b, r0, r1, k, n)
 	})
+}
+
+// Cache-blocking parameters for the packed-panel matmul path. matmulKC must
+// stay EVEN: blocks then start on even k indices, so the saxpy2 pairing of
+// (p, p+1) rows inside each block coincides with the unblocked kernel's
+// pairing and blocked results stay bit-identical.
+const (
+	matmulKC = 128
+	matmulNC = 256
+)
+
+// panelBuf recycles packed B-panels across matmul calls and across workers.
+var panelBuf = sync.Pool{New: func() any {
+	s := make([]float32, matmulKC*matmulNC)
+	return &s
+}}
+
+// matMulRowsBlocked computes rows [r0,r1) of out = a@b. When B spills out of
+// a single [matmulKC, matmulNC] tile, it is packed panel by panel into a
+// contiguous scratch buffer that every row of the shard then reuses, keeping
+// the inner saxpy sweeps inside L1/L2 regardless of n's stride. Per output
+// element the summation still runs over p in ascending order with the same
+// saxpy2 pairing as matMulRows, so blocked, unblocked, serial and parallel
+// paths all produce identical bits.
+func matMulRowsBlocked(out, a, b []float32, r0, r1, k, n int) {
+	if k <= matmulKC && n <= matmulNC {
+		matMulRows(out, a, b, r0, r1, k, n)
+		return
+	}
+	bufp := panelBuf.Get().(*[]float32)
+	pack := *bufp
+	for j0 := 0; j0 < n; j0 += matmulNC {
+		nc := n - j0
+		if nc > matmulNC {
+			nc = matmulNC
+		}
+		for p0 := 0; p0 < k; p0 += matmulKC {
+			kc := k - p0
+			if kc > matmulKC {
+				kc = matmulKC
+			}
+			for t := 0; t < kc; t++ {
+				copy(pack[t*nc:(t+1)*nc], b[(p0+t)*n+j0:(p0+t)*n+j0+nc])
+			}
+			for i := r0; i < r1; i++ {
+				or := out[i*n+j0 : i*n+j0+nc]
+				if p0 == 0 {
+					for j := range or {
+						or[j] = 0
+					}
+				}
+				saxpyRows(or, a[i*k+p0:i*k+p0+kc], pack, kc, nc)
+			}
+		}
+	}
+	panelBuf.Put(bufp)
 }
 
 func matMulRows(out, a, b []float32, r0, r1, k, n int) {
@@ -325,36 +424,4 @@ func MatMulTransBRaw(out, a, b []float32, m, k, n int) {
 // b [k,n], out [m,n] (must hold the accumulation base, typically zeros).
 func MatMulTransAAddRaw(out, a, b []float32, m, k, n int) {
 	transAOuter(out, a, b, m, k, n)
-}
-
-// shouldParallel reports whether a row-parallel kernel is worth goroutines.
-func shouldParallel(m, work int) bool {
-	return work >= parallelThreshold && runtime.GOMAXPROCS(0) > 1 && m >= 2
-}
-
-// parallelRows splits [0,m) into chunks and runs body on each chunk in
-// parallel when the work (multiply-add count) is large enough.
-func parallelRows(m, work int, body func(r0, r1 int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || workers <= 1 || m < 2 {
-		body(0, m)
-		return
-	}
-	if workers > m {
-		workers = m
-	}
-	chunk := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for r0 := 0; r0 < m; r0 += chunk {
-		r1 := r0 + chunk
-		if r1 > m {
-			r1 = m
-		}
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			body(r0, r1)
-		}(r0, r1)
-	}
-	wg.Wait()
 }
