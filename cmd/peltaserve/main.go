@@ -7,11 +7,13 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"pelta/internal/attack"
 	"pelta/internal/core"
 	"pelta/internal/dataset"
+	"pelta/internal/detect"
 	"pelta/internal/eval"
 	"pelta/internal/fl"
 	"pelta/internal/models"
@@ -41,6 +43,16 @@ type options struct {
 	sloP95       time.Duration
 	admitRate    float64
 	routeWeights string
+
+	// Probe detection.
+	detect        bool
+	detectK       int
+	detectThresh  float64
+	detectWindow  int
+	detectAction  string
+	detectFams    string
+	detectMinRate float64
+	detectMaxFPR  float64
 
 	// Model / data.
 	checkpoint string
@@ -78,6 +90,14 @@ func run() error {
 	flag.DurationVar(&o.sloP95, "slo-p95", 0, "autoscaler latency SLO: scale up when the windowed p95 exceeds it (0 = queue-depth signal only)")
 	flag.Float64Var(&o.admitRate, "admit-rate", 0, "enable weighted-fair admission at this total req/s, split across routes by -route-weights (0 = off)")
 	flag.StringVar(&o.routeWeights, "route-weights", "", "admission weights per route, e.g. \"benign=8,adv=1\" (unlisted routes weigh 1)")
+	flag.BoolVar(&o.detect, "detect", false, "enable the stateful probe detector (per-client query similarity caches); with -loadgen, run the labeled detection trace instead of the mixed-pool load")
+	flag.IntVar(&o.detectK, "detect-k", 0, "detector: flag on the K-th-nearest-neighbor distance (0 = default 2)")
+	flag.Float64Var(&o.detectThresh, "detect-thresh", 0, "detector: near-duplicate distance threshold (0 = metric default, 0.01 cosine)")
+	flag.IntVar(&o.detectWindow, "detect-window", 0, "detector: per-client fingerprint ring capacity (0 = default 64)")
+	flag.StringVar(&o.detectAction, "detect-action", "log", "detector: what admission does with flagged clients (log, deprioritize or shed)")
+	flag.StringVar(&o.detectFams, "detect-families", "pgd,apgd", "detection loadgen: comma-separated probe families (fgsm, pgd, apgd, saga, square)")
+	flag.Float64Var(&o.detectMinRate, "detect-min-rate", 0, "detection loadgen: fail unless the probe detection rate reaches this floor (0 = no gate)")
+	flag.Float64Var(&o.detectMaxFPR, "detect-max-fpr", 1, "detection loadgen: fail if the benign false-positive rate exceeds this ceiling")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "warm-start weights from an internal/fl checkpoint (see cmd/flsim)")
 	flag.IntVar(&o.hw, "hw", 16, "image side length")
 	flag.IntVar(&o.classes, "classes", 10, "label-space size")
@@ -184,6 +204,20 @@ func run() error {
 		}
 		scfg.Admission = &serve.AdmissionConfig{Rate: o.admitRate, Weights: weights}
 	}
+	if o.detect {
+		action, err := serve.ParseDetectAction(o.detectAction)
+		if err != nil {
+			return err
+		}
+		scfg.Detect = &serve.DetectConfig{
+			Config: detect.Config{
+				K:         o.detectK,
+				Threshold: o.detectThresh,
+				Window:    o.detectWindow,
+			},
+			Action: action,
+		}
+	}
 	var pool *serve.ReplicaPool
 	var err error
 	if o.shield {
@@ -207,11 +241,19 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "[peltaserve] weighted-fair admission at %.0f req/s (weights %q)\n",
 			o.admitRate, o.routeWeights)
 	}
+	if scfg.Detect != nil {
+		dc := svc.Detector().Config()
+		fmt.Fprintf(os.Stderr, "[peltaserve] probe detector on: k=%d thresh=%g window=%d action=%s\n",
+			dc.K, dc.Threshold, dc.Window, scfg.Detect.Action)
+	}
 
 	if o.loadgen {
+		if o.detect {
+			return runDetectLoadgen(o, svc, base, val)
+		}
 		return runLoadgen(o, svc, base, val)
 	}
-	fmt.Fprintf(os.Stderr, "[peltaserve] listening on http://%s (POST /query, GET /metrics)\n", o.addr)
+	fmt.Fprintf(os.Stderr, "[peltaserve] listening on http://%s (POST /query, GET /metrics; probe identity via %s)\n", o.addr, serve.HeaderClient)
 	return http.ListenAndServe(o.addr, serve.NewHandler(svc))
 }
 
@@ -347,6 +389,108 @@ func runLoadgen(o options, svc *serve.Service, base models.Model, val *dataset.D
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		return enc.Encode(rec)
+	}
+	return nil
+}
+
+// runDetectLoadgen drives the detection-quality trace: per-family probe
+// streams recorded from real attack runs against the attacker's local copy
+// of the served weights, interleaved with benign client streams, replayed
+// through the detection-enabled service. It prints the per-family table
+// and optionally gates on detection-rate floor / FPR ceiling.
+func runDetectLoadgen(o options, svc *serve.Service, base models.Model, val *dataset.Dataset) error {
+	fams := strings.Split(o.detectFams, ",")
+	for i := range fams {
+		fams[i] = strings.TrimSpace(fams[i])
+	}
+	// Benign share: spread -n queries over a small client fleet, at least
+	// one query each, alongside one probe stream per family.
+	benignClients := 8
+	benignQueries := o.n / benignClients
+	if benignQueries < 1 {
+		benignQueries = 1
+	}
+	streams, err := eval.BuildDetectStreams(base, val, eval.DetectTraceConfig{
+		Families:      fams,
+		BenignClients: benignClients,
+		BenignQueries: benignQueries,
+		Eps:           float32(o.eps),
+		Steps:         o.steps,
+		Seed:          o.seed,
+	})
+	if err != nil {
+		return err
+	}
+	var probeQ, benignQ int
+	for _, st := range streams {
+		if st.Probe {
+			probeQ += len(st.Items)
+		} else {
+			benignQ += len(st.Items)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[peltaserve] detection loadgen: %d benign queries over %d clients + %d probe queries over %d families\n",
+		benignQ, benignClients, probeQ, len(fams))
+
+	start := time.Now()
+	rep, err := serve.RunDetectLoad(svc, streams, serve.DetectLoadConfig{Rate: o.rate, Deadline: o.deadline})
+	if err != nil {
+		return err
+	}
+	sum := eval.SummarizeDetect(rep)
+	fmt.Print(sum.Render())
+
+	det, detOK := rep.DetectionRate()
+	fpr, fprOK := rep.BenignFPR()
+	if o.benchJSON != "" {
+		snap := svc.Metrics().Snapshot()
+		dc := svc.Detector().Config()
+		var famRows []map[string]any
+		for _, l := range sum.Families {
+			r, ok := l.Rate()
+			famRows = append(famRows, map[string]any{
+				"family":  l.Family,
+				"probe":   l.Probe,
+				"streams": l.Streams,
+				"queries": l.Queries,
+				"served":  l.Served,
+				"shed":    l.Shed,
+				"flagged": l.Flagged,
+				"rate":    accJSON(r, ok),
+			})
+		}
+		rec := map[string]any{
+			"mode":           "loadgen-detect",
+			"shield":         o.shield,
+			"detect_k":       dc.K,
+			"detect_thresh":  dc.Threshold,
+			"detect_window":  dc.Window,
+			"detect_action":  o.detectAction,
+			"families":       famRows,
+			"detection_rate": accJSON(det, detOK),
+			"benign_fpr":     accJSON(fpr, fprOK),
+			"flag_events":    snap.FlagEvents,
+			"seconds":        time.Since(start).Seconds(),
+		}
+		f, err := os.Create(o.benchJSON)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if o.detectMinRate > 0 && (!detOK || det < o.detectMinRate) {
+		return fmt.Errorf("detection rate %.3f below the -detect-min-rate floor %.3f", det, o.detectMinRate)
+	}
+	if fprOK && fpr > o.detectMaxFPR {
+		return fmt.Errorf("benign FPR %.3f above the -detect-max-fpr ceiling %.3f", fpr, o.detectMaxFPR)
 	}
 	return nil
 }

@@ -17,7 +17,10 @@
 //   - internal/serve    — the shielded-inference serving subsystem: replica
 //     pools, micro-batching scheduler, streaming metrics, and the adaptive
 //     control plane (replica autoscaler, weighted-fair per-route admission,
-//     phased load generation)
+//     phased load generation, stateful probe detection)
+//   - internal/detect   — per-client query-similarity caches: pooled
+//     fingerprints, K-th-NN near-duplicate matching, m-of-w flagging with
+//     TTL expiry and flag decay on an injected clock
 //
 // bench_test.go regenerates every table and figure; cmd/peltabench is the
 // command-line entry point, cmd/flsim runs federations and scenario sweeps,
@@ -26,4 +29,4 @@
 package pelta
 
 // Version identifies this reproduction release.
-const Version = "1.5.0"
+const Version = "1.6.0"

@@ -14,4 +14,8 @@
 // allocation-free in steady state. The price of reuse is a lifetime rule —
 // tensors returned by an oracle are valid only until its next query; callers
 // that need them longer must Clone them.
+//
+// RecordingOracle wraps any oracle and clones every queried sample, turning
+// an attack run into the query stream a serving defender would have seen —
+// the trace source of the internal/serve probe-detection harness.
 package attack

@@ -1,0 +1,204 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pelta/internal/attack"
+	"pelta/internal/dataset"
+	"pelta/internal/models"
+	"pelta/internal/serve"
+)
+
+// DetectTraceConfig shapes a labeled detection trace: per-family probe
+// streams recorded from real attack runs, interleaved with benign client
+// streams drawn from the dataset.
+type DetectTraceConfig struct {
+	// Families names the attack families to record one probe stream each
+	// for: "fgsm", "pgd", "apgd", "saga", "square".
+	Families []string
+	// ProbeQueries caps each probe stream's length (0 keeps every
+	// recorded oracle query).
+	ProbeQueries int
+	// BenignClients × BenignQueries benign streams ride alongside, drawn
+	// round-robin from the dataset.
+	BenignClients int
+	BenignQueries int
+	// Eps / Step / Steps parameterize the recorded attacks (zero Step
+	// defaults to Eps/8).
+	Eps   float32
+	Step  float32
+	Steps int
+	Seed  int64
+}
+
+// detectAttack instantiates one probe family against m's local copy.
+func (c DetectTraceConfig) detectAttack(fi int, family string) (attack.Attack, error) {
+	step := c.Step
+	if step <= 0 {
+		step = c.Eps / 8
+	}
+	switch strings.ToLower(family) {
+	case "fgsm":
+		return &attack.FGSM{Eps: c.Eps}, nil
+	case "pgd":
+		return &attack.PGD{Eps: c.Eps, Step: step, Steps: c.Steps}, nil
+	case "apgd":
+		return &attack.APGD{Eps: c.Eps, Steps: c.Steps, Rho: 0.75, Restarts: 1, Seed: c.Seed + int64(fi)}, nil
+	case "saga":
+		return &attack.SelfSAGA{SAGA: attack.SAGA{Eps: c.Eps, Step: step, Steps: c.Steps, AlphaK: 0.5}}, nil
+	case "square":
+		q := c.ProbeQueries
+		if q <= 0 {
+			q = c.Steps * 3
+		}
+		return &attack.Square{Eps: c.Eps, Queries: q, Seed: c.Seed + int64(fi)}, nil
+	}
+	return nil, fmt.Errorf("eval: unknown detect family %q (want fgsm, pgd, apgd, saga or square)", family)
+}
+
+// BuildDetectStreams assembles the labeled query streams of one detection
+// run. Each attack family runs once against a recording oracle over the
+// attacker's local model copy — every oracle query, forward or gradient,
+// is one probe the service would have seen — and replays as one probe
+// stream. Benign streams take dataset samples round-robin, one client per
+// stream. The result is fully determined by (m, d, cfg): replaying it
+// against a detector twice must yield identical verdicts.
+func BuildDetectStreams(m models.Model, d *dataset.Dataset, cfg DetectTraceConfig) ([]serve.QueryStream, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("eval: detect trace needs a non-empty dataset")
+	}
+	var streams []serve.QueryStream
+	for bi := 0; bi < cfg.BenignClients; bi++ {
+		st := serve.QueryStream{
+			Client: fmt.Sprintf("benign-%02d", bi),
+			Family: "benign",
+		}
+		for qi := 0; qi < cfg.BenignQueries; qi++ {
+			idx := (bi*cfg.BenignQueries + qi) % d.Len()
+			st.Items = append(st.Items, serve.TrafficItem{
+				X:     d.X.Slice(idx).Clone(),
+				Label: d.Y[idx],
+			})
+		}
+		streams = append(streams, st)
+	}
+	for fi, family := range cfg.Families {
+		att, err := cfg.detectAttack(fi, family)
+		if err != nil {
+			return nil, err
+		}
+		rec := attack.Record(attack.NewClearOracle(m))
+		idx := (cfg.BenignClients*cfg.BenignQueries + fi) % d.Len()
+		x0 := d.X.SliceRange(idx, idx+1)
+		y0 := []int{d.Y[idx]}
+		if _, err := att.Perturb(rec, x0, y0); err != nil {
+			return nil, fmt.Errorf("eval: recording %s probe run: %w", family, err)
+		}
+		queries := rec.Queries()
+		if cfg.ProbeQueries > 0 && len(queries) > cfg.ProbeQueries {
+			queries = queries[:cfg.ProbeQueries]
+		}
+		st := serve.QueryStream{
+			Client: fmt.Sprintf("probe-%s", strings.ToLower(family)),
+			Family: strings.ToLower(family),
+			Probe:  true,
+		}
+		for _, q := range queries {
+			st.Items = append(st.Items, serve.TrafficItem{X: q, Label: d.Y[idx], Adversarial: true})
+		}
+		streams = append(streams, st)
+	}
+	return streams, nil
+}
+
+// DetectFamilyLine is one row of the detection-quality table.
+type DetectFamilyLine struct {
+	Family  string
+	Probe   bool
+	Streams int
+	Queries int
+	Served  int
+	Shed    int
+	Flagged int
+}
+
+// Rate returns the line's flagged fraction. ok is false (and the rendered
+// cell "n/a") with zero queries, so an empty family is distinguishable
+// from one the detector missed entirely.
+func (l DetectFamilyLine) Rate() (float64, bool) {
+	if l.Queries == 0 {
+		return 0, false
+	}
+	return float64(l.Flagged) / float64(l.Queries), true
+}
+
+// DetectSummary condenses a detection run into the quality question the
+// issue asks: what fraction of each attack family's probe queries got
+// flagged, at what benign false-positive cost.
+type DetectSummary struct {
+	Report *serve.DetectReport
+	// Families holds one line per traffic family, benign first, then the
+	// attack families in name order.
+	Families []DetectFamilyLine
+}
+
+// SummarizeDetect groups a detection report's streams by family.
+func SummarizeDetect(rep *serve.DetectReport) *DetectSummary {
+	byFam := make(map[string]*DetectFamilyLine)
+	var order []string
+	for _, st := range rep.Streams {
+		l := byFam[st.Family]
+		if l == nil {
+			l = &DetectFamilyLine{Family: st.Family, Probe: st.Probe}
+			byFam[st.Family] = l
+			order = append(order, st.Family)
+		}
+		l.Streams++
+		l.Queries += st.Sent
+		l.Served += st.Served
+		l.Shed += st.Shed
+		l.Flagged += st.Flagged
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := byFam[order[a]], byFam[order[b]]
+		if la.Probe != lb.Probe {
+			return !la.Probe // benign families first
+		}
+		return la.Family < lb.Family
+	})
+	s := &DetectSummary{Report: rep}
+	for _, fam := range order {
+		s.Families = append(s.Families, *byFam[fam])
+	}
+	return s
+}
+
+// rateCell renders a (value, ok) rate like the accuracy cells: "n/a" when
+// the family had no queries.
+func rateCell(v float64, ok bool) string {
+	if !ok {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+
+// Render prints the per-family detection table in the repo's plain-text
+// report idiom, footed by the two headline numbers the acceptance gate
+// reads: detection rate over probe queries and benign FPR.
+func (s *DetectSummary) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s | %7s | %7s | %6s | %4s | %7s | %6s\n",
+		"family", "streams", "queries", "served", "shed", "flagged", "rate")
+	for _, l := range s.Families {
+		r, ok := l.Rate()
+		fmt.Fprintf(&sb, "%-8s | %7d | %7d | %6d | %4d | %7d | %6s\n",
+			l.Family, l.Streams, l.Queries, l.Served, l.Shed, l.Flagged, rateCell(r, ok))
+	}
+	det, detOK := s.Report.DetectionRate()
+	fpr, fprOK := s.Report.BenignFPR()
+	fmt.Fprintf(&sb, "detection rate (probe queries): %s\n", rateCell(det, detOK))
+	fmt.Fprintf(&sb, "benign FPR:                     %s\n", rateCell(fpr, fprOK))
+	return sb.String()
+}

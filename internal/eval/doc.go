@@ -13,7 +13,15 @@
 // renders a serving load-generator run the same way the sweep summaries
 // render a federation matrix, and SummarizeServePhases renders a phased
 // burst trace as a per-phase, per-route shed/latency table (zero-served
-// accuracies read "n/a", never a fake 0%). Evaluation is deterministic given an AttackSet seed;
-// batch fan-out across oracle workers (SetOracleWorkers) never changes
-// results, only wall time.
+// accuracies read "n/a", never a fake 0%).
+//
+// The detection-quality harness scores the serving layer's stateful probe
+// detector: BuildDetectStreams records real attack runs (fgsm, pgd, apgd,
+// saga, square) through attack.RecordingOracle — every oracle query is one
+// probe the service would have seen — and interleaves them with benign
+// client streams; SummarizeDetect condenses the replayed serve.DetectReport
+// into the per-family detection-rate vs benign-FPR table (empty families
+// render "n/a", following the same convention). Evaluation is deterministic
+// given an AttackSet seed; batch fan-out across oracle workers
+// (SetOracleWorkers) never changes results, only wall time.
 package eval

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"pelta/internal/detect"
+)
+
+// ErrFlagged is returned when the probe detector sheds a flagged client's
+// request (DetectShed). It wraps ErrOverloaded, so existing back-off logic
+// keeps working, while errors.Is(err, ErrFlagged) separates "you are being
+// rate-limited" from "your query stream looks like an iterative attack".
+var ErrFlagged = errors.New("serve: client flagged by probe detector")
+
+// DetectAction selects what admission does with a flagged client's
+// queries.
+type DetectAction int
+
+const (
+	// DetectLog only counts: flagged queries are served normally, visible
+	// in the metrics and in Result.Flagged — the observe-first deployment
+	// mode, and the mode detection quality is measured in.
+	DetectLog DetectAction = iota
+	// DetectDeprioritize charges a flagged client's queries to the
+	// FlaggedRoute admission bucket instead of their own route's, so probe
+	// streams compete for the flagged bucket's (typically small) weight
+	// share and benign routes keep their capacity. Requires weighted-fair
+	// admission (Config.Admission); without it the action degrades to
+	// DetectLog.
+	DetectDeprioritize
+	// DetectShed rejects a flagged client's queries outright with
+	// ErrFlagged (wrapping ErrOverloaded).
+	DetectShed
+)
+
+// FlaggedRoute is the admission bucket flagged traffic is charged to under
+// DetectDeprioritize. Give it an explicit share with
+// AdmissionConfig.Weights["flagged"]; unlisted it weighs 1 like any other
+// route.
+const FlaggedRoute = "flagged"
+
+// String renders the action's flag spelling.
+func (a DetectAction) String() string {
+	switch a {
+	case DetectDeprioritize:
+		return "deprioritize"
+	case DetectShed:
+		return "shed"
+	}
+	return "log"
+}
+
+// ParseDetectAction parses "log", "deprioritize" or "shed".
+func ParseDetectAction(s string) (DetectAction, error) {
+	switch s {
+	case "log":
+		return DetectLog, nil
+	case "deprioritize":
+		return DetectDeprioritize, nil
+	case "shed":
+		return DetectShed, nil
+	}
+	return 0, fmt.Errorf("serve: detect action %q, want log, deprioritize or shed", s)
+}
+
+// DetectConfig enables the stateful probe detector: every well-formed
+// query with a client identity is fingerprinted into a per-client
+// similarity cache (detect.Detector) on the service clock, and flagged
+// clients are handled per Action. Requests submitted without a client
+// identity (plain Submit) bypass detection entirely, so the detector never
+// changes behavior for callers that predate it.
+type DetectConfig struct {
+	detect.Config
+	// Action is what admission does with a flagged client's queries
+	// (default DetectLog).
+	Action DetectAction
+}

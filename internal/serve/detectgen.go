@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// QueryStream is one labeled client's query sequence for a detection run:
+// the ground truth the detector is scored against. A Probe stream models
+// one attacker (the ordered iterates of a single attack run); a benign
+// stream models one honest caller.
+type QueryStream struct {
+	// Client is the detector identity the stream submits as (unique per
+	// stream, or the ground truth is ambiguous).
+	Client string
+	// Family names the traffic family for the per-family quality table —
+	// an attack name ("pgd", "apgd", ...) for probe streams, "benign"
+	// otherwise.
+	Family string
+	// Probe marks attacker streams: their queries *should* end up flagged.
+	Probe bool
+	// Items are the stream's queries in submission order. Order matters:
+	// the detector's m-of-w window slides over it.
+	Items []TrafficItem
+}
+
+// DetectLoadConfig drives one detection run.
+type DetectLoadConfig struct {
+	// Rate is each stream's offered rate in queries/second. Rate <= 0
+	// submits each stream as fast as its answers return (no timers at
+	// all), the mode the deterministic tests run in.
+	Rate float64
+	// Deadline, when > 0, is each query's service deadline.
+	Deadline time.Duration
+}
+
+// StreamReport is one stream's outcome: per-query flag verdicts in
+// submission order, plus the usual serving counters.
+type StreamReport struct {
+	Client string `json:"client"`
+	Family string `json:"family"`
+	Probe  bool   `json:"probe"`
+
+	Sent    int `json:"sent"`
+	Served  int `json:"served"`
+	Shed    int `json:"shed"`
+	Failed  int `json:"failed"`
+	Flagged int `json:"flagged"`
+
+	// Flags is the per-query flag verdict, index-aligned with the
+	// stream's items: Result.Flagged for served queries, ErrFlagged for
+	// detector-shed ones. (Under DetectDeprioritize a flagged query shed
+	// by the admission bucket reads false — the report undercounts there;
+	// measure quality under DetectLog or DetectShed.)
+	Flags []bool `json:"flags"`
+}
+
+// DetectReport is the outcome of one RunDetectLoad: per-stream verdicts,
+// scoreable against the streams' ground-truth labels.
+type DetectReport struct {
+	Streams []StreamReport `json:"streams"`
+}
+
+// DetectionRate returns the fraction of probe-stream queries flagged. ok
+// is false (value NaN) when the run had no probe queries, so an empty
+// trace is distinguishable from a detector that caught nothing.
+func (r *DetectReport) DetectionRate() (rate float64, ok bool) {
+	return r.rate(true)
+}
+
+// BenignFPR returns the fraction of benign-stream queries flagged — the
+// run's false-positive rate. ok is false (value NaN) with no benign
+// queries.
+func (r *DetectReport) BenignFPR() (fpr float64, ok bool) {
+	return r.rate(false)
+}
+
+func (r *DetectReport) rate(probe bool) (float64, bool) {
+	var sent, flagged int
+	for _, s := range r.Streams {
+		if s.Probe == probe {
+			sent += s.Sent
+			flagged += s.Flagged
+		}
+	}
+	if sent == 0 {
+		return math.NaN(), false
+	}
+	return float64(flagged) / float64(sent), true
+}
+
+// RunDetectLoad replays every stream against the service concurrently
+// across streams but strictly sequentially within each stream — a client's
+// queries arrive in order, which is the contract the detector's m-of-w
+// window (and the run's bit-determinism) rests on. Benign items are
+// submitted on route "benign", adversarial ones on "adv", exactly like
+// RunLoad. Per-stream pacing reads the service clock; Rate <= 0 never
+// consults it.
+func RunDetectLoad(s *Service, streams []QueryStream, cfg DetectLoadConfig) (*DetectReport, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("serve: detect loadgen needs streams")
+	}
+	seen := make(map[string]bool, len(streams))
+	for _, st := range streams {
+		if st.Client == "" {
+			return nil, fmt.Errorf("serve: detect loadgen stream needs a client identity")
+		}
+		if seen[st.Client] {
+			return nil, fmt.Errorf("serve: detect loadgen streams share client %q", st.Client)
+		}
+		seen[st.Client] = true
+	}
+
+	clk := s.Clock()
+	var interval time.Duration
+	if cfg.Rate > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.Rate)
+	}
+	rep := &DetectReport{Streams: make([]StreamReport, len(streams))}
+	var wg sync.WaitGroup
+	for si, st := range streams {
+		wg.Add(1)
+		go func(si int, st QueryStream) {
+			defer wg.Done()
+			sr := StreamReport{
+				Client: st.Client,
+				Family: st.Family,
+				Probe:  st.Probe,
+				Flags:  make([]bool, len(st.Items)),
+			}
+			var next time.Time
+			if interval > 0 {
+				// Stagger stream starts across one interval so paced
+				// streams do not all fire on the same tick.
+				next = clk.Now().Add(interval * time.Duration(si) / time.Duration(len(streams)))
+			}
+			for qi, it := range st.Items {
+				if interval > 0 {
+					if now := clk.Now(); next.After(now) {
+						t := clk.NewTimer(next.Sub(now))
+						<-t.C()
+					}
+					next = next.Add(interval)
+				}
+				route := "benign"
+				if it.Adversarial {
+					route = "adv"
+				}
+				var dl time.Time
+				if cfg.Deadline > 0 {
+					dl = clk.Now().Add(cfg.Deadline)
+				}
+				res, err := s.SubmitFrom(route, st.Client, it.X, dl)
+				sr.Sent++
+				switch {
+				case err == nil:
+					sr.Served++
+					sr.Flags[qi] = res.Flagged
+				case errors.Is(err, ErrFlagged):
+					sr.Shed++
+					sr.Flags[qi] = true
+				case errors.Is(err, ErrOverloaded):
+					sr.Shed++
+				default:
+					sr.Failed++
+				}
+				if sr.Flags[qi] {
+					sr.Flagged++
+				}
+			}
+			rep.Streams[si] = sr
+		}(si, st)
+	}
+	wg.Wait()
+	return rep, nil
+}

@@ -46,7 +46,30 @@
 //     used by cmd/peltaserve. /query summarizes its line outcomes in
 //     X-Pelta-Served/-Shed/-Errors headers and answers 503 when no line
 //     at all was served, so load clients detect total overload without
-//     parsing the body.
+//     parsing the body. The X-Pelta-Client header names the probe-detector
+//     client identity (falling back to the remote host).
+//
+// The stateful probe detector (Config.Detect, off by default — client-less
+// Submit traffic bypasses it entirely, so static serving behavior is
+// preserved byte for byte):
+//
+//   - DetectConfig — embeds detect.Config (per-client fingerprint rings,
+//     K-th-NN near-duplicate matching, m-of-w flagging on the service
+//     clock) and adds the admission Action for flagged clients: DetectLog
+//     observes only (Result.Flagged plus metrics), DetectDeprioritize
+//     charges flagged queries to the FlaggedRoute admission bucket so
+//     probe streams compete for a starvable share, DetectShed rejects
+//     them with ErrFlagged (wrapping ErrOverloaded). SubmitFrom is the
+//     detected submission path; the detector's verdicts land in the
+//     per-route metrics (probed, probe_hits, flagged_queries, detect_shed
+//     — the last counted into shed, preserving the requests = served +
+//     shed + rejected + errors invariant) and the flag_events total.
+//   - QueryStream / RunDetectLoad — the detection loadgen: labeled
+//     per-client query streams (benign callers vs recorded attack runs)
+//     replayed concurrently across streams but strictly in order within
+//     each, yielding per-query flag verdicts a DetectReport scores as
+//     detection rate vs benign FPR (eval.SummarizeDetect renders the
+//     per-family table).
 //
 // Concurrency: Submit is safe from any number of goroutines; replicas are
 // never queried concurrently (one worker each, and a scale-up never reuses

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
 	"sync"
@@ -32,7 +33,11 @@ type QueryResponse struct {
 	Logits []float32 `json:"logits,omitempty"`
 	Ms     float64   `json:"ms,omitempty"`
 	Batch  int       `json:"batch,omitempty"`
-	Error  string    `json:"error,omitempty"`
+	// Flagged reports that the probe detector considered this connection's
+	// client flagged when the line was admitted (only ever set with
+	// detection enabled).
+	Flagged bool   `json:"flagged,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // maxQueryLines bounds one /query body so a runaway client cannot buffer
@@ -48,6 +53,23 @@ const (
 	HeaderShed   = "X-Pelta-Shed"
 	HeaderErrors = "X-Pelta-Errors"
 )
+
+// HeaderClient names the request header carrying the caller's client
+// identity for the probe detector. Absent, the identity falls back to the
+// connection's remote host, so NATed callers sharing an address also share
+// a similarity cache — supply the header for precise attribution.
+const HeaderClient = "X-Pelta-Client"
+
+// clientID derives the probe-detector client identity of one request.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get(HeaderClient); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
 
 // NewHandler returns the HTTP surface of a Service:
 //
@@ -132,7 +154,11 @@ func NewHandler(s *Service) http.Handler {
 		// then answer in input order. In-flight submits from one body are
 		// bounded by the admission queue depth, so a large NDJSON batch
 		// streams through the scheduler instead of stampeding the bounded
-		// queue and shedding most of itself while replicas sit idle.
+		// queue and shedding most of itself while replicas sit idle. (The
+		// probe detector sees this client's lines in whatever order the
+		// submits race in; near-duplicate detection is order-insensitive
+		// within one body.)
+		client := clientID(r)
 		clock := s.Clock()
 		out := make([]QueryResponse, len(reqs))
 		var served, shed, failed atomic.Int64
@@ -150,7 +176,7 @@ func NewHandler(s *Service) http.Handler {
 				if q.DeadlineMs > 0 {
 					deadline = start.Add(time.Duration(q.DeadlineMs * float64(time.Millisecond)))
 				}
-				res, err := s.Submit("query", x, deadline)
+				res, err := s.SubmitFrom("query", client, x, deadline)
 				if err != nil {
 					if errors.Is(err, ErrOverloaded) {
 						shed.Add(1)
@@ -162,9 +188,10 @@ func NewHandler(s *Service) http.Handler {
 				}
 				served.Add(1)
 				out[i] = QueryResponse{
-					Class: res.Class,
-					Ms:    float64(clock.Now().Sub(start)) / float64(time.Millisecond),
-					Batch: res.BatchSize,
+					Class:   res.Class,
+					Ms:      float64(clock.Now().Sub(start)) / float64(time.Millisecond),
+					Batch:   res.BatchSize,
+					Flagged: res.Flagged,
 				}
 				if wantLogits {
 					out[i].Logits = append([]float32(nil), res.Logits.Data()...)

@@ -126,6 +126,16 @@ type routeStats struct {
 	// mean batch size = batchSamples/served.
 	batchSamples uint64
 
+	// Probe-detector counters: probed queries (detector consulted), hits
+	// (near-duplicate K-th-NN match), flaggedQ (queries observed while the
+	// client's flag was active) and detectShed (flagged queries shed under
+	// DetectShed; every detectShed is also counted in shed, so the
+	// requests = served+shed+rejected+errors invariant is unchanged).
+	probed     uint64
+	probeHits  uint64
+	flaggedQ   uint64
+	detectShed uint64
+
 	totalLatency  time.Duration
 	maxLatency    time.Duration
 	p50, p95, p99 *P2Quantile
@@ -158,6 +168,10 @@ type Metrics struct {
 	liveReplicas int
 	scaleUps     uint64
 	scaleDowns   uint64
+
+	// flagEvents counts unflagged→flagged client transitions seen by the
+	// probe detector, service-wide (flags are per client, not per route).
+	flagEvents uint64
 }
 
 // NewMetrics returns an empty metrics core on the real clock.
@@ -279,6 +293,37 @@ func (m *Metrics) Offered(route string) {
 	m.route(route).offered++
 }
 
+// Probe records one query consulted against the probe detector: whether
+// it scored a near-duplicate hit, whether the client's flag is active
+// after it, and whether this query newly raised the flag.
+func (m *Metrics) Probe(route string, hit, flagged, newFlag bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.route(route)
+	r.probed++
+	if hit {
+		r.probeHits++
+	}
+	if flagged {
+		r.flaggedQ++
+	}
+	if newFlag {
+		m.flagEvents++
+	}
+}
+
+// DetectShed records one flagged request shed by the probe detector under
+// DetectShed. It counts into shed too, so the per-route accounting
+// invariant (requests = served + shed + rejected + errors) still holds.
+func (m *Metrics) DetectShed(route string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.route(route)
+	r.requests++
+	r.shed++
+	r.detectShed++
+}
+
 // Rejected records one malformed request (wrong sample shape or rank)
 // refused before admission — without this counter a stream of garbage
 // traffic is invisible to /metrics.
@@ -299,6 +344,13 @@ type RouteSnapshot struct {
 	Shed     uint64 `json:"shed"`
 	Rejected uint64 `json:"rejected"`
 	Errors   uint64 `json:"errors"`
+	// Probed / ProbeHits / FlaggedQueries / DetectShed expose the probe
+	// detector's per-route view; all stay zero (and omitted) when the
+	// detector is disabled. DetectShed is a subset of Shed.
+	Probed         uint64 `json:"probed,omitempty"`
+	ProbeHits      uint64 `json:"probe_hits,omitempty"`
+	FlaggedQueries uint64 `json:"flagged_queries,omitempty"`
+	DetectShed     uint64 `json:"detect_shed,omitempty"`
 	// MeanBatch is the average tensor-batch size a request of this route
 	// was coalesced into.
 	MeanBatch float64 `json:"mean_batch"`
@@ -317,10 +369,13 @@ type Snapshot struct {
 	// a statically provisioned service); the scale counters record how
 	// often the autoscaler grew or shrank the set and stay zero when it is
 	// disabled.
-	LiveReplicas int             `json:"live_replicas,omitempty"`
-	ScaleUps     uint64          `json:"scale_ups,omitempty"`
-	ScaleDowns   uint64          `json:"scale_downs,omitempty"`
-	Routes       []RouteSnapshot `json:"routes"`
+	LiveReplicas int    `json:"live_replicas,omitempty"`
+	ScaleUps     uint64 `json:"scale_ups,omitempty"`
+	ScaleDowns   uint64 `json:"scale_downs,omitempty"`
+	// FlagEvents counts the probe detector's unflagged→flagged client
+	// transitions (zero and omitted when detection is disabled).
+	FlagEvents uint64          `json:"flag_events,omitempty"`
+	Routes     []RouteSnapshot `json:"routes"`
 }
 
 // Snapshot returns a consistent copy of every route's stats, sorted by
@@ -333,6 +388,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		LiveReplicas: m.liveReplicas,
 		ScaleUps:     m.scaleUps,
 		ScaleDowns:   m.scaleDowns,
+		FlagEvents:   m.flagEvents,
 	}
 	names := make([]string, 0, len(m.routes))
 	for name := range m.routes {
@@ -342,17 +398,21 @@ func (m *Metrics) Snapshot() Snapshot {
 	for _, name := range names {
 		r := m.routes[name]
 		rs := RouteSnapshot{
-			Route:    name,
-			Offered:  r.offered,
-			Requests: r.requests,
-			Served:   r.served,
-			Shed:     r.shed,
-			Rejected: r.rejected,
-			Errors:   r.errors,
-			P50Ms:    r.p50.Value(),
-			P95Ms:    r.p95.Value(),
-			P99Ms:    r.p99.Value(),
-			MaxMs:    float64(r.maxLatency) / float64(time.Millisecond),
+			Route:          name,
+			Offered:        r.offered,
+			Requests:       r.requests,
+			Served:         r.served,
+			Shed:           r.shed,
+			Rejected:       r.rejected,
+			Errors:         r.errors,
+			Probed:         r.probed,
+			ProbeHits:      r.probeHits,
+			FlaggedQueries: r.flaggedQ,
+			DetectShed:     r.detectShed,
+			P50Ms:          r.p50.Value(),
+			P95Ms:          r.p95.Value(),
+			P99Ms:          r.p99.Value(),
+			MaxMs:          float64(r.maxLatency) / float64(time.Millisecond),
 		}
 		if r.served > 0 {
 			rs.MeanBatch = float64(r.batchSamples) / float64(r.served)

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"pelta/internal/detect"
 	"pelta/internal/tensor"
 )
 
@@ -41,6 +42,12 @@ type Config struct {
 	// weighted-fair admission (token buckets) ahead of the shared queue.
 	// Nil keeps the shared-queue-only admission.
 	Admission *AdmissionConfig
+	// Detect, when non-nil, enables the stateful probe detector as a
+	// third admission signal: queries submitted with a client identity
+	// (SubmitFrom) feed per-client similarity caches on the service
+	// clock, and flagged clients are handled per Detect.Action. Nil — the
+	// default — keeps the detector entirely out of the request path.
+	Detect *DetectConfig
 }
 
 // withDefaults fills unset knobs.
@@ -70,6 +77,10 @@ type Result struct {
 	BatchSize int
 	// Queued is the time spent waiting before the batch started.
 	Queued time.Duration
+	// Flagged reports that the probe detector considered the submitting
+	// client flagged when this request was admitted (always false without
+	// Config.Detect or a client identity).
+	Flagged bool
 }
 
 // request is one queued unit of work.
@@ -78,6 +89,7 @@ type request struct {
 	route    string
 	deadline time.Time // zero = no deadline
 	enqueued time.Time
+	flagged  bool // probe detector verdict at admission
 	done     chan response
 }
 
@@ -94,8 +106,9 @@ type Service struct {
 	pool    *ReplicaPool
 	cfg     Config
 	metrics *Metrics
-	admit   *admitter   // nil = admission control disabled
-	scaler  *autoscaler // nil = static provisioning
+	admit   *admitter        // nil = admission control disabled
+	det     *detect.Detector // nil = probe detection disabled
+	scaler  *autoscaler      // nil = static provisioning
 
 	queue     chan *request
 	dispatch  chan []*request
@@ -136,6 +149,9 @@ func NewService(pool *ReplicaPool, cfg Config) *Service {
 	}
 	if cfg.Admission != nil && cfg.Admission.Rate > 0 {
 		s.admit = newAdmitter(*cfg.Admission)
+	}
+	if cfg.Detect != nil {
+		s.det = detect.New(cfg.Detect.Config)
 	}
 	s.queue = make(chan *request, s.cfg.QueueDepth)
 	s.wg.Add(1)
@@ -232,6 +248,9 @@ func (s *Service) ScaleEvents() []ScaleEvent {
 // Metrics exposes the service's metrics core.
 func (s *Service) Metrics() *Metrics { return s.metrics }
 
+// Detector exposes the probe detector, or nil when Config.Detect is unset.
+func (s *Service) Detector() *detect.Detector { return s.det }
+
 // Clock returns the clock the scheduler runs on (real unless injected), so
 // the HTTP layer computes deadlines and latencies on the same timeline the
 // batcher sheds by.
@@ -261,8 +280,18 @@ func (s *Service) Close() {
 // until it is served or shed. A zero deadline means "no deadline";
 // otherwise a request still queued past its deadline is shed with
 // ErrOverloaded instead of being served late. x must not be mutated until
-// Submit returns.
+// Submit returns. Submit carries no client identity, so the probe
+// detector never sees these requests — SubmitFrom is the detected path.
 func (s *Service) Submit(route string, x *tensor.Tensor, deadline time.Time) (*Result, error) {
+	return s.SubmitFrom(route, "", x, deadline)
+}
+
+// SubmitFrom is Submit with a client identity: when the probe detector is
+// configured and client is non-empty, the query is fingerprinted into the
+// client's similarity cache before admission, and a flagged client's
+// requests are logged, deprioritized or shed per the configured
+// DetectAction. An empty client skips detection (exactly Submit).
+func (s *Service) SubmitFrom(route, client string, x *tensor.Tensor, deadline time.Time) (*Result, error) {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -294,12 +323,31 @@ func (s *Service) Submit(route string, x *tensor.Tensor, deadline time.Time) (*R
 		s.metrics.Shed(route)
 		return nil, fmt.Errorf("serve: deadline passed at admission: %w", ErrOverloaded)
 	}
-	if s.admit != nil && !s.admit.allow(route, now) {
+	admitRoute := route
+	var flagged bool
+	if s.det != nil && client != "" {
+		dec := s.det.Observe(client, x, now)
+		s.metrics.Probe(route, dec.Hit, dec.Flagged, dec.NewFlag)
+		if dec.Flagged {
+			flagged = true
+			switch s.cfg.Detect.Action {
+			case DetectShed:
+				s.mu.RUnlock()
+				s.metrics.DetectShed(route)
+				return nil, fmt.Errorf("serve: probe detector shed client %q: %w (%w)", client, ErrFlagged, ErrOverloaded)
+			case DetectDeprioritize:
+				// Charge the flagged bucket instead of the client's route;
+				// without weighted-fair admission this degrades to logging.
+				admitRoute = FlaggedRoute
+			}
+		}
+	}
+	if s.admit != nil && !s.admit.allow(admitRoute, now) {
 		s.mu.RUnlock()
 		s.metrics.Shed(route)
-		return nil, fmt.Errorf("serve: admission limit for route %q (weighted token bucket): %w", route, ErrOverloaded)
+		return nil, fmt.Errorf("serve: admission limit for route %q (weighted token bucket): %w", admitRoute, ErrOverloaded)
 	}
-	r := &request{x: x, route: route, deadline: deadline, enqueued: now, done: make(chan response, 1)}
+	r := &request{x: x, route: route, deadline: deadline, enqueued: now, flagged: flagged, done: make(chan response, 1)}
 	select {
 	case s.queue <- r:
 		s.mu.RUnlock()
@@ -433,6 +481,7 @@ func (s *Service) worker(rep Replica, h *workerHandle) {
 				Class:     tensor.Argmax(row),
 				BatchSize: len(live),
 				Queued:    now.Sub(r.enqueued),
+				Flagged:   r.flagged,
 			}}
 		}
 	}
