@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"pelta/internal/eval"
 	"pelta/internal/fl"
 	"pelta/internal/models"
+	"pelta/internal/obs"
 	"pelta/internal/tensor"
 )
 
@@ -62,6 +64,7 @@ type options struct {
 	summarize string
 
 	benchJSON string
+	trace     string
 }
 
 func run() error {
@@ -95,6 +98,7 @@ func run() error {
 	flag.BoolVar(&o.summary, "summary", true, "print the eval summary after a sweep")
 	flag.StringVar(&o.summarize, "summarize", "", "summarize an existing sweep NDJSON file and exit")
 	flag.StringVar(&o.benchJSON, "benchjson", "", "write machine-readable timing to this JSON file (e.g. BENCH_flsim.json)")
+	flag.StringVar(&o.trace, "trace", "", "single run: write per-round phase spans (train/transport/aggregate/broadcast) as NDJSON to this file")
 	flag.Parse()
 
 	switch {
@@ -107,19 +111,43 @@ func run() error {
 	}
 }
 
-// summarize renders the eval summary of a previously written sweep file.
+// summarize renders the eval summary of a previously written sweep file,
+// or — when the rows are per-round phase spans from -trace — the
+// round-phase breakdown line.
 func summarize(path string) error {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	rows, err := eval.ReadSweepRows(f)
+	if isRoundSpanFile(data) {
+		spans, err := obs.ReadRoundSpans(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.SummarizeRoundSpans(spans))
+		return nil
+	}
+	rows, err := eval.ReadSweepRows(bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
 	fmt.Print(eval.SummarizeSweep(rows).Render())
 	return nil
+}
+
+// isRoundSpanFile sniffs whether an NDJSON file holds obs.RoundSpan rows
+// (written by -trace) rather than sweep rows: the first row decides.
+func isRoundSpanFile(data []byte) bool {
+	line := data
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line = data[:i]
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return false
+	}
+	_, ok := probe["train_ns"]
+	return ok
 }
 
 // runSweep executes the scenario matrix and streams NDJSON rows.
@@ -301,6 +329,22 @@ func runSingle(o options) error {
 		for _, n := range r.Notes {
 			fmt.Println("  ", n)
 		}
+	}
+	if o.trace != "" {
+		spans := fl.RoundSpans(results)
+		f, err := os.Create(o.trace)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteRoundSpans(f, spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println(eval.SummarizeRoundSpans(spans))
+		fmt.Printf("wrote %d round spans to %s\n", len(spans), o.trace)
 	}
 	if o.save != "" {
 		// Stamp which defense trained the snapshot, so cmd/peltaserve warm

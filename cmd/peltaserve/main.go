@@ -74,6 +74,11 @@ type options struct {
 	deadline time.Duration
 	phases   string
 
+	// Observability.
+	traceSample float64
+	traceJSON   string
+	pprof       bool
+
 	benchJSON string
 }
 
@@ -115,6 +120,9 @@ func run() error {
 	flag.DurationVar(&o.deadline, "deadline", 0, "loadgen: per-request deadline (0 = none)")
 	flag.StringVar(&o.phases, "phases", "", "loadgen: phased trace \"rate:dur:advfrac,...\" (e.g. \"200:2s:0.1,800:1s:0.5,200:2s:0.1\"); overrides -rate/-n")
 	flag.StringVar(&o.benchJSON, "benchjson", "", "write machine-readable serving timings to this JSON file (e.g. BENCH_peltaserve.json)")
+	flag.Float64Var(&o.traceSample, "trace-sample", 0, "trace this fraction of requests end to end (0 = tracing off; anomalies are always traced once > 0); spans stream on GET /trace")
+	flag.StringVar(&o.traceJSON, "trace-json", "", "loadgen: write the retained span records as NDJSON to this file (requires -trace-sample > 0)")
+	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	// Synthesize only the splits this invocation reads: the train split
@@ -181,6 +189,11 @@ func run() error {
 		MaxDelay:   o.maxDelay,
 		QueueDepth: o.queue,
 	}
+	if o.traceSample > 0 {
+		scfg.Trace = &serve.TraceConfig{Sample: o.traceSample}
+	} else if o.traceJSON != "" {
+		return fmt.Errorf("-trace-json needs -trace-sample > 0")
+	}
 	if o.maxReplicas > 0 {
 		poolSize = o.maxReplicas
 		scfg.Autoscale = &serve.AutoscaleConfig{
@@ -246,6 +259,10 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "[peltaserve] probe detector on: k=%d thresh=%g window=%d action=%s\n",
 			dc.K, dc.Threshold, dc.Window, scfg.Detect.Action)
 	}
+	if scfg.Trace != nil {
+		fmt.Fprintf(os.Stderr, "[peltaserve] tracing %.0f%% of requests (anomalies always); spans on GET /trace, Prometheus text on GET /metrics?format=prom\n",
+			100*o.traceSample)
+	}
 
 	if o.loadgen {
 		if o.detect {
@@ -254,7 +271,7 @@ func run() error {
 		return runLoadgen(o, svc, base, val)
 	}
 	fmt.Fprintf(os.Stderr, "[peltaserve] listening on http://%s (POST /query, GET /metrics; probe identity via %s)\n", o.addr, serve.HeaderClient)
-	return http.ListenAndServe(o.addr, serve.NewHandler(svc))
+	return http.ListenAndServe(o.addr, serve.NewHandlerWith(svc, serve.HandlerOptions{Pprof: o.pprof}))
 }
 
 // accJSON renders a (value, ok) measurement for the bench record: the
@@ -355,6 +372,36 @@ func runLoadgen(o options, svc *serve.Service, base models.Model, val *dataset.D
 		rec["p50_ms"] = accJSON(sum.Latency.P50, rep.Served > 0)
 		rec["p95_ms"] = accJSON(sum.Latency.P95, rep.Served > 0)
 		rec["p99_ms"] = accJSON(sum.Latency.P99, rep.Served > 0)
+	}
+
+	// With tracing on, the retained span records gate and describe the run:
+	// any structural violation (negative stage duration, stage sum drifting
+	// from the end-to-end span, served request missing a lifecycle offset)
+	// fails the run — this is the CI trace-smoke gate — and the per-route ×
+	// per-stage latency table prints after the load summary.
+	if tr := svc.Tracer(); tr != nil {
+		recs := tr.Records()
+		if err := eval.ValidateSpans(recs); err != nil {
+			return fmt.Errorf("trace validation: %w", err)
+		}
+		tsum := eval.SummarizeTrace(recs)
+		fmt.Print(tsum.Render())
+		rec["trace_spans"] = len(recs)
+		rec["trace_begun"] = tr.Total()
+		if o.traceJSON != "" {
+			f, err := os.Create(o.traceJSON)
+			if err != nil {
+				return err
+			}
+			if err := tr.WriteNDJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "[peltaserve] wrote %d span records to %s\n", len(recs), o.traceJSON)
+		}
 	}
 
 	if o.benchJSON != "" {

@@ -21,6 +21,10 @@
 //   - internal/detect   — per-client query-similarity caches: pooled
 //     fingerprints, K-th-NN near-duplicate matching, m-of-w flagging with
 //     TTL expiry and flag decay on an injected clock
+//   - internal/obs      — the unified observability layer: per-request
+//     span records (detect/admission/queue/batch/infer stages plus
+//     per-kernel attribution), FL round-phase spans, and the metric
+//     registry behind the JSON and Prometheus text expositions
 //
 // bench_test.go regenerates every table and figure; cmd/peltabench is the
 // command-line entry point, cmd/flsim runs federations and scenario sweeps,
@@ -29,4 +33,4 @@
 package pelta
 
 // Version identifies this reproduction release.
-const Version = "1.6.0"
+const Version = "1.7.0"

@@ -21,7 +21,19 @@
 // probe the service would have seen — and interleaves them with benign
 // client streams; SummarizeDetect condenses the replayed serve.DetectReport
 // into the per-family detection-rate vs benign-FPR table (empty families
-// render "n/a", following the same convention). Evaluation is deterministic
+// render "n/a", following the same convention).
+//
+// The trace summaries consume the observability layer's span records:
+// SummarizeTrace condenses obs.SpanRecords into a per-route × per-stage
+// latency table (p50/p95/mean per stage plus each stage's share of the
+// end-to-end mean — the five stages partition the span exactly, so the
+// shares sum to 100%), with per-kernel attribution and a shed/flag
+// causality table keyed by outcome; ValidateSpans is the structural gate
+// the CI trace smoke cell relies on (negative stage durations, stage sums
+// drifting from the end-to-end span, served spans missing lifecycle
+// offsets all fail); SummarizeRoundSpans renders FL round-phase spans as
+// the train/transport/aggregate/broadcast breakdown line cmd/flsim
+// prints. Evaluation is deterministic
 // given an AttackSet seed; batch fan-out across oracle workers
 // (SetOracleWorkers) never changes results, only wall time.
 package eval

@@ -1,0 +1,238 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pelta/internal/obs"
+)
+
+// msPerNS converts span nanosecond fields into the millisecond unit every
+// other latency table in the repo reports.
+const msPerNS = 1e-6
+
+// TraceStageStats is the latency breakdown of one pipeline stage over the
+// served spans of a route.
+type TraceStageStats struct {
+	Stage string `json:"stage"`
+	// P50Ms/P95Ms are exact sorted-slice quantiles of this stage's
+	// duration. Because a span's stages partition its end-to-end latency
+	// exactly (obs.SpanRecord.Stages), the per-stage means sum to the
+	// end-to-end mean, and the stage p50/p95 columns sum close to the
+	// end-to-end p50/p95 whenever stage durations are positively
+	// correlated — the acceptance bound the trace harness checks.
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	// Share is this stage's fraction of the mean end-to-end latency,
+	// in [0,1]; shares sum to 1 exactly.
+	Share float64 `json:"share"`
+}
+
+// TraceRouteSummary is the per-route view of a span set: the stage
+// breakdown over served spans plus the outcome causality counts over all
+// spans.
+type TraceRouteSummary struct {
+	Route string `json:"route"`
+	Spans int    `json:"spans"`
+	// Served counts spans with outcome "served"; the stage table below is
+	// computed over exactly these.
+	Served   int                `json:"served"`
+	EndToEnd Q                  `json:"end_to_end_ms"`
+	MeanMs   float64            `json:"mean_ms"`
+	Stages   [5]TraceStageStats `json:"stages"`
+	// Outcomes counts every span by its outcome string — the causality
+	// table separating queue-full sheds from deadline sheds from detector
+	// sheds.
+	Outcomes map[string]int `json:"outcomes"`
+	// Flagged counts spans whose client was flagged by the probe detector.
+	Flagged int `json:"flagged"`
+	// MatMulMs/ConvMs/AttnMs are the mean per-request kernel-boundary
+	// times attributed by the worker (batch-level, so a request in a batch
+	// of k carries the whole batch's kernel time).
+	MatMulMs float64 `json:"matmul_ms"`
+	ConvMs   float64 `json:"conv_ms"`
+	AttnMs   float64 `json:"attn_ms"`
+}
+
+// TraceSummary is the per-route × per-stage latency-breakdown and
+// shed/flag causality view of a span set.
+type TraceSummary struct {
+	Spans  int                 `json:"spans"`
+	Served int                 `json:"served"`
+	Routes []TraceRouteSummary `json:"routes"`
+}
+
+// SummarizeTrace condenses span records into per-route stage breakdowns
+// and outcome counts. Routes are sorted by name and all statistics use the
+// exact sorted-slice quantiles of Quantiles, so the same span set always
+// renders byte-identically.
+func SummarizeTrace(recs []obs.SpanRecord) *TraceSummary {
+	byRoute := map[string][]obs.SpanRecord{}
+	for _, r := range recs {
+		byRoute[r.Route] = append(byRoute[r.Route], r)
+	}
+	routes := make([]string, 0, len(byRoute))
+	for r := range byRoute {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+
+	s := &TraceSummary{Spans: len(recs)}
+	for _, route := range routes {
+		spans := byRoute[route]
+		rs := TraceRouteSummary{Route: route, Spans: len(spans), Outcomes: map[string]int{}}
+		var e2e []float64
+		var stageVals [5][]float64
+		var meanSum float64
+		var stageSum [5]float64
+		var kernels [3]float64
+		for _, sp := range spans {
+			rs.Outcomes[sp.Outcome]++
+			if sp.Flagged {
+				rs.Flagged++
+			}
+			if sp.Outcome != obs.OutcomeServed {
+				continue
+			}
+			rs.Served++
+			e2e = append(e2e, float64(sp.End())*msPerNS)
+			meanSum += float64(sp.End()) * msPerNS
+			for i, d := range sp.Stages() {
+				v := float64(d) * msPerNS
+				stageVals[i] = append(stageVals[i], v)
+				stageSum[i] += v
+			}
+			kernels[0] += float64(sp.MatMulNS) * msPerNS
+			kernels[1] += float64(sp.ConvNS) * msPerNS
+			kernels[2] += float64(sp.AttnNS) * msPerNS
+		}
+		if rs.Served > 0 {
+			rs.EndToEnd = Quantiles(e2e)
+			rs.MeanMs = meanSum / float64(rs.Served)
+			for i := range rs.Stages {
+				st := TraceStageStats{
+					Stage:  obs.StageNames[i],
+					P50Ms:  Quantile(stageVals[i], 0.50),
+					P95Ms:  Quantile(stageVals[i], 0.95),
+					MeanMs: stageSum[i] / float64(rs.Served),
+				}
+				if meanSum > 0 {
+					st.Share = stageSum[i] / meanSum
+				}
+				rs.Stages[i] = st
+			}
+			rs.MatMulMs = kernels[0] / float64(rs.Served)
+			rs.ConvMs = kernels[1] / float64(rs.Served)
+			rs.AttnMs = kernels[2] / float64(rs.Served)
+		} else {
+			for i := range rs.Stages {
+				rs.Stages[i] = TraceStageStats{Stage: obs.StageNames[i]}
+			}
+		}
+		s.Served += rs.Served
+		s.Routes = append(s.Routes, rs)
+	}
+	return s
+}
+
+// Render prints the stage-breakdown and causality tables in the repo's
+// plain-text report idiom. Output is byte-deterministic for a given span
+// set: routes and outcome rows are sorted, and every figure derives from
+// exact quantiles over the same spans.
+func (s *TraceSummary) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace: %d spans, %d served, %d routes\n", s.Spans, s.Served, len(s.Routes))
+	for _, rs := range s.Routes {
+		fmt.Fprintf(&sb, "route %s: %d spans, %d served", rs.Route, rs.Spans, rs.Served)
+		if rs.Served > 0 {
+			fmt.Fprintf(&sb, ", e2e %s ms (mean %.3f)", rs.EndToEnd, rs.MeanMs)
+		}
+		sb.WriteByte('\n')
+		if rs.Served > 0 {
+			fmt.Fprintf(&sb, "  %-9s | %9s | %9s | %9s | %6s\n", "stage", "p50 ms", "p95 ms", "mean ms", "% e2e")
+			for _, st := range rs.Stages {
+				fmt.Fprintf(&sb, "  %-9s | %9.3f | %9.3f | %9.3f | %5.1f%%\n",
+					st.Stage, st.P50Ms, st.P95Ms, st.MeanMs, 100*st.Share)
+			}
+			if rs.MatMulMs > 0 || rs.ConvMs > 0 || rs.AttnMs > 0 {
+				fmt.Fprintf(&sb, "  kernels/request: matmul %.3f ms, conv %.3f ms, attention %.3f ms\n",
+					rs.MatMulMs, rs.ConvMs, rs.AttnMs)
+			}
+		}
+		causes := make([]string, 0, len(rs.Outcomes))
+		for o := range rs.Outcomes {
+			if o != obs.OutcomeServed {
+				causes = append(causes, o)
+			}
+		}
+		sort.Strings(causes)
+		for _, o := range causes {
+			fmt.Fprintf(&sb, "  cause %-24s %5d\n", o, rs.Outcomes[o])
+		}
+		if rs.Flagged > 0 {
+			fmt.Fprintf(&sb, "  flagged spans: %d\n", rs.Flagged)
+		}
+	}
+	return sb.String()
+}
+
+// SummarizeRoundSpans renders the federated round-phase breakdown line the
+// flsim summary prints when a run was traced: mean milliseconds per round
+// spent in each phase (client training, update transport, aggregation
+// rule, model broadcast) with its share of the round total.
+func SummarizeRoundSpans(spans []obs.RoundSpan) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	var sums [4]float64
+	var total float64
+	for _, rs := range spans {
+		for i, ns := range rs.Phases() {
+			v := float64(ns) * msPerNS
+			sums[i] += v
+			total += v
+		}
+	}
+	n := float64(len(spans))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "round phases (%d rounds):", len(spans))
+	for i, name := range obs.RoundPhaseNames {
+		share := 0.0
+		if total > 0 {
+			share = sums[i] / total
+		}
+		fmt.Fprintf(&sb, " %s %.3f ms (%.1f%%)", name, sums[i]/n, 100*share)
+	}
+	return sb.String()
+}
+
+// Validate checks the structural invariants of a span set: every span's
+// stage durations must be non-negative and sum exactly to its end-to-end
+// latency, and served spans must carry the full offset chain. The CI trace
+// smoke cell fails the build on the first violated span.
+func ValidateSpans(recs []obs.SpanRecord) error {
+	for _, sp := range recs {
+		var sum int64
+		for i, d := range sp.Stages() {
+			if d < 0 {
+				return fmt.Errorf("span %d (%s, %s): negative %s stage %dns",
+					sp.ID, sp.Route, sp.Outcome, obs.StageNames[i], d)
+			}
+			sum += d
+		}
+		if sum != sp.End() {
+			return fmt.Errorf("span %d (%s, %s): stage sum %dns != end-to-end %dns",
+				sp.ID, sp.Route, sp.Outcome, sum, sp.End())
+		}
+		if sp.Outcome == obs.OutcomeServed {
+			for _, off := range []int64{sp.Enqueued, sp.Pickup, sp.InferStart, sp.InferEnd} {
+				if off == obs.NoOffset {
+					return fmt.Errorf("span %d (%s): served span missing offsets", sp.ID, sp.Route)
+				}
+			}
+		}
+	}
+	return nil
+}

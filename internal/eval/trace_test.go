@@ -1,0 +1,131 @@
+package eval_test
+
+import (
+	"strings"
+	"testing"
+
+	"pelta/internal/eval"
+	"pelta/internal/obs"
+)
+
+// span builds a served record with the given per-stage durations (ns).
+func span(id uint64, route string, detect, admission, queue, batch, infer int64) obs.SpanRecord {
+	sp := obs.SpanRecord{ID: id, Route: route, Outcome: obs.OutcomeServed}
+	sp.DetectStart = 0
+	sp.DetectEnd = detect
+	sp.Enqueued = sp.DetectEnd + admission
+	sp.Pickup = sp.Enqueued + queue
+	sp.InferStart = sp.Pickup + batch
+	sp.InferEnd = sp.InferStart + infer
+	return sp
+}
+
+func TestSummarizeTraceStageTable(t *testing.T) {
+	const ms = int64(1e6)
+	recs := []obs.SpanRecord{
+		span(1, "benign", 1*ms, 0, 2*ms, 1*ms, 10*ms),
+		span(2, "benign", 1*ms, 0, 4*ms, 1*ms, 20*ms),
+		span(3, "benign", 1*ms, 0, 6*ms, 1*ms, 30*ms),
+		{ID: 4, Route: "benign", Outcome: obs.OutcomeShedQueueFull, Flagged: true,
+			DetectStart: obs.NoOffset, DetectEnd: obs.NoOffset, Enqueued: obs.NoOffset,
+			Pickup: obs.NoOffset, InferStart: obs.NoOffset, InferEnd: obs.NoOffset},
+		{ID: 5, Route: "adv", Outcome: obs.OutcomeShedDetect, Flagged: true,
+			DetectStart: 0, DetectEnd: 1 * ms, Enqueued: obs.NoOffset,
+			Pickup: obs.NoOffset, InferStart: obs.NoOffset, InferEnd: obs.NoOffset},
+	}
+	s := eval.SummarizeTrace(recs)
+	if s.Spans != 5 || s.Served != 3 || len(s.Routes) != 2 {
+		t.Fatalf("summary header: %+v", s)
+	}
+	// Routes sorted: adv first.
+	if s.Routes[0].Route != "adv" || s.Routes[0].Served != 0 || s.Routes[0].Outcomes[obs.OutcomeShedDetect] != 1 {
+		t.Fatalf("adv route: %+v", s.Routes[0])
+	}
+	b := s.Routes[1]
+	if b.Served != 3 || b.Spans != 4 || b.Flagged != 1 || b.Outcomes[obs.OutcomeShedQueueFull] != 1 {
+		t.Fatalf("benign route: %+v", b)
+	}
+	if b.EndToEnd.P50 != 26 {
+		t.Fatalf("e2e p50 %v, want 26ms", b.EndToEnd.P50)
+	}
+	// Stage medians: detect 1, admission 0, queue 4, batch 1, infer 20.
+	wantP50 := []float64{1, 0, 4, 1, 20}
+	var p50Sum float64
+	for i, st := range b.Stages {
+		if st.P50Ms != wantP50[i] {
+			t.Fatalf("stage %s p50 %v, want %v", st.Stage, st.P50Ms, wantP50[i])
+		}
+		p50Sum += st.P50Ms
+	}
+	if p50Sum != b.EndToEnd.P50 {
+		t.Fatalf("stage p50 sum %v != e2e p50 %v", p50Sum, b.EndToEnd.P50)
+	}
+	// Shares partition exactly.
+	var share float64
+	for _, st := range b.Stages {
+		share += st.Share
+	}
+	if share < 0.999999 || share > 1.000001 {
+		t.Fatalf("stage shares sum to %v, want 1", share)
+	}
+
+	out := s.Render()
+	for _, want := range []string{
+		"trace: 5 spans, 3 served, 2 routes",
+		"route adv:",
+		"cause shed-detect",
+		"cause shed-queue-full",
+		"flagged spans: 1",
+		"infer",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if s.Render() != out {
+		t.Fatal("render not deterministic")
+	}
+}
+
+func TestValidateSpans(t *testing.T) {
+	const ms = int64(1e6)
+	good := span(1, "r", ms, 0, ms, 0, ms)
+	if err := eval.ValidateSpans([]obs.SpanRecord{good}); err != nil {
+		t.Fatal(err)
+	}
+	// Regressed chain: pickup before enqueue yields a negative queue stage.
+	bad := good
+	bad.Pickup = bad.Enqueued - ms
+	bad.InferStart, bad.InferEnd = bad.Pickup, bad.Pickup
+	if err := eval.ValidateSpans([]obs.SpanRecord{bad}); err == nil {
+		t.Fatal("negative stage not caught")
+	}
+	// Served span with a missing offset.
+	hole := good
+	hole.InferEnd = obs.NoOffset
+	if err := eval.ValidateSpans([]obs.SpanRecord{hole}); err == nil {
+		t.Fatal("missing served offset not caught")
+	}
+}
+
+func TestSummarizeRoundSpans(t *testing.T) {
+	if got := eval.SummarizeRoundSpans(nil); got != "" {
+		t.Fatalf("empty spans rendered %q", got)
+	}
+	spans := []obs.RoundSpan{
+		{Round: 1, Clients: 4, TrainNS: 8e6, TransportNS: 1e6, AggregateNS: 0.5e6, BroadcastNS: 0.5e6},
+		{Round: 2, Clients: 4, TrainNS: 12e6, TransportNS: 1e6, AggregateNS: 0.5e6, BroadcastNS: 0.5e6},
+	}
+	out := eval.SummarizeRoundSpans(spans)
+	for _, want := range []string{
+		"round phases (2 rounds):",
+		"train 10.000 ms",
+		"transport 1.000 ms",
+		"aggregate 0.500 ms",
+		"broadcast 0.500 ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q: %s", want, out)
+		}
+	}
+}

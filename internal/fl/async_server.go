@@ -2,8 +2,10 @@ package fl
 
 import (
 	"fmt"
+	"time"
 
 	"pelta/internal/models"
+	"pelta/internal/obs"
 )
 
 // AsyncConfig tunes the asynchronous round engine.
@@ -54,6 +56,9 @@ type AsyncServer struct {
 	Config AsyncConfig
 	// Eval, when set, scores the global model after every aggregation.
 	Eval func(m models.Model) float64
+	// Now overrides the clock the round-phase spans are stamped on
+	// (nil = time.Now).
+	Now func() time.Time
 
 	stats AggregatorStats
 	drops int
@@ -79,6 +84,9 @@ type taggedUpdate struct {
 	version int
 	resp    UpdateResponse
 	err     error
+	// wallNS is the dispatch-to-receipt round-trip measured in the worker;
+	// wallNS − resp.TrainNS is the update's transport share.
+	wallNS int64
 }
 
 // Run executes the configured number of aggregation rounds and returns one
@@ -113,13 +121,20 @@ func (s *AsyncServer) Run() ([]RoundResult, error) {
 		cfg.MaxStaleness = 0
 	}
 
+	now := s.Now
+	if now == nil {
+		now = time.Now
+	}
+
 	jobs := make(chan asyncJob, n)
 	resCh := make(chan taggedUpdate, n)
 	for w := 0; w < cfg.Workers; w++ {
 		go func() {
 			for j := range jobs {
+				t0 := now()
 				resp, err := s.Conns[j.client].Update(j.req)
-				resCh <- taggedUpdate{client: j.client, version: j.version, resp: resp, err: err}
+				resCh <- taggedUpdate{client: j.client, version: j.version, resp: resp, err: err,
+					wallNS: now().Sub(t0).Nanoseconds()}
 			}
 		}()
 	}
@@ -133,11 +148,17 @@ func (s *AsyncServer) Run() ([]RoundResult, error) {
 	version := 0 // aggregations applied so far; round r = version+1
 	inflight := 0
 	busy := make([]bool, n)
+	// wall holds each client's latest round-trip so drained updates can be
+	// attributed to transport even after they sat buffered in the
+	// aggregator across an aggregation boundary.
+	wall := make([]int64, n)
+	tB0 := now()
 	snapshot := Snapshot(s.Global)
 	down, err := WireBytes(snapshot)
 	if err != nil {
 		return nil, fmt.Errorf("fl: encoding round 1 broadcast: %w", err)
 	}
+	broadcastNS := now().Sub(tB0).Nanoseconds()
 	// Per-version telemetry accumulated between aggregations.
 	notes := make([]string, 0, n)
 	dropped := 0
@@ -199,6 +220,7 @@ func (s *AsyncServer) Run() ([]RoundResult, error) {
 		tu := <-resCh
 		inflight--
 		busy[tu.client] = false
+		wall[tu.client] = tu.wallNS
 		if tu.err != nil {
 			dropped++
 			s.drops++
@@ -215,6 +237,7 @@ func (s *AsyncServer) Run() ([]RoundResult, error) {
 		// client has reported and whatever arrived is all this round gets.
 		for version < cfg.Rounds && agg.Pending() > 0 &&
 			(agg.Ready() || inflight == 0) {
+			tA0 := now()
 			w, merged, err := agg.Drain(version, snapshot)
 			if err != nil {
 				return results, fmt.Errorf("fl: round %d aggregation: %w", version+1, err)
@@ -222,6 +245,7 @@ func (s *AsyncServer) Run() ([]RoundResult, error) {
 			if err := Apply(s.Global, w); err != nil {
 				return results, fmt.Errorf("fl: round %d apply: %w", version+1, err)
 			}
+			aggregateNS := now().Sub(tA0).Nanoseconds()
 			res := RoundResult{
 				Round:     version + 1,
 				Notes:     notes,
@@ -229,6 +253,7 @@ func (s *AsyncServer) Run() ([]RoundResult, error) {
 				Merged:    len(merged),
 				Dropped:   dropped,
 			}
+			var train, transport int64
 			for _, p := range merged {
 				if version-p.version > 0 {
 					res.StaleMerged++
@@ -238,6 +263,18 @@ func (s *AsyncServer) Run() ([]RoundResult, error) {
 					return results, fmt.Errorf("fl: round %d: %w", version+1, err)
 				}
 				res.UpBytes += up
+				train += p.resp.TrainNS
+				if t := wall[p.client] - p.resp.TrainNS; t > 0 {
+					transport += t
+				}
+			}
+			res.Timing = obs.RoundSpan{
+				Round:       version + 1,
+				Clients:     len(merged),
+				TrainNS:     train,
+				TransportNS: transport,
+				AggregateNS: aggregateNS,
+				BroadcastNS: broadcastNS,
 			}
 			if s.Eval != nil {
 				res.Accuracy = s.Eval(s.Global)
@@ -248,10 +285,12 @@ func (s *AsyncServer) Run() ([]RoundResult, error) {
 			if version >= cfg.Rounds {
 				break
 			}
+			tB := now()
 			snapshot = Snapshot(s.Global)
 			if down, err = WireBytes(snapshot); err != nil {
 				return results, fmt.Errorf("fl: encoding round %d broadcast: %w", version+1, err)
 			}
+			broadcastNS = now().Sub(tB).Nanoseconds()
 			_, cohort = launch()
 			agg.Quorum = quorumFor(cohort)
 		}

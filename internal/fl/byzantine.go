@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"time"
 
 	"pelta/internal/dataset"
 	"pelta/internal/models"
@@ -136,6 +137,7 @@ func (c *ModelReplacementClient) Update(req UpdateRequest) (UpdateResponse, erro
 			c.flipped.Y[i] = (y + 1) % sh.Classes
 		}
 	}
+	t0 := time.Now()
 	models.Train(c.Honest.Model, c.flipped.X, c.flipped.Y, c.Honest.Train)
 	boost := c.Boost
 	if boost < 1 {
@@ -146,5 +148,6 @@ func (c *ModelReplacementClient) Update(req UpdateRequest) (UpdateResponse, erro
 		Weights:  boostDelta(req.Weights, Snapshot(c.Honest.Model), boost),
 		Samples:  c.flipped.Len(),
 		Note:     fmt.Sprintf("model-replacement poison (boost=%g)", boost),
+		TrainNS:  time.Since(t0).Nanoseconds(),
 	}, nil
 }

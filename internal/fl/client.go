@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"time"
 
 	"pelta/internal/dataset"
 	"pelta/internal/models"
@@ -21,6 +22,11 @@ type UpdateResponse struct {
 	// Note is free-form client telemetry (used by the compromised client
 	// to report attack outcomes in the simulation logs).
 	Note string
+	// TrainNS is the client-measured wall time of local training in
+	// nanoseconds. The round engines subtract it from each update's
+	// round-trip time to attribute transport separately from compute in
+	// the per-round phase spans.
+	TrainNS int64
 }
 
 // Client computes local updates from broadcast weights.
@@ -53,10 +59,12 @@ func (c *HonestClient) Update(req UpdateRequest) (UpdateResponse, error) {
 	if err := Apply(c.Model, req.Weights); err != nil {
 		return UpdateResponse{}, fmt.Errorf("fl: client %s applying round %d weights: %w", c.Name, req.Round, err)
 	}
+	t0 := time.Now()
 	models.Train(c.Model, c.Shard.X, c.Shard.Y, c.Train)
 	return UpdateResponse{
 		ClientID: c.Name,
 		Weights:  Snapshot(c.Model),
 		Samples:  c.Shard.Len(),
+		TrainNS:  time.Since(t0).Nanoseconds(),
 	}, nil
 }

@@ -32,6 +32,15 @@
 // defense trained the weights (CheckpointMeta), so a serving warm start
 // can report the model's provenance.
 //
+// Round-phase telemetry: every RoundResult carries an obs.RoundSpan
+// breaking the round's wall time into client training (client-measured
+// TrainNS, summed over the merged cohort), transport (round-trip wall
+// minus training), aggregation (rule + apply) and broadcast (snapshot +
+// encoding), stamped on the injectable Now clock of either engine.
+// RoundSpans extracts them for NDJSON export (cmd/flsim -trace) and
+// eval.SummarizeRoundSpans; RoundMetrics renders the cumulative phase
+// totals as registry metrics for the unified exposition.
+//
 // Concurrency: clients never run two updates at once (the engine tracks
 // busy devices), each client owns its model replica, and the aggregator is
 // confined to the server's event loop — no locks anywhere on the round

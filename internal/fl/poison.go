@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"time"
 
 	"pelta/internal/attack"
 	"pelta/internal/dataset"
@@ -64,12 +65,14 @@ func (c *PoisoningClient) Update(req UpdateRequest) (UpdateResponse, error) {
 		return UpdateResponse{}, fmt.Errorf("fl: poisoner %s crafting round %d: %w", c.ID(), req.Round, err)
 	}
 	c.PoisonedPerRound = append(c.PoisonedPerRound, effective)
+	t0 := time.Now()
 	models.Train(c.Honest.Model, poisoned.X, poisoned.Y, c.Honest.Train)
 	return UpdateResponse{
 		ClientID: c.ID(),
 		Weights:  Snapshot(c.Honest.Model),
 		Samples:  poisoned.Len(),
 		Note:     fmt.Sprintf("poisoned %d samples effectively (shielded=%v)", effective, c.Shield),
+		TrainNS:  time.Since(t0).Nanoseconds(),
 	}, nil
 }
 

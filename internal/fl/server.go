@@ -3,8 +3,10 @@ package fl
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"pelta/internal/models"
+	"pelta/internal/obs"
 )
 
 // RoundResult summarizes one federation round.
@@ -26,7 +28,17 @@ type RoundResult struct {
 	Merged      int
 	StaleMerged int
 	Dropped     int
+	// Timing is the round's phase span: client training (client-measured),
+	// update transport (round-trip wall minus training), the aggregation
+	// rule plus apply, and the model broadcast (snapshot plus encoding).
+	// Timestamps read the engine's clock, so spans are deterministic when
+	// a fake clock is injected.
+	Timing obs.RoundSpan
 }
+
+// Span returns the round's phase span, stamped with its round number and
+// merged-client count.
+func (r *RoundResult) Span() obs.RoundSpan { return r.Timing }
 
 // Server is the trusted FL aggregator of Fig. 1: it broadcasts the global
 // model, gathers local updates, and applies FedAvg.
@@ -41,6 +53,9 @@ type Server struct {
 	// Agg is the aggregation defense (nil = plain FedAvg, bit-identical to
 	// the pre-defense server).
 	Agg Aggregator
+	// Now overrides the clock the round-phase spans are stamped on
+	// (nil = time.Now). Tests inject a counter here to make spans exact.
+	Now func() time.Time
 }
 
 // Run executes the given number of federation rounds.
@@ -48,17 +63,24 @@ func (s *Server) Run(rounds int) ([]RoundResult, error) {
 	if len(s.Conns) == 0 {
 		return nil, fmt.Errorf("fl: server has no clients")
 	}
+	now := s.Now
+	if now == nil {
+		now = time.Now
+	}
 	results := make([]RoundResult, 0, rounds)
 	for r := 1; r <= rounds; r++ {
+		t0 := now()
 		req := UpdateRequest{Round: r, Weights: Snapshot(s.Global)}
-		resps, err := s.collect(req)
-		if err != nil {
-			return results, fmt.Errorf("fl: round %d: %w", r, err)
-		}
 		down, err := WireBytes(req.Weights)
 		if err != nil {
 			return results, fmt.Errorf("fl: round %d: %w", r, err)
 		}
+		tBroadcast := now()
+		resps, err := s.collect(req)
+		if err != nil {
+			return results, fmt.Errorf("fl: round %d: %w", r, err)
+		}
+		tCollect := now()
 		updates := make([]Weights, len(resps))
 		counts := make([]int, len(resps))
 		notes := make([]string, 0, len(resps))
@@ -87,7 +109,27 @@ func (s *Server) Run(rounds int) ([]RoundResult, error) {
 		if err := Apply(s.Global, agg); err != nil {
 			return results, fmt.Errorf("fl: round %d apply: %w", r, err)
 		}
-		res := RoundResult{Round: r, Notes: notes, DownBytes: down, UpBytes: up}
+		tAgg := now()
+		var train int64
+		for _, resp := range resps {
+			train += resp.TrainNS
+		}
+		// Transport is the collect wall time net of client-reported
+		// training; a parallel collect can overlap training across clients,
+		// so the difference is clamped rather than trusted below zero.
+		transport := tCollect.Sub(tBroadcast).Nanoseconds() - train
+		if transport < 0 {
+			transport = 0
+		}
+		res := RoundResult{Round: r, Notes: notes, DownBytes: down, UpBytes: up,
+			Timing: obs.RoundSpan{
+				Round:       r,
+				Clients:     len(resps),
+				TrainNS:     train,
+				TransportNS: transport,
+				AggregateNS: tAgg.Sub(tCollect).Nanoseconds(),
+				BroadcastNS: tBroadcast.Sub(t0).Nanoseconds(),
+			}}
 		if s.Eval != nil {
 			res.Accuracy = s.Eval(s.Global)
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"time"
 
 	"pelta/internal/core"
 	"pelta/internal/dataset"
@@ -50,9 +51,11 @@ func (c *ShieldedHonestClient) Update(req UpdateRequest) (UpdateResponse, error)
 	if err := Apply(m, req.Weights); err != nil {
 		return UpdateResponse{}, fmt.Errorf("fl: client %s applying round %d weights: %w", c.Name, req.Round, err)
 	}
+	t0 := time.Now()
 	if _, err := c.Trainer.TrainEpochs(c.Shard.X, c.Shard.Y, c.Epochs, c.Batch, c.Seed+int64(req.Round)); err != nil {
 		return UpdateResponse{}, fmt.Errorf("fl: client %s enclave training: %w", c.Name, err)
 	}
+	trainNS := time.Since(t0).Nanoseconds()
 	met := c.Trainer.Enclave().Metrics()
 	return UpdateResponse{
 		ClientID: c.Name,
@@ -60,6 +63,7 @@ func (c *ShieldedHonestClient) Update(req UpdateRequest) (UpdateResponse, error)
 		Samples:  c.Shard.Len(),
 		Note: fmt.Sprintf("enclave training: %d hidden exports, %d world switches, %v overhead",
 			c.Trainer.Exports, met.WorldSwitches, met.SimulatedOverhead),
+		TrainNS: trainNS,
 	}, nil
 }
 

@@ -1,0 +1,40 @@
+package fl
+
+import (
+	"pelta/internal/obs"
+)
+
+// RoundSpans extracts the per-round phase spans of a federation run, ready
+// for NDJSON export (obs.WriteRoundSpans) or summarization
+// (eval.SummarizeRoundSpans).
+func RoundSpans(results []RoundResult) []obs.RoundSpan {
+	spans := make([]obs.RoundSpan, len(results))
+	for i, r := range results {
+		spans[i] = r.Timing
+	}
+	return spans
+}
+
+// RoundMetrics renders a run's aggregate round timings as registry metrics
+// — the fl slice of the unified telemetry exposition: total rounds, total
+// merged client updates, and cumulative nanoseconds per round phase.
+func RoundMetrics(results []RoundResult) []obs.Metric {
+	var clients int
+	var phases [4]int64
+	for _, r := range results {
+		clients += r.Timing.Clients
+		for i, ns := range r.Timing.Phases() {
+			phases[i] += ns
+		}
+	}
+	out := []obs.Metric{
+		obs.Counter("pelta_fl_rounds_total", "Federation rounds aggregated.", float64(len(results)), nil),
+		obs.Counter("pelta_fl_client_updates_total", "Client updates merged across all rounds.", float64(clients), nil),
+	}
+	for i, name := range obs.RoundPhaseNames {
+		out = append(out, obs.Counter("pelta_fl_phase_ns_total",
+			"Cumulative nanoseconds spent per federation round phase.",
+			float64(phases[i]), map[string]string{"phase": name}))
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+// Package obs is the unified observability layer: deterministic request
+// tracing plus a telemetry registry shared by every subsystem.
+//
+// Tracing is fake-clock-native. A SpanRecord stores one request's timeline
+// as a chain of nanosecond offsets from its entry timestamp — detect
+// lookup, admission, queue residency, batch assembly, replica inference —
+// so the per-stage durations partition the end-to-end latency exactly
+// (their sum equals the last reached offset by construction). Records are
+// taken on whatever Clock the caller injects, which makes traces
+// bit-reproducible under the test clocks used across the repo. The Tracer
+// keeps a bounded ring of records, samples the happy path systematically
+// (every Nth request), and always keeps anomalies (shed, rejected,
+// errored, or flagged requests) regardless of the sampling rate.
+//
+// The Registry unifies counters and gauges from serve, detect, the
+// autoscaler, fl round timings, tensor kernel totals, and tee enclave
+// headroom behind named Collector funcs, and renders them as Prometheus
+// text exposition format v0 (served by the HTTP layer on
+// GET /metrics?format=prom).
+//
+// KernelStats accumulates matmul/conv/attention time reported by the
+// kernel-boundary hooks in internal/tensor; the serving worker snapshots
+// it around each replica call to attribute kernel time to batches.
+package obs

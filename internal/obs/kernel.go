@@ -1,0 +1,74 @@
+package obs
+
+import "sync/atomic"
+
+// Kernel op indices. They mirror internal/tensor's KernelOp values so the
+// serving layer can forward hook callbacks without translation (pinned by
+// a test in internal/serve).
+const (
+	KernelMatMul = iota
+	KernelConv
+	KernelAttention
+	numKernelOps
+)
+
+// KernelOpNames names the ops in index order.
+var KernelOpNames = [numKernelOps]string{"matmul", "conv", "attention"}
+
+// KernelStats accumulates kernel-boundary time and call counts per op.
+// It is written from the tensor hooks (potentially many worker goroutines)
+// and read by the registry and the serving workers, so everything is
+// atomic.
+type KernelStats struct {
+	ns    [numKernelOps]atomic.Int64
+	calls [numKernelOps]atomic.Int64
+}
+
+// Add records one kernel invocation of op lasting ns nanoseconds.
+func (k *KernelStats) Add(op int, ns int64) {
+	if op < 0 || op >= numKernelOps {
+		return
+	}
+	k.ns[op].Add(ns)
+	k.calls[op].Add(1)
+}
+
+// NS returns the accumulated nanoseconds for op.
+func (k *KernelStats) NS(op int) int64 {
+	if op < 0 || op >= numKernelOps {
+		return 0
+	}
+	return k.ns[op].Load()
+}
+
+// Calls returns the accumulated invocation count for op.
+func (k *KernelStats) Calls(op int) int64 {
+	if op < 0 || op >= numKernelOps {
+		return 0
+	}
+	return k.calls[op].Load()
+}
+
+// SnapshotNS copies the per-op nanosecond totals — the serving worker
+// diffs two snapshots around a replica call to attribute kernel time to a
+// batch.
+func (k *KernelStats) SnapshotNS() [3]int64 {
+	var s [3]int64
+	for i := 0; i < numKernelOps; i++ {
+		s[i] = k.ns[i].Load()
+	}
+	return s
+}
+
+// Metrics renders the totals as registry samples.
+func (k *KernelStats) Metrics() []Metric {
+	out := make([]Metric, 0, 2*numKernelOps)
+	for i := 0; i < numKernelOps; i++ {
+		labels := map[string]string{"op": KernelOpNames[i]}
+		out = append(out,
+			Counter("pelta_kernel_ns_total", "Accumulated kernel time per op in nanoseconds.", float64(k.ns[i].Load()), labels),
+			Counter("pelta_kernel_calls_total", "Kernel invocations per op.", float64(k.calls[i].Load()), labels),
+		)
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stillClock is a frozen Clock for tracer construction.
+type stillClock struct{ t time.Time }
+
+func (c stillClock) Now() time.Time { return c.t }
+
+// TestStagesPartitionEndToEnd pins the core invariant: stage durations sum
+// to the last reached offset, for served and early-terminated records.
+func TestStagesPartitionEndToEnd(t *testing.T) {
+	enter := time.Unix(1000, 0)
+
+	served := NewSpanRecord(enter)
+	served.DetectStart = 0
+	served.DetectEnd = 5
+	served.Enqueued = 9
+	served.Pickup = 29
+	served.InferStart = 31
+	served.InferEnd = 131
+	served.Outcome = OutcomeServed
+
+	shedAdmit := NewSpanRecord(enter)
+	shedAdmit.DetectStart = 0
+	shedAdmit.DetectEnd = 7
+	shedAdmit.Outcome = OutcomeShedDetect
+
+	shedBatch := NewSpanRecord(enter)
+	shedBatch.Enqueued = 3
+	shedBatch.Pickup = 50
+	shedBatch.Outcome = OutcomeShedDeadlineBatch
+
+	for name, r := range map[string]SpanRecord{
+		"served": served, "shed-admit": shedAdmit, "shed-batch": shedBatch,
+	} {
+		var sum int64
+		for _, d := range r.Stages() {
+			if d < 0 {
+				t.Fatalf("%s: negative stage duration in %v", name, r.Stages())
+			}
+			sum += d
+		}
+		if sum != r.End() {
+			t.Fatalf("%s: stage sum %d != end-to-end %d", name, sum, r.End())
+		}
+	}
+	if got := served.Stages(); got != [5]int64{5, 4, 20, 2, 100} {
+		t.Fatalf("served stages = %v", got)
+	}
+	if served.End() != 131 {
+		t.Fatalf("served end = %d, want 131", served.End())
+	}
+	if !shedAdmit.Anomaly() || served.Anomaly() {
+		t.Fatal("anomaly classification wrong")
+	}
+}
+
+// TestTracerSamplingAndAnomalies pins systematic sampling plus the
+// always-keep-anomalies rule.
+func TestTracerSamplingAndAnomalies(t *testing.T) {
+	clock := stillClock{t: time.Unix(1000, 0)}
+	tr := NewTracer(clock, 16, 2) // every 2nd request
+	sampled := 0
+	for i := 0; i < 10; i++ {
+		id, ok := tr.Begin()
+		if ok {
+			sampled++
+		}
+		r := NewSpanRecord(clock.Now())
+		r.ID = id
+		r.Outcome = OutcomeServed
+		if ok {
+			tr.Emit(r)
+		} else if i == 2 { // unsampled anomaly still emitted
+			r.Outcome = OutcomeShedQueueFull
+			tr.Emit(r)
+		}
+	}
+	if sampled != 5 {
+		t.Fatalf("sampled %d of 10 at every=2, want 5", sampled)
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("ring holds %d, want 6 (5 sampled + 1 anomaly)", tr.Len())
+	}
+	if SampleEvery(1.0) != 1 || SampleEvery(0.25) != 4 || SampleEvery(0) != 0 {
+		t.Fatal("SampleEvery conversion wrong")
+	}
+}
+
+// TestTracerRingOrderAndWrap pins ID-ordered Records across a ring wrap.
+func TestTracerRingOrderAndWrap(t *testing.T) {
+	clock := stillClock{t: time.Unix(1000, 0)}
+	tr := NewTracer(clock, 4, 1)
+	for i := 0; i < 7; i++ {
+		id, _ := tr.Begin()
+		r := NewSpanRecord(clock.Now())
+		r.ID = id
+		r.Outcome = OutcomeServed
+		tr.Emit(r)
+	}
+	recs := tr.Records()
+	if len(recs) != 4 || tr.Total() != 7 {
+		t.Fatalf("len=%d total=%d, want 4 and 7", len(recs), tr.Total())
+	}
+	for i, r := range recs {
+		if r.ID != uint64(4+i) {
+			t.Fatalf("record %d has ID %d, want %d (oldest overwritten, ID order)", i, r.ID, 4+i)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 4 {
+		t.Fatalf("NDJSON has %d lines, want 4", lines)
+	}
+}
+
+// TestRegistryPromExposition pins the text exposition format: grouped
+// headers, sorted labels, escaping.
+func TestRegistryPromExposition(t *testing.T) {
+	g := NewRegistry()
+	g.Register("serve", func() []Metric {
+		return []Metric{
+			Counter("pelta_requests_total", "Requests by route.", 3, map[string]string{"route": "benign"}),
+			Counter("pelta_requests_total", "Requests by route.", 1, map[string]string{"route": `a"dv`}),
+			Gauge("pelta_replicas", "Live replicas.", 2, nil),
+		}
+	})
+	var buf bytes.Buffer
+	if err := g.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "# HELP pelta_requests_total Requests by route.\n" +
+		"# TYPE pelta_requests_total counter\n" +
+		"pelta_requests_total{route=\"a\\\"dv\"} 1\n" +
+		"pelta_requests_total{route=\"benign\"} 3\n" +
+		"# HELP pelta_replicas Live replicas.\n" +
+		"# TYPE pelta_replicas gauge\n" +
+		"pelta_replicas 2\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestKernelStats pins accumulation, snapshot diffing, and metric names.
+func TestKernelStats(t *testing.T) {
+	var k KernelStats
+	before := k.SnapshotNS()
+	k.Add(KernelMatMul, 100)
+	k.Add(KernelMatMul, 50)
+	k.Add(KernelAttention, 7)
+	after := k.SnapshotNS()
+	if d := after[KernelMatMul] - before[KernelMatMul]; d != 150 {
+		t.Fatalf("matmul delta %d, want 150", d)
+	}
+	if k.Calls(KernelMatMul) != 2 || k.NS(KernelAttention) != 7 || k.NS(KernelConv) != 0 {
+		t.Fatal("kernel stats accumulation wrong")
+	}
+	if len(k.Metrics()) != 6 {
+		t.Fatalf("metrics count %d, want 6", len(k.Metrics()))
+	}
+}
+
+// TestRoundSpanRoundTrip pins the NDJSON round-span schema.
+func TestRoundSpanRoundTrip(t *testing.T) {
+	in := []RoundSpan{
+		{Round: 0, Clients: 4, TrainNS: 100, TransportNS: 20, AggregateNS: 9, BroadcastNS: 5},
+		{Round: 1, Clients: 4, TrainNS: 90, TransportNS: 25, AggregateNS: 8, BroadcastNS: 5},
+	}
+	var buf bytes.Buffer
+	if err := WriteRoundSpans(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRoundSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1] != in[1] {
+		t.Fatalf("round-trip mismatch: %+v", out)
+	}
+	if p := in[0].Phases(); p != [4]int64{100, 20, 9, 5} {
+		t.Fatalf("phases = %v", p)
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Metric types understood by the Prometheus text renderer.
+const (
+	TypeCounter = "counter"
+	TypeGauge   = "gauge"
+)
+
+// Metric is one exposition sample: a named value with optional labels.
+type Metric struct {
+	Name   string
+	Help   string
+	Type   string // TypeCounter or TypeGauge
+	Labels map[string]string
+	Value  float64
+}
+
+// Counter builds a counter sample.
+func Counter(name, help string, v float64, labels map[string]string) Metric {
+	return Metric{Name: name, Help: help, Type: TypeCounter, Labels: labels, Value: v}
+}
+
+// Gauge builds a gauge sample.
+func Gauge(name, help string, v float64, labels map[string]string) Metric {
+	return Metric{Name: name, Help: help, Type: TypeGauge, Labels: labels, Value: v}
+}
+
+// Collector produces a subsystem's current samples. Collectors run under
+// the registry's lock at gather time and must take their own snapshots
+// (a collector sees concurrent updates to its subsystem).
+type Collector func() []Metric
+
+// Registry unifies collectors from every subsystem behind one gather
+// point. Collectors register under a name (serve, detect, autoscale, fl,
+// tensor, tee); Gather runs them in registration order so exposition is
+// stable run to run.
+type Registry struct {
+	mu    sync.Mutex
+	names []string
+	colls map[string]Collector
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{colls: make(map[string]Collector)}
+}
+
+// Register installs (or replaces) the collector under name.
+func (g *Registry) Register(name string, c Collector) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.colls[name]; !ok {
+		g.names = append(g.names, name)
+	}
+	g.colls[name] = c
+}
+
+// Gather runs every collector and returns the combined samples, grouped by
+// metric name (registration order decides which name comes first) with
+// each name's samples ordered by their label signature.
+func (g *Registry) Gather() []Metric {
+	g.mu.Lock()
+	var all []Metric
+	for _, n := range g.names {
+		all = append(all, g.colls[n]()...)
+	}
+	g.mu.Unlock()
+
+	// Group by first appearance of each metric name, then sort each
+	// group's samples by label signature for a canonical exposition.
+	order := make(map[string]int, len(all))
+	for _, m := range all {
+		if _, ok := order[m.Name]; !ok {
+			order[m.Name] = len(order)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if order[all[i].Name] != order[all[j].Name] {
+			return order[all[i].Name] < order[all[j].Name]
+		}
+		return labelSignature(all[i].Labels) < labelSignature(all[j].Labels)
+	})
+	return all
+}
+
+// WriteProm renders the gathered samples as Prometheus text exposition
+// format version 0.0.4: one # HELP / # TYPE header per metric name
+// followed by its samples.
+func (g *Registry) WriteProm(w io.Writer) error {
+	var b strings.Builder
+	seen := ""
+	for _, m := range g.Gather() {
+		if m.Name != seen {
+			seen = m.Name
+			if m.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.Name, escapeHelp(m.Help))
+			}
+			typ := m.Type
+			if typ == "" {
+				typ = "untyped"
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, typ)
+		}
+		b.WriteString(m.Name)
+		b.WriteString(labelSignature(m.Labels))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(m.Value, 'g', -1, 64))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// labelSignature renders {k="v",...} with keys sorted, or "" for none.
+func labelSignature(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}

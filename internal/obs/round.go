@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// RoundSpan is one federated round's phase timing record — the flsim
+// -trace NDJSON row. Train time is measured inside the clients; transport
+// is the round-trip remainder (update wall time minus client train time)
+// summed across clients; aggregate covers the aggregation rule plus
+// applying the merged update; broadcast covers snapshotting and encoding
+// the new global weights.
+type RoundSpan struct {
+	Round       int   `json:"round"`
+	Clients     int   `json:"clients"`
+	TrainNS     int64 `json:"train_ns"`
+	TransportNS int64 `json:"transport_ns"`
+	AggregateNS int64 `json:"aggregate_ns"`
+	BroadcastNS int64 `json:"broadcast_ns"`
+}
+
+// RoundPhaseNames orders the round phases; RoundSpan.Phases returns
+// durations in the same order.
+var RoundPhaseNames = [4]string{"train", "transport", "aggregate", "broadcast"}
+
+// Phases returns the phase durations in RoundPhaseNames order.
+func (r *RoundSpan) Phases() [4]int64 {
+	return [4]int64{r.TrainNS, r.TransportNS, r.AggregateNS, r.BroadcastNS}
+}
+
+// WriteRoundSpans streams spans as NDJSON.
+func WriteRoundSpans(w io.Writer, spans []RoundSpan) error {
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRoundSpans parses NDJSON round spans; a first line that does not
+// decode as a RoundSpan reports an error so callers can sniff file kinds.
+func ReadRoundSpans(r io.Reader) ([]RoundSpan, error) {
+	var out []RoundSpan
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var s RoundSpan
+		if err := json.Unmarshal(line, &s); err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock is the minimal timebase the tracer needs. serve.Clock satisfies it,
+// so traces run on the same (possibly fake) timeline as the scheduler.
+type Clock interface {
+	Now() time.Time
+}
+
+// Request outcomes recorded on span records. Everything except
+// OutcomeServed counts as an anomaly and is traced even when unsampled.
+const (
+	OutcomeServed            = "served"
+	OutcomeRejected          = "rejected"
+	OutcomeShedDeadlineAdmit = "shed-deadline-admission"
+	OutcomeShedDetect        = "shed-detect"
+	OutcomeShedAdmitLimit    = "shed-admission-limit"
+	OutcomeShedQueueFull     = "shed-queue-full"
+	OutcomeShedDeadlineBatch = "shed-deadline-batch"
+	OutcomeError             = "error"
+)
+
+// NoOffset marks a chain offset for a stage the request never reached.
+const NoOffset = int64(-1)
+
+// SpanRecord is one request's timeline. Enter is the absolute entry
+// timestamp; every other instant is a nanosecond offset from Enter (or
+// NoOffset when the request terminated earlier). The chain is ordered
+//
+//	Enter ≤ DetectStart ≤ DetectEnd ≤ Enqueued ≤ Pickup ≤ InferStart ≤ InferEnd
+//
+// and the derived stage durations (Stages) partition End() exactly.
+type SpanRecord struct {
+	ID      uint64 `json:"id"`
+	Route   string `json:"route"`
+	Client  string `json:"client,omitempty"`
+	Outcome string `json:"outcome"`
+	Flagged bool   `json:"flagged,omitempty"`
+	Batch   int    `json:"batch,omitempty"`
+
+	EnterUnixNS int64 `json:"enter_unix_ns"`
+	DetectStart int64 `json:"detect_start_ns"`
+	DetectEnd   int64 `json:"detect_end_ns"`
+	Enqueued    int64 `json:"enqueued_ns"`
+	Pickup      int64 `json:"pickup_ns"`
+	InferStart  int64 `json:"infer_start_ns"`
+	InferEnd    int64 `json:"infer_end_ns"`
+
+	// Kernel time attributed to the batch this request rode (hooks in
+	// internal/tensor), not divided per row; zero when hooks are off.
+	MatMulNS int64 `json:"matmul_ns,omitempty"`
+	ConvNS   int64 `json:"conv_ns,omitempty"`
+	AttnNS   int64 `json:"attn_ns,omitempty"`
+}
+
+// NewSpanRecord starts a chain at enter with every offset unreached.
+func NewSpanRecord(enter time.Time) SpanRecord {
+	return SpanRecord{
+		EnterUnixNS: enter.UnixNano(),
+		DetectStart: NoOffset,
+		DetectEnd:   NoOffset,
+		Enqueued:    NoOffset,
+		Pickup:      NoOffset,
+		InferStart:  NoOffset,
+		InferEnd:    NoOffset,
+	}
+}
+
+// Offset converts an absolute instant to this record's chain offset.
+func (r *SpanRecord) Offset(t time.Time) int64 { return t.UnixNano() - r.EnterUnixNS }
+
+// End returns the last reached offset — the request's end-to-end latency
+// in nanoseconds (0 when it terminated during validation).
+func (r *SpanRecord) End() int64 {
+	for _, o := range []int64{r.InferEnd, r.InferStart, r.Pickup, r.Enqueued, r.DetectEnd} {
+		if o != NoOffset {
+			return o
+		}
+	}
+	return 0
+}
+
+// Anomaly reports whether this record must be kept regardless of sampling:
+// anything that was shed, rejected, errored, or flagged.
+func (r *SpanRecord) Anomaly() bool {
+	return r.Flagged || (r.Outcome != "" && r.Outcome != OutcomeServed)
+}
+
+// StageNames orders the five request stages; Stages returns durations in
+// the same order.
+var StageNames = [5]string{"detect", "admission", "queue", "batch", "infer"}
+
+// Stages decomposes the record into per-stage durations (ns) that sum to
+// End() exactly:
+//
+//	detect    — probe-detector lookup (zero without a client identity)
+//	admission — validation, deadline check, token bucket, queue send
+//	queue     — waiting in the admission queue for a worker
+//	batch     — batch assembly: deadline filter and tensor stacking
+//	infer     — the replica's forward pass
+//
+// A stage the request never reached contributes zero, and the stage during
+// which it terminated absorbs the remainder, so the partition property
+// holds for shed and errored requests too.
+func (r *SpanRecord) Stages() [5]int64 {
+	var s [5]int64
+	if r.DetectStart != NoOffset && r.DetectEnd != NoOffset {
+		s[0] = r.DetectEnd - r.DetectStart
+	}
+	end := r.End()
+	switch {
+	case r.Enqueued == NoOffset:
+		s[1] = end - s[0] // terminated during admission
+	default:
+		s[1] = r.Enqueued - s[0]
+	}
+	if r.Enqueued != NoOffset && r.Pickup != NoOffset {
+		s[2] = r.Pickup - r.Enqueued
+	}
+	if r.Pickup != NoOffset {
+		if r.InferStart != NoOffset {
+			s[3] = r.InferStart - r.Pickup
+		} else if r.Outcome == OutcomeShedDeadlineBatch || r.Outcome == OutcomeError {
+			s[3] = end - r.Pickup // terminated during assembly/replica error
+		}
+	}
+	if r.InferStart != NoOffset && r.InferEnd != NoOffset {
+		s[4] = r.InferEnd - r.InferStart
+	}
+	return s
+}
+
+// Tracer records request span timelines into a bounded ring. The zero
+// value is unusable; build one with NewTracer. A nil *Tracer is the
+// disabled state: callers must nil-check before recording, which keeps the
+// untraced hot path allocation-free.
+type Tracer struct {
+	clock Clock
+	every uint64 // sample every Nth Begin; 0 = anomalies only
+
+	ids atomic.Uint64 // span IDs, also the systematic-sampling counter
+
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int
+	full  bool
+	total uint64 // emitted over the tracer's lifetime
+}
+
+// DefaultTraceCap bounds the span ring when the caller passes capacity ≤ 0.
+const DefaultTraceCap = 4096
+
+// NewTracer builds a tracer on clock keeping up to capacity records and
+// sampling every Nth request (every=1 traces all, every=0 traces anomalies
+// only). Anomalies are always kept.
+func NewTracer(clock Clock, capacity int, every uint64) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{clock: clock, every: every, ring: make([]SpanRecord, capacity)}
+}
+
+// SampleEvery converts a sampling fraction (1.0 = every request, 0.5 =
+// every 2nd, 0 = anomalies only) to the tracer's every-Nth stride.
+func SampleEvery(rate float64) uint64 {
+	if rate <= 0 {
+		return 0
+	}
+	if rate >= 1 {
+		return 1
+	}
+	return uint64(1/rate + 0.5)
+}
+
+// Clock returns the tracer's timebase.
+func (t *Tracer) Clock() Clock { return t.clock }
+
+// Begin allocates the next span ID and reports whether this request is in
+// the systematic sample. Callers still Emit unsampled records when they
+// turn out to be anomalies.
+func (t *Tracer) Begin() (id uint64, sampled bool) {
+	id = t.ids.Add(1)
+	return id, t.every > 0 && id%t.every == 0
+}
+
+// Emit copies r into the ring, overwriting the oldest record when full.
+func (t *Tracer) Emit(r SpanRecord) {
+	t.mu.Lock()
+	t.ring[t.next] = r
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Len reports how many records the ring currently holds.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// Total reports how many records were emitted over the tracer's lifetime
+// (≥ Len once the ring wraps).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Records returns the retained records ordered by span ID — submission
+// order, not emission (wall) order, which is what makes trace summaries
+// byte-stable across worker interleavings.
+func (t *Tracer) Records() []SpanRecord {
+	t.mu.Lock()
+	n := t.next
+	if t.full {
+		n = len(t.ring)
+	}
+	out := make([]SpanRecord, n)
+	copy(out, t.ring[:n])
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WriteNDJSON streams the retained records (ID order) as one JSON object
+// per line — the GET /trace wire format.
+func (t *Tracer) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range t.Records() {
+		if err := enc.Encode(&r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

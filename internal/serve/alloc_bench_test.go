@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"pelta/internal/tensor"
+)
+
+// fixedReplica answers every batch from a single preallocated logits buffer
+// so the benchmark isolates the scheduler's own allocations from replica
+// work. It only supports batches up to its capacity.
+type fixedReplica struct {
+	classes int
+	shape   []int
+	out     *tensor.Tensor
+}
+
+func newFixedReplica(maxBatch int) *fixedReplica {
+	r := &fixedReplica{classes: 3, shape: []int{1, 2, 2}}
+	r.out = tensor.New(maxBatch, r.classes)
+	return r
+}
+
+func (r *fixedReplica) Classes() int      { return r.classes }
+func (r *fixedReplica) InputShape() []int { return r.shape }
+
+func (r *fixedReplica) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return r.out.SliceRange(0, x.Dim(0)), nil
+}
+
+// BenchmarkSubmitUntraced pins the Submit hot path's allocation count with
+// tracing left at its default (disabled). TestSubmitUntracedAllocs guards
+// the number so the observability layer cannot quietly tax the fast path.
+func BenchmarkSubmitUntraced(b *testing.B) {
+	benchmarkSubmit(b, Config{MaxBatch: 1, QueueDepth: 16})
+}
+
+// benchmarkSubmit drives sequential submits through a service built from
+// cfg; MaxBatch=1 keeps every batch full so the delay timer never arms.
+func benchmarkSubmit(b *testing.B, cfg Config) {
+	p, err := NewReplicaPool(1, func(int) (Replica, error) { return newFixedReplica(cfg.MaxBatch), nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewService(p, cfg)
+	defer s.Close()
+	x := sample(1)
+	// Warm the worker's batch buffer before measuring.
+	if _, err := s.Submit("bench", x, time.Time{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Submit("bench", x, time.Time{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

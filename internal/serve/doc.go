@@ -47,7 +47,28 @@
 //     X-Pelta-Served/-Shed/-Errors headers and answers 503 when no line
 //     at all was served, so load clients detect total overload without
 //     parsing the body. The X-Pelta-Client header names the probe-detector
-//     client identity (falling back to the remote host).
+//     client identity (falling back to the remote host). NewHandlerWith
+//     adds HandlerOptions — currently Pprof, mounting net/http/pprof
+//     under /debug/pprof/.
+//
+// The tracing and telemetry layer (Config.Trace, off by default — the
+// untraced Submit path allocates nothing for it):
+//
+//   - TraceConfig — per-request span tracing on the service clock: every
+//     sampled request carries an obs.SpanRecord whose offsets bracket the
+//     detect lookup, admission wait, queue residency, batch assembly and
+//     replica inference, with per-kernel attribution (matmul / conv /
+//     attention nanoseconds via the tensor kernel hook) diffed around the
+//     forward. Sample sets the traced fraction; anomalies — shed,
+//     rejected, errored, deadline-missed or detector-flagged requests —
+//     are always traced once tracing is on. Records land in a bounded
+//     ring (Cap, default 4096) drained by Tracer().Records(), streamed as
+//     NDJSON on GET /trace, and summarized by eval.SummarizeTrace.
+//   - Registry — the unified obs.Registry behind GET /metrics?format=prom
+//     (Prometheus text v0) and the JSON exposition: serve counters and
+//     latency quantiles, detector stats, autoscaler events, kernel-stage
+//     totals and per-replica TEE gauges (enclave used/limit bytes, world
+//     switches, shield overhead) from one Gather.
 //
 // The stateful probe detector (Config.Detect, off by default — client-less
 // Submit traffic bypasses it entirely, so static serving behavior is

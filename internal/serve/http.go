@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -81,23 +82,58 @@ func clientID(r *http.Request) string {
 //	                outcomes; a request where no line at all was served
 //	                answers 503 (every line shed or errored) so callers can
 //	                back off without scanning the body.
-//	GET  /metrics — JSON metrics Snapshot.
+//	GET  /metrics — JSON metrics Snapshot; ?format=prom switches to
+//	                Prometheus text exposition from the unified registry
+//	                (serve, detect, autoscaler, kernel, and tee samples).
+//	GET  /trace   — recent span records as NDJSON, ordered by span ID
+//	                (404 when Config.Trace is unset).
 //	GET  /healthz — liveness probe.
 //
 // Deadlines and per-line latencies are computed on the Service clock, so
 // HTTP-level shedding agrees with the batcher's and the whole surface is
 // testable under a fake clock.
-func NewHandler(s *Service) http.Handler {
+func NewHandler(s *Service) http.Handler { return NewHandlerWith(s, HandlerOptions{}) }
+
+// HandlerOptions tunes the optional parts of the HTTP surface.
+type HandlerOptions struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/ — off by default
+	// because the profiling surface leaks operational detail.
+	Pprof bool
+}
+
+// NewHandlerWith is NewHandler with options.
+func NewHandlerWith(s *Service, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = s.Registry().WriteProm(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(s.Metrics().Snapshot())
 	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		tr := s.Tracer()
+		if tr == nil {
+			http.Error(w, "tracing disabled (service built without Config.Trace)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = tr.WriteNDJSON(w)
+	})
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST NDJSON to /query", http.StatusMethodNotAllowed)

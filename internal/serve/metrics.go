@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"pelta/internal/obs"
 )
 
 // P2Quantile is a streaming estimator of one quantile via the P² algorithm
@@ -112,6 +114,13 @@ func (e *P2Quantile) Value() float64 {
 
 // Count returns how many observations the sketch absorbed.
 func (e *P2Quantile) Count() int { return e.count }
+
+// Reset empties the sketch in place, keeping its target quantile, so
+// windowed consumers (the autoscaler's TakeWindow drain) reuse one sketch
+// per window instead of allocating a fresh one per tick.
+func (e *P2Quantile) Reset() {
+	*e = P2Quantile{p: e.p, dwant: e.dwant}
+}
 
 // routeStats accumulates one route's counters and latency sketches.
 type routeStats struct {
@@ -240,8 +249,9 @@ func (m *Metrics) TakeWindow() (p95Ms float64, n int) {
 	defer m.mu.Unlock()
 	if m.winP95 != nil {
 		p95Ms, n = m.winP95.Value(), m.winN
+		m.winP95.Reset() // reuse the sketch across windows
 	}
-	m.winP95, m.winN = nil, 0
+	m.winN = 0
 	return p95Ms, n
 }
 
@@ -383,6 +393,15 @@ type Snapshot struct {
 func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.snapshotLocked()
+}
+
+// snapshotLocked assembles the full view under one already-held lock
+// section. Every exposition path (JSON snapshot, Prometheus collector)
+// goes through here, so uptime, control-plane gauges, and route counters
+// always describe one consistent instant — never fields read across
+// separate lock acquisitions.
+func (m *Metrics) snapshotLocked() Snapshot {
 	s := Snapshot{
 		UptimeSec:    m.clock.Now().Sub(m.start).Seconds(),
 		LiveReplicas: m.liveReplicas,
@@ -421,4 +440,47 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Routes = append(s.Routes, rs)
 	}
 	return s
+}
+
+// Collect renders the metrics core as registry samples for Prometheus
+// exposition. It takes one snapshot under a single lock section, so every
+// emitted sample describes the same instant.
+func (m *Metrics) Collect() []obs.Metric {
+	m.mu.Lock()
+	s := m.snapshotLocked()
+	m.mu.Unlock()
+
+	out := []obs.Metric{
+		obs.Gauge("pelta_uptime_seconds", "Service uptime on its own clock.", s.UptimeSec, nil),
+		obs.Gauge("pelta_live_replicas", "Workers currently live (autoscaler gauge; pool size when static).", float64(s.LiveReplicas), nil),
+		obs.Counter("pelta_scale_ups_total", "Autoscaler scale-up actions.", float64(s.ScaleUps), nil),
+		obs.Counter("pelta_scale_downs_total", "Autoscaler scale-down actions.", float64(s.ScaleDowns), nil),
+		obs.Counter("pelta_flag_events_total", "Probe-detector unflagged-to-flagged client transitions.", float64(s.FlagEvents), nil),
+	}
+	for _, r := range s.Routes {
+		l := map[string]string{"route": r.Route}
+		out = append(out,
+			obs.Counter("pelta_requests_offered_total", "Submit attempts per route, before any admission decision.", float64(r.Offered), l),
+			obs.Counter("pelta_requests_total", "Resolved requests per route (served + shed + rejected + errors).", float64(r.Requests), l),
+			obs.Counter("pelta_served_total", "Successfully answered requests per route.", float64(r.Served), l),
+			obs.Counter("pelta_shed_total", "Requests shed by admission control or deadline per route.", float64(r.Shed), l),
+			obs.Counter("pelta_rejected_total", "Malformed requests refused before admission per route.", float64(r.Rejected), l),
+			obs.Counter("pelta_errors_total", "Requests failed in the inference path per route.", float64(r.Errors), l),
+			obs.Counter("pelta_probed_total", "Queries consulted against the probe detector per route.", float64(r.Probed), l),
+			obs.Counter("pelta_probe_hits_total", "Probe-detector near-duplicate hits per route.", float64(r.ProbeHits), l),
+			obs.Counter("pelta_flagged_queries_total", "Queries observed while the client's flag was active, per route.", float64(r.FlaggedQueries), l),
+			obs.Counter("pelta_detect_shed_total", "Flagged queries shed by the probe detector per route (subset of shed).", float64(r.DetectShed), l),
+			obs.Gauge("pelta_batch_mean", "Mean tensor-batch size a served request rode in, per route.", r.MeanBatch, l),
+			obs.Gauge("pelta_latency_mean_ms", "Mean end-to-end latency per route in milliseconds.", r.MeanMs, l),
+			obs.Gauge("pelta_latency_max_ms", "Maximum end-to-end latency per route in milliseconds.", r.MaxMs, l),
+		)
+		for _, q := range [...]struct {
+			tag string
+			v   float64
+		}{{"0.5", r.P50Ms}, {"0.95", r.P95Ms}, {"0.99", r.P99Ms}} {
+			out = append(out, obs.Gauge("pelta_latency_ms", "Streaming latency quantiles per route in milliseconds.", q.v,
+				map[string]string{"route": r.Route, "quantile": q.tag}))
+		}
+	}
+	return out
 }

@@ -205,3 +205,51 @@ func TestMetricsCountersAndSnapshot(t *testing.T) {
 		t.Fatalf("p50 %v outside observed range", query.P50Ms)
 	}
 }
+
+// TestP2QuantileReset pins the sketch-reuse contract: after Reset the
+// sketch behaves exactly like a freshly built one, so windowed consumers
+// (TakeWindow) can drain it per tick without allocating a new sketch.
+func TestP2QuantileReset(t *testing.T) {
+	reused := serve.NewP2Quantile(0.95)
+	for i := 0; i < 1000; i++ {
+		reused.Add(float64(i))
+	}
+	reused.Reset()
+	if got := reused.Value(); got != 0 {
+		t.Fatalf("Value after Reset = %v, want 0", got)
+	}
+
+	fresh := serve.NewP2Quantile(0.95)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := math.Exp(rng.NormFloat64()) * 3
+		reused.Add(v)
+		fresh.Add(v)
+	}
+	if got, want := reused.Value(), fresh.Value(); got != want {
+		t.Fatalf("reset sketch diverged: %v vs fresh %v", got, want)
+	}
+}
+
+// TestTakeWindowReusesSketch pins the windowed-drain behavior end to end:
+// each TakeWindow reports only the samples since the previous call, and an
+// empty window reads zero.
+func TestTakeWindowReusesSketch(t *testing.T) {
+	m := serve.NewMetrics()
+	m.EnableWindow()
+	for i := 0; i < 100; i++ {
+		m.Served("r", 10*time.Millisecond, 1)
+	}
+	if p95, n := m.TakeWindow(); n != 100 || math.Abs(p95-10) > 0.5 {
+		t.Fatalf("window 1: p95=%v n=%d, want ~10ms over 100", p95, n)
+	}
+	if p95, n := m.TakeWindow(); n != 0 || p95 != 0 {
+		t.Fatalf("empty window: p95=%v n=%d, want 0, 0", p95, n)
+	}
+	for i := 0; i < 50; i++ {
+		m.Served("r", 50*time.Millisecond, 1)
+	}
+	if p95, n := m.TakeWindow(); n != 50 || math.Abs(p95-50) > 2 {
+		t.Fatalf("window 3: p95=%v n=%d, want ~50ms over 50 (stale samples leaked?)", p95, n)
+	}
+}

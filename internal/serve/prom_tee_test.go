@@ -1,0 +1,40 @@
+package serve_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pelta/internal/serve"
+	"pelta/internal/tensor"
+)
+
+// TestPromExpositionTee pins the per-replica enclave gauges of a shielded
+// pool in the Prometheus exposition — the stub pools used by the internal
+// tests carry no enclaves, so the tee collector's real branch is covered
+// here against the ViT fixture.
+func TestPromExpositionTee(t *testing.T) {
+	s := testService(t, 2, serve.Config{MaxBatch: 1})
+	x := tensor.New(3, 8, 8)
+	x.Fill(0.25)
+	if _, err := s.Submit("query", x, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+
+	rw := httptest.NewRecorder()
+	serve.NewHandler(s).ServeHTTP(rw, httptest.NewRequest("GET", "/metrics?format=prom", nil))
+	body := rw.Body.String()
+	for _, want := range []string{
+		"# TYPE pelta_enclave_used_bytes gauge",
+		`pelta_enclave_used_bytes{replica="0"}`,
+		`pelta_enclave_used_bytes{replica="1"}`,
+		"pelta_enclave_limit_bytes",
+		"pelta_enclave_world_switches_total",
+		"pelta_enclave_overhead_ns_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("tee exposition missing %q in:\n%s", want, body)
+		}
+	}
+}

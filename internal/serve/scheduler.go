@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pelta/internal/detect"
+	"pelta/internal/obs"
 	"pelta/internal/tensor"
 )
 
@@ -48,6 +49,11 @@ type Config struct {
 	// clock, and flagged clients are handled per Detect.Action. Nil — the
 	// default — keeps the detector entirely out of the request path.
 	Detect *DetectConfig
+	// Trace, when non-nil, enables per-request span tracing on the
+	// service clock plus the kernel-boundary hooks in internal/tensor.
+	// Nil — the default — keeps tracing entirely off the Submit hot path
+	// (no extra clock reads, no allocations).
+	Trace *TraceConfig
 }
 
 // withDefaults fills unset knobs.
@@ -91,6 +97,14 @@ type request struct {
 	enqueued time.Time
 	flagged  bool // probe detector verdict at admission
 	done     chan response
+
+	// sp is the request's span timeline, populated only when the service
+	// traces (inline by value, so tracing adds no allocation either). The
+	// submitter finishes writing sp before the queue send; the worker owns
+	// it afterwards. traced marks requests in the systematic sample —
+	// anomalies are emitted regardless.
+	sp     obs.SpanRecord
+	traced bool
 }
 
 type response struct {
@@ -109,6 +123,11 @@ type Service struct {
 	admit   *admitter        // nil = admission control disabled
 	det     *detect.Detector // nil = probe detection disabled
 	scaler  *autoscaler      // nil = static provisioning
+
+	tracer    *obs.Tracer      // nil = tracing disabled
+	kernels   *obs.KernelStats // nil = kernel hooks disarmed
+	registry  *obs.Registry
+	hookOwner bool // this service installed the tensor kernel hook
 
 	queue     chan *request
 	dispatch  chan []*request
@@ -153,6 +172,7 @@ func NewService(pool *ReplicaPool, cfg Config) *Service {
 	if cfg.Detect != nil {
 		s.det = detect.New(cfg.Detect.Config)
 	}
+	s.initObservability()
 	s.queue = make(chan *request, s.cfg.QueueDepth)
 	s.wg.Add(1)
 	go s.batcher()
@@ -274,6 +294,9 @@ func (s *Service) Close() {
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.hookOwner {
+		tensor.SetKernelHook(nil)
+	}
 }
 
 // Submit enqueues one sample x (shape [C,H,W], or [1,C,H,W]) and blocks
@@ -299,6 +322,17 @@ func (s *Service) SubmitFrom(route, client string, x *tensor.Tensor, deadline ti
 		// resolving counter would read as an in-flight request forever.
 		return nil, ErrClosed
 	}
+	// Span timestamps are taken only when tracing is armed; the untraced
+	// path performs no extra clock reads and no allocations (sp lives on
+	// the stack here and inline in the request struct).
+	tr := s.tracer
+	var sp obs.SpanRecord
+	var sampled bool
+	if tr != nil {
+		sp = obs.NewSpanRecord(s.cfg.Clock.Now())
+		sp.ID, sampled = tr.Begin()
+		sp.Route, sp.Client = route, client
+	}
 	s.metrics.Offered(route)
 	want := s.pool.InputShape()
 	if x.Rank() == len(want)+1 && x.Dim(0) == 1 {
@@ -307,12 +341,20 @@ func (s *Service) SubmitFrom(route, client string, x *tensor.Tensor, deadline ti
 	if x.Rank() != len(want) {
 		s.mu.RUnlock()
 		s.metrics.Rejected(route)
+		if tr != nil {
+			sp.Outcome = obs.OutcomeRejected
+			tr.Emit(sp)
+		}
 		return nil, fmt.Errorf("serve: sample rank %d, want shape %v", x.Rank(), want)
 	}
 	for i, d := range want {
 		if x.Dim(i) != d {
 			s.mu.RUnlock()
 			s.metrics.Rejected(route)
+			if tr != nil {
+				sp.Outcome = obs.OutcomeRejected
+				tr.Emit(sp)
+			}
 			return nil, fmt.Errorf("serve: sample shape %v, want %v", x.Shape(), want)
 		}
 	}
@@ -321,12 +363,23 @@ func (s *Service) SubmitFrom(route, client string, x *tensor.Tensor, deadline ti
 	if !deadline.IsZero() && now.After(deadline) {
 		s.mu.RUnlock()
 		s.metrics.Shed(route)
+		if tr != nil {
+			sp.Outcome = obs.OutcomeShedDeadlineAdmit
+			tr.Emit(sp)
+		}
 		return nil, fmt.Errorf("serve: deadline passed at admission: %w", ErrOverloaded)
 	}
 	admitRoute := route
 	var flagged bool
 	if s.det != nil && client != "" {
+		if tr != nil {
+			sp.DetectStart = sp.Offset(s.cfg.Clock.Now())
+		}
 		dec := s.det.Observe(client, x, now)
+		if tr != nil {
+			sp.DetectEnd = sp.Offset(s.cfg.Clock.Now())
+			sp.Flagged = dec.Flagged
+		}
 		s.metrics.Probe(route, dec.Hit, dec.Flagged, dec.NewFlag)
 		if dec.Flagged {
 			flagged = true
@@ -334,6 +387,10 @@ func (s *Service) SubmitFrom(route, client string, x *tensor.Tensor, deadline ti
 			case DetectShed:
 				s.mu.RUnlock()
 				s.metrics.DetectShed(route)
+				if tr != nil {
+					sp.Outcome = obs.OutcomeShedDetect
+					tr.Emit(sp)
+				}
 				return nil, fmt.Errorf("serve: probe detector shed client %q: %w (%w)", client, ErrFlagged, ErrOverloaded)
 			case DetectDeprioritize:
 				// Charge the flagged bucket instead of the client's route;
@@ -345,15 +402,33 @@ func (s *Service) SubmitFrom(route, client string, x *tensor.Tensor, deadline ti
 	if s.admit != nil && !s.admit.allow(admitRoute, now) {
 		s.mu.RUnlock()
 		s.metrics.Shed(route)
+		if tr != nil {
+			sp.Outcome = obs.OutcomeShedAdmitLimit
+			tr.Emit(sp)
+		}
 		return nil, fmt.Errorf("serve: admission limit for route %q (weighted token bucket): %w", admitRoute, ErrOverloaded)
 	}
 	r := &request{x: x, route: route, deadline: deadline, enqueued: now, flagged: flagged, done: make(chan response, 1)}
+	if tr != nil {
+		// The enqueue instant closes the admission stage; after the queue
+		// send the worker owns r.sp, so it is finalized here.
+		sp.Enqueued = sp.Offset(s.cfg.Clock.Now())
+		r.sp = sp
+		r.traced = sampled
+	}
 	select {
 	case s.queue <- r:
 		s.mu.RUnlock()
 	default:
 		s.mu.RUnlock()
 		s.metrics.Shed(route)
+		if tr != nil {
+			// The request never made it into the queue: report the local
+			// copy with the enqueue instant rolled back.
+			sp.Enqueued = obs.NoOffset
+			sp.Outcome = obs.OutcomeShedQueueFull
+			tr.Emit(sp)
+		}
 		return nil, fmt.Errorf("serve: admission queue full (depth %d): %w", s.cfg.QueueDepth, ErrOverloaded)
 	}
 
@@ -443,10 +518,18 @@ func (s *Service) worker(rep Replica, h *workerHandle) {
 			batch = b
 		}
 		now := s.cfg.Clock.Now()
+		tr := s.tracer
 		live := batch[:0]
 		for _, r := range batch {
+			if tr != nil {
+				r.sp.Pickup = r.sp.Offset(now)
+			}
 			if !r.deadline.IsZero() && now.After(r.deadline) {
 				s.metrics.Shed(r.route)
+				if tr != nil {
+					r.sp.Outcome = obs.OutcomeShedDeadlineBatch
+					tr.Emit(r.sp)
+				}
 				r.done <- response{err: fmt.Errorf("serve: deadline exceeded before service: %w", ErrOverloaded)}
 				continue
 			}
@@ -464,11 +547,44 @@ func (s *Service) worker(rep Replica, h *workerHandle) {
 		for i, r := range live {
 			view.Slice(i).CopyFrom(r.x)
 		}
+		// Batch assembly ends and inference starts here; the kernel-total
+		// delta around the replica call attributes matmul/conv/attention
+		// time to this batch (approximate under concurrent workers).
+		var inferStart time.Time
+		var kBefore [3]int64
+		if tr != nil {
+			inferStart = s.cfg.Clock.Now()
+			if s.kernels != nil {
+				kBefore = s.kernels.SnapshotNS()
+			}
+		}
 		logits, err := rep.Logits(view)
 		done := s.cfg.Clock.Now()
+		var kDelta [3]int64
+		if tr != nil && s.kernels != nil {
+			kAfter := s.kernels.SnapshotNS()
+			for i := range kDelta {
+				kDelta[i] = kAfter[i] - kBefore[i]
+			}
+		}
+		finishSpan := func(r *request, outcome string) {
+			r.sp.InferStart = r.sp.Offset(inferStart)
+			r.sp.InferEnd = r.sp.Offset(done)
+			r.sp.Batch = len(live)
+			r.sp.MatMulNS = kDelta[obs.KernelMatMul]
+			r.sp.ConvNS = kDelta[obs.KernelConv]
+			r.sp.AttnNS = kDelta[obs.KernelAttention]
+			r.sp.Outcome = outcome
+			if r.traced || r.sp.Anomaly() {
+				tr.Emit(r.sp)
+			}
+		}
 		if err != nil {
 			for _, r := range live {
 				s.metrics.Error(r.route)
+				if tr != nil {
+					finishSpan(r, obs.OutcomeError)
+				}
 				r.done <- response{err: fmt.Errorf("serve: replica failed: %w", err)}
 			}
 			continue
@@ -476,6 +592,9 @@ func (s *Service) worker(rep Replica, h *workerHandle) {
 		for i, r := range live {
 			row := logits.Row(i).Clone()
 			s.metrics.Served(r.route, done.Sub(r.enqueued), len(live))
+			if tr != nil {
+				finishSpan(r, obs.OutcomeServed)
+			}
 			r.done <- response{res: &Result{
 				Logits:    row,
 				Class:     tensor.Argmax(row),

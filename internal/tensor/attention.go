@@ -42,6 +42,7 @@ func checkFusedAttention(op string, dst, q, k, v *Tensor) (G, T, dh int) {
 // non-nil.
 func FusedAttentionInto(p *Pool, dst, q, k, v *Tensor, scale float32) {
 	G, T, dh := checkFusedAttention("FusedAttentionInto", dst, q, k, v)
+	hk, t0 := kernelStart()
 	parallelFor(G, 2*G*T*T*dh, func(g0, g1 int) {
 		srow := scratch(p, attnRowBlock, T)
 		for g := g0; g < g1; g++ {
@@ -64,6 +65,7 @@ func FusedAttentionInto(p *Pool, dst, q, k, v *Tensor, scale float32) {
 		}
 		unscratch(p, srow)
 	})
+	kernelEnd(hk, t0, KernelAttention)
 }
 
 // FusedAttentionBackwardInto computes the gradients of FusedAttentionInto
@@ -77,6 +79,7 @@ func FusedAttentionBackwardInto(p *Pool, gq, gk, gv, q, k, v, gy *Tensor, scale 
 		panic(fmt.Sprintf("tensor: FusedAttentionBackwardInto gradient shapes %v/%v/%v incompatible with %v",
 			gq.shape, gk.shape, gv.shape, q.shape))
 	}
+	hk, t0 := kernelStart()
 	parallelFor(G, 5*G*T*T*dh, func(g0, g1 int) {
 		pblk := scratch(p, attnRowBlock, T)
 		gblk := scratch(p, attnRowBlock, T)
@@ -127,4 +130,5 @@ func FusedAttentionBackwardInto(p *Pool, gq, gk, gv, q, k, v, gy *Tensor, scale 
 		}
 		unscratch(p, pblk, gblk)
 	})
+	kernelEnd(hk, t0, KernelAttention)
 }

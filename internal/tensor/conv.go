@@ -226,6 +226,7 @@ func Conv2dInto(p *Pool, dst, x, weight, bias *Tensor, stride, pad int) {
 	if bias != nil {
 		biasData = bias.data
 	}
+	hk, t0 := kernelStart()
 	// Samples are independent: shard the batch over the worker pool, with
 	// im2col/product scratch borrowed per shard (Pool is concurrency-safe).
 	parallelFor(b, b*oh*ow*oc*c*kh*kw, func(i0, i1 int) {
@@ -233,11 +234,12 @@ func Conv2dInto(p *Pool, dst, x, weight, bias *Tensor, stride, pad int) {
 		prod := scratch(p, oh*ow, oc)
 		for i := i0; i < i1; i++ {
 			im2colRaw(cols.data, x.data[i*c*h*w:(i+1)*c*h*w], c, h, w, kh, kw, stride, pad)
-			MatMulTransBInto(prod, cols, wmat) // [oh*ow, oc]
+			matMulTransBRaw(prod.data, cols.data, wmat.data, oh*ow, c*kh*kw, oc) // [oh*ow, oc]
 			transposeScatterBias(dst.data[i*oc*oh*ow:(i+1)*oc*oh*ow], prod.data, biasData, oc, oh*ow)
 		}
 		unscratch(p, cols, prod)
 	})
+	kernelEnd(hk, t0, KernelConv)
 }
 
 // transposeScatterBias transposes prod [np, oc] into dst [oc, np] in square
@@ -300,6 +302,7 @@ func Conv2dBackwardInto(p *Pool, gx, gw, gb, x, weight, gy *Tensor, stride, pad 
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
 	ckk := c * kh * kw
 	wmat := weight.Reshape(oc, ckk)
+	hk, t0 := kernelStart()
 
 	// gx is per-sample disjoint and parallelizes directly. The gw/gb
 	// reductions cross samples, so the parallel phase only writes per-sample
@@ -342,10 +345,10 @@ func Conv2dBackwardInto(p *Pool, gx, gw, gb, x, weight, gy *Tensor, stride, pad 
 				for j := range gwRow {
 					gwRow[j] = 0
 				}
-				MatMulTransAAddRaw(gwRow, gyMat.data, cols.data, oc, oh*ow, ckk)
+				transAOuter(gwRow, gyMat.data, cols.data, oc, oh*ow, ckk)
 			}
 			// gcols = gyMat @ wmat, then scatter back
-			MatMulRaw(gcols.data, gyMat.data, wmat.data, oh*ow, oc, ckk)
+			matMulInto(gcols.data, gyMat.data, wmat.data, oh*ow, oc, ckk)
 			col2imRaw(gx.data[i*c*h*w:(i+1)*c*h*w], gcols.data, c, h, w, kh, kw, stride, pad)
 		}
 		unscratch(p, gyMat, gcols)
@@ -369,6 +372,7 @@ func Conv2dBackwardInto(p *Pool, gx, gw, gb, x, weight, gy *Tensor, stride, pad 
 		}
 		unscratch(p, gbPart)
 	}
+	kernelEnd(hk, t0, KernelConv)
 }
 
 // ConvTranspose2d applies a transposed convolution (fractionally-strided
@@ -415,13 +419,14 @@ func ConvTranspose2dInto(p *Pool, dst, x, weight *Tensor, stride, pad int) {
 	}
 	okk := oc * kh * kw
 	wmat := weight.Reshape(c, okk)
+	hk, t0 := kernelStart()
 	parallelFor(b, b*h*w*c*okk, func(i0, i1 int) {
 		xT := scratch(p, h*w, c)
 		gcols := scratch(p, h*w, okk)
 		for i := i0; i < i1; i++ {
 			// x sample [c, h*w] -> xT [h*w, c]
 			transposeScatterBias(xT.data, x.data[i*c*h*w:(i+1)*c*h*w], nil, h*w, c)
-			MatMulRaw(gcols.data, xT.data, wmat.data, h*w, c, okk)
+			matMulInto(gcols.data, xT.data, wmat.data, h*w, c, okk)
 			// The (h,w) grid is exactly the conv-output grid of the adjoint
 			// ((oh+2*pad-kh)/stride+1 == h), so Col2Im scatters gcols onto
 			// the upsampled [oc,oh,ow] sample.
@@ -429,6 +434,7 @@ func ConvTranspose2dInto(p *Pool, dst, x, weight *Tensor, stride, pad int) {
 		}
 		unscratch(p, xT, gcols)
 	})
+	kernelEnd(hk, t0, KernelConv)
 }
 
 // MaxPool2d applies max pooling with square window k and stride s over a

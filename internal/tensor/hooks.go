@@ -1,0 +1,57 @@
+package tensor
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// KernelOp classifies the kernel families reported by the boundary hook.
+// The values mirror internal/obs's kernel indices.
+type KernelOp int32
+
+// Kernel families.
+const (
+	KernelMatMul KernelOp = iota
+	KernelConv
+	KernelAttention
+)
+
+// KernelHook observes kernel-boundary timing: Now supplies the timebase
+// (so observers run on an injected clock) and Observe receives one
+// completed kernel invocation. Observe may be called concurrently from
+// worker goroutines and must not call back into tensor ops.
+type KernelHook struct {
+	Now     func() time.Time
+	Observe func(op KernelOp, d time.Duration)
+}
+
+// kernelHook is the process-global boundary observer; nil (the default)
+// keeps every kernel entry at a single atomic load of overhead.
+var kernelHook atomic.Pointer[KernelHook]
+
+// SetKernelHook installs h as the kernel-boundary observer (nil removes
+// it). A hook with a missing Now or Observe func is rejected by panic —
+// half-installed hooks would crash inside the kernels instead.
+func SetKernelHook(h *KernelHook) {
+	if h != nil && (h.Now == nil || h.Observe == nil) {
+		panic("tensor: SetKernelHook requires both Now and Observe")
+	}
+	kernelHook.Store(h)
+}
+
+// kernelStart loads the hook and samples the start instant. A nil hook
+// costs one atomic load and no clock read.
+func kernelStart() (*KernelHook, time.Time) {
+	h := kernelHook.Load()
+	if h == nil {
+		return nil, time.Time{}
+	}
+	return h, h.Now()
+}
+
+// kernelEnd reports the completed invocation to the hook, if any.
+func kernelEnd(h *KernelHook, t0 time.Time, op KernelOp) {
+	if h != nil {
+		h.Observe(op, h.Now().Sub(t0))
+	}
+}

@@ -18,7 +18,9 @@ func MatMul(a, b *Tensor) *Tensor {
 func MatMulInto(dst, a, b *Tensor) {
 	m, k, n := checkMatMul(a, b, false, false)
 	checkMatMulDst("MatMulInto", dst, m, n)
+	h, t0 := kernelStart()
 	matMulInto(dst.data, a.data, b.data, m, k, n)
+	kernelEnd(h, t0, KernelMatMul)
 }
 
 // MatMulTransB returns a@bᵀ for a [m,k] and b [n,k] -> [m,n]. Used by
@@ -113,16 +115,20 @@ func MatMulTransAInto(dst, a, b *Tensor) { matMulTransAInto(dst, a, b, true) }
 func MatMulTransAAddInto(dst, a, b *Tensor) {
 	m, k, n := checkMatMul(a, b, true, false)
 	checkMatMulDst("MatMulTransAAddInto", dst, m, n)
+	h, t0 := kernelStart()
 	transAOuter(dst.data, a.data, b.data, m, k, n)
+	kernelEnd(h, t0, KernelMatMul)
 }
 
 func matMulTransAInto(dst, a, b *Tensor, zero bool) {
 	m, k, n := checkMatMul(a, b, true, false)
 	checkMatMulDst("MatMulTransAInto", dst, m, n)
+	h, t0 := kernelStart()
 	if zero {
 		dst.Zero()
 	}
 	transAOuter(dst.data, a.data, b.data, m, k, n)
+	kernelEnd(h, t0, KernelMatMul)
 }
 
 // transAOuter accumulates k outer products into out; parallelized over
@@ -200,30 +206,34 @@ func checkBMM(op string, dst, a, b *Tensor, transA, transB bool) (G, m, k, n int
 // walks raw offsets, so the hot attention loops allocate nothing.
 func BMMInto(dst, a, b *Tensor) {
 	G, m, k, n := checkBMM("BMMInto", dst, a, b, false, false)
+	h, t0 := kernelStart()
 	if G == 1 {
 		matMulInto(dst.data, a.data, b.data, m, k, n)
-		return
+	} else {
+		parallelFor(G, G*m*k*n, func(g0, g1 int) {
+			for i := g0; i < g1; i++ {
+				matMulRowsBlocked(dst.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*k*n:(i+1)*k*n], 0, m, k, n)
+			}
+		})
 	}
-	parallelFor(G, G*m*k*n, func(g0, g1 int) {
-		for i := g0; i < g1; i++ {
-			matMulRowsBlocked(dst.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*k*n:(i+1)*k*n], 0, m, k, n)
-		}
-	})
+	kernelEnd(h, t0, KernelMatMul)
 }
 
 // BMMTransBInto stores a[G,m,k] @ bᵀ[G,n,k] into dst [G,m,n], sharding
 // slices over the worker pool.
 func BMMTransBInto(dst, a, b *Tensor) {
 	G, m, k, n := checkBMM("BMMTransBInto", dst, a, b, false, true)
+	h, t0 := kernelStart()
 	if G == 1 {
-		MatMulTransBRaw(dst.data, a.data, b.data, m, k, n)
-		return
+		matMulTransBRaw(dst.data, a.data, b.data, m, k, n)
+	} else {
+		parallelFor(G, G*m*k*n, func(g0, g1 int) {
+			for i := g0; i < g1; i++ {
+				dotRows(dst.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*n*k:(i+1)*n*k], m, k, n)
+			}
+		})
 	}
-	parallelFor(G, G*m*k*n, func(g0, g1 int) {
-		for i := g0; i < g1; i++ {
-			dotRows(dst.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*n*k:(i+1)*n*k], m, k, n)
-		}
-	})
+	kernelEnd(h, t0, KernelMatMul)
 }
 
 // BMMTransAAddInto accumulates aᵀ[G,k,m] @ gy[G,k,n] into dst [G,m,n]
@@ -231,15 +241,17 @@ func BMMTransBInto(dst, a, b *Tensor) {
 // sharding slices over the worker pool.
 func BMMTransAAddInto(dst, a, b *Tensor) {
 	G, m, k, n := checkBMM("BMMTransAAddInto", dst, a, b, true, false)
+	h, t0 := kernelStart()
 	if G == 1 {
 		transAOuter(dst.data, a.data, b.data, m, k, n)
-		return
+	} else {
+		parallelFor(G, G*m*k*n, func(g0, g1 int) {
+			for i := g0; i < g1; i++ {
+				transARows(dst.data[i*m*n:(i+1)*m*n], a.data[i*k*m:(i+1)*k*m], b.data[i*k*n:(i+1)*k*n], 0, m, m, k, n)
+			}
+		})
 	}
-	parallelFor(G, G*m*k*n, func(g0, g1 int) {
-		for i := g0; i < g1; i++ {
-			transARows(dst.data[i*m*n:(i+1)*m*n], a.data[i*k*m:(i+1)*k*m], b.data[i*k*n:(i+1)*k*n], 0, m, m, k, n)
-		}
-	})
+	kernelEnd(h, t0, KernelMatMul)
 }
 
 func checkMatMul(a, b *Tensor, transA, transB bool) (m, k, n int) {
@@ -406,11 +418,23 @@ func saxpy2(or, b1, b2 []float32, a1, a2 float32) {
 // MatMulRaw computes out = a@b on raw row-major buffers: a [m,k], b [k,n],
 // out [m,n] (overwritten). The raw kernels let graph ops on higher-rank
 // tensors skip the 2-D view tensors entirely.
-func MatMulRaw(out, a, b []float32, m, k, n int) { matMulInto(out, a, b, m, k, n) }
+func MatMulRaw(out, a, b []float32, m, k, n int) {
+	h, t0 := kernelStart()
+	matMulInto(out, a, b, m, k, n)
+	kernelEnd(h, t0, KernelMatMul)
+}
 
 // MatMulTransBRaw computes out = a@bᵀ on raw buffers: a [m,k], b [n,k],
 // out [m,n] (overwritten).
 func MatMulTransBRaw(out, a, b []float32, m, k, n int) {
+	h, t0 := kernelStart()
+	matMulTransBRaw(out, a, b, m, k, n)
+	kernelEnd(h, t0, KernelMatMul)
+}
+
+// matMulTransBRaw is the unhooked a@bᵀ kernel, shared with the conv and
+// batched paths so nested uses are not double-counted by the hook.
+func matMulTransBRaw(out, a, b []float32, m, k, n int) {
 	if !shouldParallel(m, m*k*n) {
 		dotRows(out, a, b, m, k, n)
 		return
@@ -423,5 +447,7 @@ func MatMulTransBRaw(out, a, b []float32, m, k, n int) {
 // MatMulTransAAddRaw accumulates out += aᵀ@b on raw buffers: a [k,m],
 // b [k,n], out [m,n] (must hold the accumulation base, typically zeros).
 func MatMulTransAAddRaw(out, a, b []float32, m, k, n int) {
+	h, t0 := kernelStart()
 	transAOuter(out, a, b, m, k, n)
+	kernelEnd(h, t0, KernelMatMul)
 }
