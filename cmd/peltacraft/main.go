@@ -47,14 +47,16 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "loaded checkpoint %s\n", *ckpt)
 		} else {
 			fmt.Fprintf(os.Stderr, "training fresh model (%v)\n", err)
-			models.Train(m, train.X, train.Y, models.TrainConfig{Epochs: 6, BatchSize: 32, LR: 2e-3, Seed: *seed})
+			if _, err := models.Train(m, train.X, train.Y, models.TrainConfig{Epochs: 6, BatchSize: 32, LR: 2e-3, Seed: *seed}); err != nil {
+				return err
+			}
 			if err := fl.SaveModel(*ckpt, m); err != nil {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "saved checkpoint %s\n", *ckpt)
 		}
-	} else {
-		models.Train(m, train.X, train.Y, models.TrainConfig{Epochs: 6, BatchSize: 32, LR: 2e-3, Seed: *seed})
+	} else if _, err := models.Train(m, train.X, train.Y, models.TrainConfig{Epochs: 6, BatchSize: 32, LR: 2e-3, Seed: *seed}); err != nil {
+		return err
 	}
 	fmt.Printf("clean accuracy: %.1f%%\n", 100*models.Accuracy(m, val.X, val.Y))
 

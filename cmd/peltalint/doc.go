@@ -1,0 +1,27 @@
+// Command peltalint enforces the repo's determinism, clock and pool
+// invariants at compile time. It type-checks the named packages (default
+// ./...) with the standard library's go/parser + go/types — no external
+// analysis framework — and reports violations of six repo-specific rules:
+//
+//	noclock      wall-clock reads (time.Now/Since/Sleep/...) in the
+//	             clock-scoped packages (serve, detect, obs, fl, tee)
+//	seededrand   top-level math/rand functions anywhere under internal/
+//	maporder     map iteration feeding ordered output without a sort
+//	intoerr      discarded error results from *Into/*Raw kernel calls
+//	poolsafety   pool buffers acquired but never released, and Put calls
+//	             that would recycle shielded enclave memory
+//	parallelsum  captured-float += inside parallelFor closures
+//
+// A legitimate violation is silenced in place with a reasoned directive on
+// or directly above the offending line:
+//
+//	//pelta:allow noclock realClock is the production Clock implementation
+//
+// A directive without a reason (or naming an unknown rule) is itself a
+// diagnostic, so every opt-out stays explicit and auditable.
+//
+// Exit status: 0 clean, 1 diagnostics found, 2 load failure. The -json
+// flag emits the report as a JSON array for CI artifacts; -rules runs a
+// subset. The CI workflow runs peltalint after go vet and fails on any
+// diagnostic.
+package main

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pelta/internal/lint"
+)
+
+// jsonDiag is the machine-readable report row (-json mode).
+type jsonDiag struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the report as a JSON array on stdout (for CI artifacts)")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all of "+strings.Join(lint.RuleNames, ",")+")")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: peltalint [-json] [-rules r1,r2] [packages]\n\n"+
+			"Checks the repo's determinism, clock and pool invariants.\n"+
+			"Exit status: 0 clean, 1 diagnostics found, 2 load failure.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cfg := &lint.Config{}
+	if *rules != "" {
+		cfg.Rules = map[string]bool{}
+		known := map[string]bool{}
+		for _, r := range lint.RuleNames {
+			known[r] = true
+		}
+		for _, r := range strings.Split(*rules, ",") {
+			r = strings.TrimSpace(r)
+			if !known[r] {
+				fmt.Fprintf(os.Stderr, "peltalint: unknown rule %q (known: %s)\n", r, strings.Join(lint.RuleNames, ", "))
+				os.Exit(2)
+			}
+			cfg.Rules[r] = true
+		}
+	}
+
+	pkgs, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "peltalint:", err)
+		os.Exit(2)
+	}
+	var all []lint.Diagnostic
+	for _, pkg := range pkgs {
+		all = append(all, lint.Check(pkg, cfg)...)
+	}
+
+	if *jsonOut {
+		rows := make([]jsonDiag, 0, len(all))
+		for _, d := range all {
+			rows = append(rows, jsonDiag{Rule: d.Rule, File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column, Message: d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintln(os.Stderr, "peltalint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range all {
+			fmt.Println(d)
+		}
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "peltalint: %d finding(s) in %d package(s)\n", len(all), len(pkgs))
+		os.Exit(1)
+	}
+}

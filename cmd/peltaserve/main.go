@@ -164,7 +164,9 @@ func run() error {
 		}
 	} else if o.epochs > 0 {
 		tc := models.TrainConfig{Epochs: o.epochs, BatchSize: 32, LR: 2e-3, Seed: o.seed}
-		models.Train(base, train.X, train.Y, tc)
+		if _, err := models.Train(base, train.X, train.Y, tc); err != nil {
+			return err
+		}
 		fmt.Fprintf(os.Stderr, "[peltaserve] fitted in-process: clean accuracy %.1f%%\n",
 			100*models.Accuracy(base, val.X, val.Y))
 	}

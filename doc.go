@@ -25,6 +25,9 @@
 //     span records (detect/admission/queue/batch/infer stages plus
 //     per-kernel attribution), FL round-phase spans, and the metric
 //     registry behind the JSON and Prometheus text expositions
+//   - internal/lint     — the peltalint static analyzer: compile-time
+//     enforcement of the repo's determinism, clock-injection, and
+//     pool-hygiene invariants (cmd/peltalint is the CLI / CI gate)
 //
 // bench_test.go regenerates every table and figure; cmd/peltabench is the
 // command-line entry point, cmd/flsim runs federations and scenario sweeps,
@@ -33,4 +36,4 @@
 package pelta
 
 // Version identifies this reproduction release.
-const Version = "1.7.0"
+const Version = "1.8.0"

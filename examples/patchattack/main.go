@@ -72,7 +72,9 @@ func run() error {
 
 	sign := models.NewViT(models.SmallViT("roadsign-net", cfg.Classes, 16, 4), tensor.NewRNG(1))
 	fmt.Println("training the road-sign classifier...")
-	models.Train(sign, train.X, train.Y, models.TrainConfig{Epochs: 6, BatchSize: 32, LR: 2e-3, Seed: 1})
+	if _, err := models.Train(sign, train.X, train.Y, models.TrainConfig{Epochs: 6, BatchSize: 32, LR: 2e-3, Seed: 1}); err != nil {
+		return err
+	}
 
 	x, y, err := eval.SelectCorrect([]models.Model{sign}, val, 16)
 	if err != nil {

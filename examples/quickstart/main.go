@@ -37,7 +37,9 @@ func run() error {
 
 	vit := models.NewViT(models.SmallViT("ViT-quickstart", cfg.Classes, 16, 4), tensor.NewRNG(1))
 	fmt.Println("training the defender...")
-	models.Train(vit, train.X, train.Y, models.TrainConfig{Epochs: 6, BatchSize: 32, LR: 2e-3, Seed: 1})
+	if _, err := models.Train(vit, train.X, train.Y, models.TrainConfig{Epochs: 6, BatchSize: 32, LR: 2e-3, Seed: 1}); err != nil {
+		return err
+	}
 	fmt.Printf("clean accuracy: %.1f%%\n\n", 100*models.Accuracy(vit, val.X, val.Y))
 
 	// 2. Astuteness protocol: attack only correctly classified samples.

@@ -31,7 +31,9 @@ func setup(t *testing.T) (*models.ViT, *tensor.Tensor, []int) {
 		cfg.TrainN, cfg.ValN = 300, 120
 		train, val := dataset.Generate(cfg)
 		vitModel = models.NewViT(models.SmallViT("vit-attack", 6, 16, 4), tensor.NewRNG(2))
-		models.Train(vitModel, train.X, train.Y, models.TrainConfig{Epochs: 6, BatchSize: 32, LR: 2e-3, Seed: 3})
+		if _, err := models.Train(vitModel, train.X, train.Y, models.TrainConfig{Epochs: 6, BatchSize: 32, LR: 2e-3, Seed: 3}); err != nil {
+			panic(err)
+		}
 		// Keep only correctly classified validation samples (astuteness
 		// protocol, §V-C).
 		pred := models.Predict(vitModel, val.X)

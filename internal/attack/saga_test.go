@@ -33,8 +33,12 @@ func setupSAGA(t *testing.T) {
 		sagaViT = models.NewViT(models.SmallViT("vit-saga", 5, 16, 4), rng)
 		sagaBiT = models.NewBiT(models.SmallBiT("bit-saga", 5, 16), rng)
 		tc := models.TrainConfig{Epochs: 6, BatchSize: 32, LR: 2e-3, Seed: 5}
-		models.Train(sagaViT, train.X, train.Y, tc)
-		models.Train(sagaBiT, train.X, train.Y, tc)
+		if _, err := models.Train(sagaViT, train.X, train.Y, tc); err != nil {
+			panic(err)
+		}
+		if _, err := models.Train(sagaBiT, train.X, train.Y, tc); err != nil {
+			panic(err)
+		}
 		// Samples both members classify correctly.
 		pv := models.Predict(sagaViT, val.X)
 		pb := models.Predict(sagaBiT, val.X)

@@ -98,7 +98,10 @@ func (o *SubstituteStemOracle) distill(x *tensor.Tensor, budget SubstituteBudget
 			if end > n {
 				end = n
 			}
-			bx, _ := models.Batch(x, make([]int, n), perm[start:end])
+			bx, _, err := models.Batch(x, make([]int, n), perm[start:end])
+			if err != nil {
+				return fmt.Errorf("attack: batching substitute inputs: %w", err)
+			}
 			// Teacher signal: the shielded model's logits (observable).
 			res, err := o.victim.Query(bx, nil)
 			if err != nil {

@@ -194,7 +194,10 @@ func (t *EnclaveTrainer) TrainEpochs(x *tensor.Tensor, y []int, epochs, batch in
 			if end > n {
 				end = n
 			}
-			bx, by := models.Batch(x, y, perm[start:end])
+			bx, by, err := models.Batch(x, y, perm[start:end])
+			if err != nil {
+				return losses, fmt.Errorf("core: epoch %d: %w", ep, err)
+			}
 			l, err := t.Step(bx, by)
 			if err != nil {
 				return losses, fmt.Errorf("core: epoch %d: %w", ep, err)

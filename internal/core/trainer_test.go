@@ -44,7 +44,10 @@ func TestEnclaveTrainerBatchesHiddenExports(t *testing.T) {
 	tr, train := trainerFixture(t)
 	// 6 batches with SyncEvery=3 → exactly 2 automatic exports.
 	for i := 0; i < 6; i++ {
-		bx, by := models.Batch(train.X, train.Y, []int{i, i + 1, i + 2, i + 3})
+		bx, by, err := models.Batch(train.X, train.Y, []int{i, i + 1, i + 2, i + 3})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if _, err := tr.Step(bx, by); err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +62,10 @@ func TestEnclaveTrainerBatchesHiddenExports(t *testing.T) {
 
 func TestEnclaveTrainerAccumulatesBetweenExports(t *testing.T) {
 	tr, train := trainerFixture(t)
-	bx, by := models.Batch(train.X, train.Y, []int{0, 1, 2, 3})
+	bx, by, err := models.Batch(train.X, train.Y, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := tr.Step(bx, by); err != nil {
 		t.Fatal(err)
 	}

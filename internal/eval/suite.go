@@ -87,7 +87,9 @@ func BuildBlock(cfg BlockConfig) (*Block, error) {
 		b.Defenders = []models.Model{vitL, vitB16, vitB32, rn56, rn164, bit}
 	}
 	for _, m := range b.Defenders {
-		models.Train(m, train.X, train.Y, cfg.Train)
+		if _, err := models.Train(m, train.X, train.Y, cfg.Train); err != nil {
+			return nil, fmt.Errorf("eval: training %s: %w", m.Name(), err)
+		}
 		if acc := models.Accuracy(m, val.X, val.Y); acc < 1.5/float64(classes) {
 			return nil, fmt.Errorf("eval: %s failed to train (val accuracy %.2f)", m.Name(), acc)
 		}

@@ -101,7 +101,10 @@ func (c *CompromisedClient) probe(round int) (AttackOutcome, error) {
 		// Early rounds: the model is still too weak to evade meaningfully.
 		return AttackOutcome{Round: round, RobustAccuracy: 1, Shielded: c.Shield}, nil
 	}
-	x, y := models.Batch(c.ProbeX, c.ProbeY, idx)
+	x, y, err := models.Batch(c.ProbeX, c.ProbeY, idx)
+	if err != nil {
+		return AttackOutcome{}, fmt.Errorf("fl: batching probe set: %w", err)
+	}
 
 	// The oracle persists across rounds (enclave and arenas stay warm);
 	// under the shield its upsampling kernel is redrawn per round, so the

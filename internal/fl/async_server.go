@@ -121,10 +121,7 @@ func (s *AsyncServer) Run() ([]RoundResult, error) {
 		cfg.MaxStaleness = 0
 	}
 
-	now := s.Now
-	if now == nil {
-		now = time.Now
-	}
+	now := nowOr(s.Now)
 
 	jobs := make(chan asyncJob, n)
 	resCh := make(chan taggedUpdate, n)

@@ -2,7 +2,6 @@ package fl
 
 import (
 	"fmt"
-	"time"
 
 	"pelta/internal/dataset"
 	"pelta/internal/models"
@@ -137,8 +136,11 @@ func (c *ModelReplacementClient) Update(req UpdateRequest) (UpdateResponse, erro
 			c.flipped.Y[i] = (y + 1) % sh.Classes
 		}
 	}
-	t0 := time.Now()
-	models.Train(c.Honest.Model, c.flipped.X, c.flipped.Y, c.Honest.Train)
+	now := nowOr(c.Honest.Now)
+	t0 := now()
+	if _, err := models.Train(c.Honest.Model, c.flipped.X, c.flipped.Y, c.Honest.Train); err != nil {
+		return UpdateResponse{}, fmt.Errorf("fl: poisoner %s training: %w", c.ID(), err)
+	}
 	boost := c.Boost
 	if boost < 1 {
 		boost = 1
@@ -148,6 +150,6 @@ func (c *ModelReplacementClient) Update(req UpdateRequest) (UpdateResponse, erro
 		Weights:  boostDelta(req.Weights, Snapshot(c.Honest.Model), boost),
 		Samples:  c.flipped.Len(),
 		Note:     fmt.Sprintf("model-replacement poison (boost=%g)", boost),
-		TrainNS:  time.Since(t0).Nanoseconds(),
+		TrainNS:  now().Sub(t0).Nanoseconds(),
 	}, nil
 }

@@ -41,6 +41,9 @@ type HonestClient struct {
 	Model models.Model
 	Shard *dataset.Dataset
 	Train models.TrainConfig
+	// Now overrides the clock TrainNS is measured on (nil = wall clock).
+	// Tests inject a counter to make round spans exact.
+	Now func() time.Time
 }
 
 var _ Client = (*HonestClient)(nil)
@@ -59,12 +62,15 @@ func (c *HonestClient) Update(req UpdateRequest) (UpdateResponse, error) {
 	if err := Apply(c.Model, req.Weights); err != nil {
 		return UpdateResponse{}, fmt.Errorf("fl: client %s applying round %d weights: %w", c.Name, req.Round, err)
 	}
-	t0 := time.Now()
-	models.Train(c.Model, c.Shard.X, c.Shard.Y, c.Train)
+	now := nowOr(c.Now)
+	t0 := now()
+	if _, err := models.Train(c.Model, c.Shard.X, c.Shard.Y, c.Train); err != nil {
+		return UpdateResponse{}, fmt.Errorf("fl: client %s training round %d: %w", c.Name, req.Round, err)
+	}
 	return UpdateResponse{
 		ClientID: c.Name,
 		Weights:  Snapshot(c.Model),
 		Samples:  c.Shard.Len(),
-		TrainNS:  time.Since(t0).Nanoseconds(),
+		TrainNS:  now().Sub(t0).Nanoseconds(),
 	}, nil
 }

@@ -2,7 +2,6 @@ package fl
 
 import (
 	"fmt"
-	"time"
 
 	"pelta/internal/attack"
 	"pelta/internal/dataset"
@@ -65,14 +64,17 @@ func (c *PoisoningClient) Update(req UpdateRequest) (UpdateResponse, error) {
 		return UpdateResponse{}, fmt.Errorf("fl: poisoner %s crafting round %d: %w", c.ID(), req.Round, err)
 	}
 	c.PoisonedPerRound = append(c.PoisonedPerRound, effective)
-	t0 := time.Now()
-	models.Train(c.Honest.Model, poisoned.X, poisoned.Y, c.Honest.Train)
+	now := nowOr(c.Honest.Now)
+	t0 := now()
+	if _, err := models.Train(c.Honest.Model, poisoned.X, poisoned.Y, c.Honest.Train); err != nil {
+		return UpdateResponse{}, fmt.Errorf("fl: poisoner %s training: %w", c.ID(), err)
+	}
 	return UpdateResponse{
 		ClientID: c.ID(),
 		Weights:  Snapshot(c.Honest.Model),
 		Samples:  poisoned.Len(),
 		Note:     fmt.Sprintf("poisoned %d samples effectively (shielded=%v)", effective, c.Shield),
-		TrainNS:  time.Since(t0).Nanoseconds(),
+		TrainNS:  now().Sub(t0).Nanoseconds(),
 	}, nil
 }
 
@@ -89,7 +91,10 @@ func (c *PoisoningClient) poisonShard(round int) (*dataset.Dataset, int, error) 
 	for i := range idx {
 		idx[i] = i
 	}
-	x, y := models.Batch(shard.X, shard.Y, idx)
+	x, y, err := models.Batch(shard.X, shard.Y, idx)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fl: batching poison candidates: %w", err)
+	}
 
 	if c.po == nil {
 		c.po = &probeOracle{model: c.Honest.Model, shield: c.Shield, seed: c.ShieldSeed, stride: 7919}

@@ -63,10 +63,7 @@ func (s *Server) Run(rounds int) ([]RoundResult, error) {
 	if len(s.Conns) == 0 {
 		return nil, fmt.Errorf("fl: server has no clients")
 	}
-	now := s.Now
-	if now == nil {
-		now = time.Now
-	}
+	now := nowOr(s.Now)
 	results := make([]RoundResult, 0, rounds)
 	for r := 1; r <= rounds; r++ {
 		t0 := now()

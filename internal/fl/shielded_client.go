@@ -21,6 +21,8 @@ type ShieldedHonestClient struct {
 	Epochs  int
 	Batch   int
 	Seed    int64
+	// Now overrides the clock TrainNS is measured on (nil = wall clock).
+	Now func() time.Time
 }
 
 var _ Client = (*ShieldedHonestClient)(nil)
@@ -51,11 +53,12 @@ func (c *ShieldedHonestClient) Update(req UpdateRequest) (UpdateResponse, error)
 	if err := Apply(m, req.Weights); err != nil {
 		return UpdateResponse{}, fmt.Errorf("fl: client %s applying round %d weights: %w", c.Name, req.Round, err)
 	}
-	t0 := time.Now()
+	now := nowOr(c.Now)
+	t0 := now()
 	if _, err := c.Trainer.TrainEpochs(c.Shard.X, c.Shard.Y, c.Epochs, c.Batch, c.Seed+int64(req.Round)); err != nil {
 		return UpdateResponse{}, fmt.Errorf("fl: client %s enclave training: %w", c.Name, err)
 	}
-	trainNS := time.Since(t0).Nanoseconds()
+	trainNS := now().Sub(t0).Nanoseconds()
 	met := c.Trainer.Enclave().Metrics()
 	return UpdateResponse{
 		ClientID: c.Name,

@@ -52,6 +52,11 @@ type SweepSpec struct {
 	Quorum        int
 	Deterministic bool
 	Seed          int64
+
+	// Now overrides the wall clock the per-cell Seconds timing is measured
+	// on (nil = wall clock). The simulation itself is fully seeded; only
+	// the timing column is clock-dependent.
+	Now func() time.Time
 }
 
 // SweepCell identifies one point of the scenario matrix.
@@ -329,12 +334,13 @@ func RunCell(spec SweepSpec, cell SweepCell) (SweepRow, error) {
 			Agg:           agg,
 		},
 	}
-	start := time.Now()
+	now := nowOr(spec.Now)
+	start := now()
 	results, err := srv.Run()
 	if err != nil {
 		return SweepRow{}, fmt.Errorf("fl: sweep cell %+v: %w", cell, err)
 	}
-	elapsed := time.Since(start).Seconds()
+	elapsed := now().Sub(start).Seconds()
 
 	row := SweepRow{
 		SweepCell:      cell,

@@ -1,0 +1,17 @@
+package fl
+
+import "time"
+
+// nowOr returns the injected clock when non-nil, else the process wall
+// clock. It is this package's single sanctioned wall-clock edge: every
+// round-phase span, client TrainNS measurement and sweep-cell timing flows
+// through here, so injecting one function (the engines' and clients' Now
+// fields) makes a whole federation's telemetry deterministic. peltalint's
+// noclock rule keeps any other time.Now out of the package.
+func nowOr(injected func() time.Time) func() time.Time {
+	if injected != nil {
+		return injected
+	}
+	//pelta:allow noclock the one wall-clock default for all of internal/fl; every caller injects via a Now field
+	return time.Now
+}

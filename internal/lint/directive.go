@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// allowDirective is one parsed //pelta:allow comment.
+type allowDirective struct {
+	file   string
+	line   int
+	rule   string
+	reason string
+}
+
+// allowSet indexes well-formed allow directives by file and line.
+type allowSet map[string]map[int][]allowDirective
+
+// suppresses reports whether d carries a matching directive: an allow for
+// the same rule on the diagnostic's own line (trailing comment) or on the
+// line directly above it (leading comment).
+func (s allowSet) suppresses(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, a := range lines[ln] {
+			if a.rule == d.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const allowPrefix = "//pelta:allow"
+
+// collectDirectives parses every //pelta:allow comment in the package.
+// Malformed directives — an unknown rule name, or a missing reason — are
+// returned as "directive" diagnostics and do NOT suppress anything: an
+// opt-out must always say which rule it disarms and why.
+func collectDirectives(pkg *Package) (allowSet, []Diagnostic) {
+	allows := allowSet{}
+	var diags []Diagnostic
+	known := map[string]bool{}
+	for _, r := range RuleNames {
+		known[r] = true
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //pelta:allowance — not ours.
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					diags = append(diags, Diagnostic{
+						Rule: "directive", Pos: pos,
+						Message: "pelta:allow needs a rule name and a reason: //pelta:allow <rule> <reason>",
+					})
+					continue
+				}
+				rule := fields[0]
+				if !known[rule] {
+					diags = append(diags, Diagnostic{
+						Rule: "directive", Pos: pos,
+						Message: "pelta:allow names unknown rule " + strconv.Quote(rule) + " (known: " + strings.Join(RuleNames, ", ") + ")",
+					})
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), rule))
+				if reason == "" {
+					diags = append(diags, Diagnostic{
+						Rule: "directive", Pos: pos,
+						Message: "pelta:allow " + rule + " needs a reason: //pelta:allow " + rule + " <reason>",
+					})
+					continue
+				}
+				file := allows[pos.Filename]
+				if file == nil {
+					file = map[int][]allowDirective{}
+					allows[pos.Filename] = file
+				}
+				file[pos.Line] = append(file[pos.Line], allowDirective{
+					file: pos.Filename, line: pos.Line, rule: rule, reason: reason,
+				})
+			}
+		}
+	}
+	return allows, diags
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadDirectivePkg checks the directive testdata with noclock scoped onto
+// it, so suppression behavior is observable.
+func loadDirectivePkg(t *testing.T) []Diagnostic {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "directive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{Rules: map[string]bool{"noclock": true}, ClockScope: []string{"directive"}}
+	return Check(pkg, cfg)
+}
+
+// findIn returns the diagnostics of the given rule inside the named
+// function's body (identified by a marker substring of the source line —
+// here we key on line ranges via the function comments instead of
+// positions, so the test stays robust to edits above).
+func countByRule(diags []Diagnostic, rule string) int {
+	n := 0
+	for _, d := range diags {
+		if d.Rule == rule {
+			n++
+		}
+	}
+	return n
+}
+
+// TestMissingReasonIsDiagnostic: `//pelta:allow noclock` without a reason
+// is a directive diagnostic — and it must not suppress the underlying
+// finding.
+func TestMissingReasonIsDiagnostic(t *testing.T) {
+	diags := loadDirectivePkg(t)
+	var foundMissing bool
+	for _, d := range diags {
+		if d.Rule == "directive" && strings.Contains(d.Message, "needs a reason") {
+			foundMissing = true
+		}
+	}
+	if !foundMissing {
+		t.Fatalf("no 'needs a reason' directive diagnostic in %v", diags)
+	}
+}
+
+// TestUnknownRuleIsDiagnostic: naming a rule that does not exist is
+// reported, listing the real rules.
+func TestUnknownRuleIsDiagnostic(t *testing.T) {
+	diags := loadDirectivePkg(t)
+	for _, d := range diags {
+		if d.Rule == "directive" && strings.Contains(d.Message, `"nosuchrule"`) {
+			if !strings.Contains(d.Message, "noclock") {
+				t.Fatalf("unknown-rule diagnostic should list known rules: %s", d.Message)
+			}
+			return
+		}
+	}
+	t.Fatalf("no unknown-rule directive diagnostic in %v", diags)
+}
+
+// TestMalformedAndWrongRuleDoNotSuppress: the directive package has six
+// time.Now sites; only the two well-formed noclock allows (Suppressed,
+// SuppressedLeading) may suppress. MissingReason, UnknownRule, WrongRule
+// and Bare must all still fire.
+func TestMalformedAndWrongRuleDoNotSuppress(t *testing.T) {
+	diags := loadDirectivePkg(t)
+	if got, want := countByRule(diags, "noclock"), 4; got != want {
+		t.Fatalf("noclock diagnostics = %d, want %d (malformed/mismatched allows must not suppress): %v", got, want, diags)
+	}
+	// Three malformed directives: missing reason, unknown rule, bare.
+	if got, want := countByRule(diags, "directive"), 3; got != want {
+		t.Fatalf("directive diagnostics = %d, want %d: %v", got, want, diags)
+	}
+}
+
+// TestWellFormedAllowSuppresses: the two well-formed sites are absent from
+// the report.
+func TestWellFormedAllowSuppresses(t *testing.T) {
+	for _, d := range loadDirectivePkg(t) {
+		if d.Rule != "noclock" {
+			continue
+		}
+		// Suppressed() is on the line carrying the trailing allow;
+		// SuppressedLeading() the line after a leading allow. Neither may
+		// appear; their line numbers sit above MissingReason's finding.
+		if d.Pos.Line < 23 {
+			t.Fatalf("suppressed finding leaked through: %s", d)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Package lint implements peltalint: a stdlib-only static-analysis pass
+// over the repo enforcing the invariants the Pelta reproduction's
+// determinism story rests on. The paper-grade claims — bit-identical FL
+// rounds, fake-clock-reproducible serving traces, kernels deterministic at
+// any worker count, enclave memory never leaving the shield — are all
+// properties a single stray expression can silently break; the rules here
+// turn each class of regression into a build failure instead of a reviewer
+// grep.
+//
+// # Rules
+//
+//   - noclock: time.Now/Since/Until/Sleep/After/AfterFunc/Tick/NewTimer/
+//     NewTicker are forbidden inside the clock-scoped packages
+//     (internal/serve, detect, obs, fl, tee). Everything there runs on an
+//     injected Clock; even `now = time.Now` defaults are flagged so every
+//     wall-clock edge carries an explicit annotation.
+//   - seededrand: top-level math/rand functions (rand.Intn, rand.Float64,
+//     ...) are forbidden everywhere under internal/ — they draw from
+//     process-global state. Constructors (rand.New, rand.NewSource) stay
+//     legal; experiments thread a seeded *rand.Rand (tensor.NewRNG).
+//   - maporder: a `range` over a map whose body appends to a slice, writes
+//     to a Writer, formats with fmt, or builds a string is flagged unless
+//     the enclosing function sorts (the collect-keys-then-sort idiom).
+//     Rendered tables and JSON rows must not depend on Go's randomized map
+//     iteration order.
+//   - intoerr: error results of *Into/*Raw kernel calls must not be
+//     discarded (expression statement, go/defer, or `_` at the error
+//     position) in internal/tensor, autograd, nn and models.
+//   - poolsafety: a tensor.Pool.Get/GetZero/GetInts or NewGraphWithPool
+//     acquisition whose result never reaches Put/Release/Scrub and never
+//     escapes the function leaks pooled memory; Pool.Put of a
+//     shielded-named value would recycle enclave memory and is flagged
+//     unconditionally.
+//   - parallelsum: `+=`/`-=` on a float captured from outside a closure
+//     passed to parallelFor races and accumulates in scheduling order —
+//     the bit-determinism hazard the kernel layer's per-chunk-partials
+//     pattern exists to avoid.
+//
+// # Opt-out directives
+//
+// A legitimate site is annotated in place, on the offending line or the
+// line directly above:
+//
+//	//pelta:allow <rule> <reason>
+//
+// The reason is mandatory and the rule name must be real; malformed
+// directives are "directive" diagnostics and never suppress. Suppression
+// is per-rule and per-line, so an allow cannot blanket a whole file.
+//
+// # Loading
+//
+// The loader is go/packages-free: one `go list -export -deps -json`
+// invocation supplies file lists plus compiled export data, and the stdlib
+// gc importer (go/importer with a lookup function) resolves imports from
+// it. Only non-test files are checked. LoadDir loads a single directory
+// outside pattern matching, which is how the golden-diagnostic tests reach
+// the testdata packages.
+package lint

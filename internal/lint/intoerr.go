@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkIntoErr implements the intoerr rule: a call to an *Into/*Raw kernel
+// that returns an error must not discard it. The pooled kernel layer's
+// destination-passing variants report shape mismatches through that error;
+// dropping it turns a wrong-shape pass into silently corrupted numbers.
+// Flagged forms: the bare expression statement, `go`/`defer` of the call,
+// and assignments that bind the error position to the blank identifier.
+func checkIntoErr(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, idx := intoErrResult(pkg, call); idx >= 0 {
+						diags = append(diags, diag(pkg, "intoerr", call.Pos(),
+							"%s returns an error that is discarded; shape mismatches must propagate", name))
+					}
+				}
+			case *ast.GoStmt:
+				if name, idx := intoErrResult(pkg, n.Call); idx >= 0 {
+					diags = append(diags, diag(pkg, "intoerr", n.Call.Pos(),
+						"%s returns an error that is discarded; shape mismatches must propagate", name))
+				}
+			case *ast.DeferStmt:
+				if name, idx := intoErrResult(pkg, n.Call); idx >= 0 {
+					diags = append(diags, diag(pkg, "intoerr", n.Call.Pos(),
+						"%s returns an error that is discarded; shape mismatches must propagate", name))
+				}
+			case *ast.AssignStmt:
+				// Multi-value form: v, _ := FooInto(...) with the blank at
+				// the error position.
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, idx := intoErrResult(pkg, call)
+				if idx < 0 || idx >= len(n.Lhs) {
+					return true
+				}
+				if id, ok := n.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+					diags = append(diags, diag(pkg, "intoerr", call.Pos(),
+						"%s returns an error that is assigned to _; shape mismatches must propagate", name))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// intoErrResult reports the callee name and the index of the error result
+// for calls to *Into/*Raw functions that return an error; idx is -1 when
+// the call is not such a kernel call.
+func intoErrResult(pkg *Package, call *ast.CallExpr) (string, int) {
+	name := calleeName(call)
+	if !strings.HasSuffix(name, "Into") && !strings.HasSuffix(name, "Raw") {
+		return name, -1
+	}
+	sig := signatureOf(pkg, call)
+	if sig == nil {
+		return name, -1
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return name, i
+		}
+	}
+	return name, -1
+}

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one rule violation at one source position.
+type Diagnostic struct {
+	// Rule names the violated rule (noclock, seededrand, maporder,
+	// intoerr, poolsafety, parallelsum) or "directive" for malformed
+	// //pelta:allow comments.
+	Rule    string
+	Pos     token.Position
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// RuleNames lists every rule in the order reports group them. "directive"
+// is not listed: it guards the opt-out mechanism itself and cannot be
+// disabled or suppressed.
+var RuleNames = []string{"noclock", "seededrand", "maporder", "intoerr", "poolsafety", "parallelsum"}
+
+// Default scopes: which package paths each scoped rule applies to. A scope
+// entry matches a package whose import path equals it, starts with it, or
+// contains it as a path-segment run (so "internal/serve" matches
+// "pelta/internal/serve").
+var (
+	// DefaultClockScope lists the packages whose entire execution must run
+	// on an injected Clock for the fake-clock reproducibility story to
+	// hold: the serving scheduler, probe detector, telemetry layer, FL
+	// engines and TEE simulation.
+	DefaultClockScope = []string{"internal/serve", "internal/detect", "internal/obs", "internal/fl", "internal/tee"}
+	// DefaultRandScope bans ambient math/rand state everywhere under
+	// internal/: every experiment must thread a seeded *rand.Rand.
+	DefaultRandScope = []string{"internal"}
+	// DefaultIntoScope lists the packages whose *Into/*Raw kernel calls
+	// must not discard error results.
+	DefaultIntoScope = []string{"internal/tensor", "internal/autograd", "internal/nn", "internal/models"}
+)
+
+// Config selects rules and scopes. The zero value enables every rule with
+// the default scopes.
+type Config struct {
+	// Rules enables a subset by name; nil enables all rules.
+	Rules map[string]bool
+	// ClockScope/RandScope/IntoScope override the package scopes of the
+	// noclock, seededrand and intoerr rules (nil = defaults). The other
+	// three rules apply to every checked package.
+	ClockScope []string
+	RandScope  []string
+	IntoScope  []string
+}
+
+func (c *Config) enabled(rule string) bool {
+	if c == nil || c.Rules == nil {
+		return true
+	}
+	return c.Rules[rule]
+}
+
+func (c *Config) clockScope() []string {
+	if c == nil || c.ClockScope == nil {
+		return DefaultClockScope
+	}
+	return c.ClockScope
+}
+
+func (c *Config) randScope() []string {
+	if c == nil || c.RandScope == nil {
+		return DefaultRandScope
+	}
+	return c.RandScope
+}
+
+func (c *Config) intoScope() []string {
+	if c == nil || c.IntoScope == nil {
+		return DefaultIntoScope
+	}
+	return c.IntoScope
+}
+
+// inScope reports whether importPath falls under any scope entry.
+func inScope(importPath string, scope []string) bool {
+	for _, s := range scope {
+		if importPath == s || strings.HasPrefix(importPath, s+"/") ||
+			strings.HasSuffix(importPath, "/"+s) || strings.Contains(importPath, "/"+s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Check runs every enabled rule over pkg and returns the surviving
+// diagnostics sorted by position. Diagnostics carrying a matching
+// //pelta:allow directive (same line or the line above) are suppressed;
+// malformed directives are themselves reported and never suppress.
+func Check(pkg *Package, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+	allows, dirDiags := collectDirectives(pkg)
+	diags = append(diags, dirDiags...)
+
+	if cfg.enabled("noclock") && inScope(pkg.ImportPath, cfg.clockScope()) {
+		diags = append(diags, checkNoClock(pkg)...)
+	}
+	if cfg.enabled("seededrand") && inScope(pkg.ImportPath, cfg.randScope()) {
+		diags = append(diags, checkSeededRand(pkg)...)
+	}
+	if cfg.enabled("maporder") {
+		diags = append(diags, checkMapOrder(pkg)...)
+	}
+	if cfg.enabled("intoerr") && inScope(pkg.ImportPath, cfg.intoScope()) {
+		diags = append(diags, checkIntoErr(pkg)...)
+	}
+	if cfg.enabled("poolsafety") {
+		diags = append(diags, checkPoolSafety(pkg)...)
+	}
+	if cfg.enabled("parallelsum") {
+		diags = append(diags, checkParallelSum(pkg)...)
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Rule != "directive" && allows.suppresses(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return kept[i].Rule < kept[j].Rule
+	})
+	return kept
+}
+
+// diag builds a Diagnostic for a node position.
+func diag(pkg *Package, rule string, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{Rule: rule, Pos: pkg.Fset.Position(pos), Message: fmt.Sprintf(format, args...)}
+}
+
+// pkgNameOf resolves an expression to the imported package it names, or nil.
+func pkgNameOf(pkg *Package, x ast.Expr) *types.PkgName {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := pkg.Info.Uses[id].(*types.PkgName)
+	return pn
+}
+
+// calleeName returns the bare name a call dials: the selector method/func
+// name, or the identifier for plain calls. Empty when the callee is an
+// anonymous or computed expression.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// errorType is the universe error interface, for result-tuple matching.
+var errorType = types.Universe.Lookup("error").Type()
+
+// signatureOf returns the static signature of a call's callee, following
+// the Fun expression's type. Returns nil for conversions and builtins.
+func signatureOf(pkg *Package, call *ast.CallExpr) *types.Signature {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkMapOrder implements the maporder rule: ranging over a map while
+// producing ordered output (appending to a slice, writing to an io.Writer,
+// building a string) leaks Go's randomized map iteration order into
+// rendered tables, JSON rows and golden files. The rule flags a map range
+// whose body performs such an op, unless the enclosing function also calls
+// a sort — the collect-keys-then-sort idiom:
+//
+//	keys := make([]string, 0, len(m))
+//	for k := range m { keys = append(keys, k) } // append, but...
+//	sort.Strings(keys)                          // ...sorted before use
+//
+// A sort call anywhere in the function is taken as evidence the author
+// ordered the data; order-independent bodies (counter bumps, set inserts)
+// are never flagged.
+func checkMapOrder(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasSortCall(pkg, fd.Body) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pkg.Info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if op := orderedOutputOp(pkg, rs.Body); op != "" {
+					diags = append(diags, diag(pkg, "maporder", rs.Pos(),
+						"map iteration order is random but the body %s; sort the keys first", op))
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// hasSortCall reports whether the body calls a sorting function from
+// package sort or slices.
+func hasSortCall(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pn := pkgNameOf(pkg, sel.X)
+		if pn == nil {
+			return true
+		}
+		name := sel.Sel.Name
+		switch pn.Imported().Path() {
+		case "sort":
+			switch name {
+			case "Sort", "Stable", "Strings", "Ints", "Float64s", "Slice", "SliceStable":
+				found = true
+			}
+		case "slices":
+			if len(name) >= 4 && name[:4] == "Sort" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// orderedOutputOp reports the first order-sensitive operation in a map
+// range body, or "" if the body is order-independent. Recognized ops:
+// append, io.Writer-style Write* method calls, fmt print/format calls,
+// and string concatenation (s += ...).
+func orderedOutputOp(pkg *Package, body *ast.BlockStmt) string {
+	op := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if op != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fn := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fn.Name == "append" && pkg.Info.Uses[fn] == types.Universe.Lookup("append") {
+					op = "appends to a slice"
+				}
+			case *ast.SelectorExpr:
+				switch fn.Sel.Name {
+				case "Write", "WriteString", "WriteByte", "WriteRune":
+					op = "writes to a Writer"
+				case "Printf", "Print", "Println", "Fprintf", "Fprint", "Fprintln",
+					"Sprintf", "Sprint", "Sprintln", "Appendf":
+					if pn := pkgNameOf(pkg, fn.X); pn != nil && pn.Imported().Path() == "fmt" {
+						op = "formats output"
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// s += part — building a string iteration by iteration.
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if tv, ok := pkg.Info.Types[n.Lhs[0]]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						op = "builds a string"
+					}
+				}
+			}
+		}
+		return op == ""
+	})
+	return op
+}

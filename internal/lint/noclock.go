@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// clockFuncs are the package-time entry points that read or schedule on
+// the process wall clock. Referencing one — calling it or assigning it as
+// a default (`now = time.Now`) — defeats the injected-Clock determinism
+// story, so the rule flags any selector mention, not just calls.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// checkNoClock implements the noclock rule: inside the clock-scoped
+// packages every path must run on the injected Clock; package time may
+// only supply types (time.Time, time.Duration) and constants.
+func checkNoClock(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(pkg, sel.X)
+			if pn == nil || pn.Imported().Path() != "time" || !clockFuncs[sel.Sel.Name] {
+				return true
+			}
+			diags = append(diags, diag(pkg, "noclock", sel.Pos(),
+				"time.%s reads the process wall clock; %s must run on the injected Clock", sel.Sel.Name, pkg.ImportPath))
+			return true
+		})
+	}
+	return diags
+}

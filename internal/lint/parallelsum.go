@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkParallelSum implements the parallelsum rule: inside a closure
+// passed to parallelFor, a compound float assignment (`+=`, `-=`) whose
+// target is captured from the enclosing scope accumulates across chunks in
+// scheduling order — the canonical bit-determinism hazard (float addition
+// is not associative, and the write races at any worker count > 1). The
+// deterministic pattern is a per-chunk partial reduced serially afterwards;
+// indexed writes (`partial[chunk] += v`) are therefore not flagged.
+func checkParallelSum(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := calleeName(call); name != "parallelFor" && name != "ParallelFor" {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				diags = append(diags, checkClosureSums(pkg, lit)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkClosureSums flags captured-float compound assignments in one
+// closure body.
+func checkClosureSums(pkg *Package, lit *ast.FuncLit) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN) || len(as.Lhs) != 1 {
+			return true
+		}
+		lhs := as.Lhs[0]
+		if !isFloat(pkg, lhs) {
+			return true
+		}
+		// The accumulation target: a plain captured variable, or a field
+		// on one. Indexed writes are the sanctioned per-chunk pattern.
+		var root *ast.Ident
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			root = l
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+				root = id
+			}
+		}
+		if root == nil {
+			return true
+		}
+		obj := pkg.Info.Uses[root]
+		if obj == nil || !obj.Pos().IsValid() {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the closure: chunk-local, fine
+		}
+		diags = append(diags, diag(pkg, "parallelsum", as.Pos(),
+			"%s on float %s captured from outside the parallelFor closure races and breaks bit-determinism; accumulate per-chunk partials and reduce serially", as.Tok, root.Name))
+		return true
+	})
+	return diags
+}
+
+// isFloat reports whether the expression's type is float32 or float64.
+func isFloat(pkg *Package, x ast.Expr) bool {
+	tv, ok := pkg.Info.Types[x]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Float32 || b.Kind() == types.Float64)
+}

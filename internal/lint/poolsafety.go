@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// releaseNames are the calls that return pooled memory or withdraw it from
+// recycling: Pool.Put/PutInts, arena Graph.Release, and Scrub (which marks
+// a shielded buffer as never-recyclable).
+var releaseNames = map[string]bool{
+	"Put":       true,
+	"PutInts":   true,
+	"Release":   true,
+	"Scrub":     true,
+	"ScrubGrad": true,
+}
+
+// acquireMethods are the Pool methods that borrow a buffer.
+var acquireMethods = map[string]bool{"Get": true, "GetZero": true, "GetInts": true}
+
+// checkPoolSafety implements the poolsafety rule, two hazards:
+//
+//  1. Leaked acquisition: a Pool.Get*/NewGraphWithPool result bound to a
+//     local that is only ever read locally — never Put/Released/Scrubbed,
+//     never returned, stored or passed on — leaks the buffer out of the
+//     pool's steady state. Ownership transfers (returning the buffer,
+//     stashing it in a struct, handing it to another call) are assumed to
+//     move the release obligation and are not flagged.
+//
+//  2. Shielded recycle: Pool.Put/PutInts of a value whose name marks it as
+//     shielded enclave memory. Shielded buffers must be Scrubbed — filing
+//     one into a free list would hand enclave contents to the next Get.
+func checkPoolSafety(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			parents := parentMap(fd.Body)
+			diags = append(diags, checkLeakedAcquires(pkg, fd, parents)...)
+			diags = append(diags, checkShieldedRecycle(pkg, fd)...)
+		}
+	}
+	return diags
+}
+
+// parentMap records the immediate parent of every node under root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// isPoolRecv reports whether x's static type (pointer-stripped) is a named
+// type called Pool. Matching by type name keeps the rule applicable to the
+// golden testdata packages, which model the tensor.Pool contract locally.
+func isPoolRecv(pkg *Package, x ast.Expr) bool {
+	tv, ok := pkg.Info.Types[x]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Pool"
+}
+
+// checkLeakedAcquires flags pool/arena acquisitions whose result never
+// reaches a release call and never escapes the function.
+func checkLeakedAcquires(pkg *Package, fd *ast.FuncDecl, parents map[ast.Node]ast.Node) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		what := ""
+		switch fn := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			if acquireMethods[fn.Sel.Name] && isPoolRecv(pkg, fn.X) {
+				what = "Pool." + fn.Sel.Name
+			}
+		case *ast.Ident:
+			if fn.Name == "NewGraphWithPool" {
+				what = fn.Name
+			}
+		}
+		if what == "" {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id] // plain `=` rebind
+		}
+		if obj == nil {
+			return true
+		}
+		released, escapes := traceUses(pkg, fd, parents, obj, id)
+		if !released && !escapes {
+			diags = append(diags, diag(pkg, "poolsafety", as.Pos(),
+				"%s acquired by %q is never Put/Released/Scrubbed on any path", what, id.Name))
+		}
+		return true
+	})
+	return diags
+}
+
+// traceUses classifies every use of obj inside fd: released when it
+// reaches a Put/Release/Scrub call (as receiver or argument, including
+// deferred ones); escapes when it is returned, reassigned, stored, or
+// passed to any other call — ownership moves, so the local function no
+// longer owes the release.
+func traceUses(pkg *Package, fd *ast.FuncDecl, parents map[ast.Node]ast.Node, obj types.Object, def *ast.Ident) (released, escapes bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || pkg.Info.Uses[id] != obj {
+			return true
+		}
+		switch p := parents[id].(type) {
+		case *ast.SelectorExpr:
+			if p.X != ast.Expr(id) {
+				return true
+			}
+			if call, ok := parents[p].(*ast.CallExpr); ok && call.Fun == ast.Expr(p) && releaseNames[p.Sel.Name] {
+				released = true
+			}
+			// Other selector uses are reads (method calls, field access).
+		case *ast.CallExpr:
+			for _, a := range p.Args {
+				if ast.Unparen(a) == ast.Expr(id) {
+					if releaseNames[calleeName(p)] {
+						released = true
+					} else {
+						escapes = true
+					}
+				}
+			}
+		case *ast.IndexExpr, *ast.RangeStmt, *ast.StarExpr, *ast.ParenExpr:
+			// Local reads.
+		default:
+			// Returns, assignments, composite literals, channel sends,
+			// address-taking — ownership may move; stay quiet.
+			escapes = true
+		}
+		return true
+	})
+	return released, escapes
+}
+
+// checkShieldedRecycle flags Pool.Put/PutInts calls whose argument names a
+// shielded value.
+func checkShieldedRecycle(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Put" && sel.Sel.Name != "PutInts") || !isPoolRecv(pkg, sel.X) {
+			return true
+		}
+		for _, a := range call.Args {
+			if name := shieldedName(a); name != "" {
+				diags = append(diags, diag(pkg, "poolsafety", call.Pos(),
+					"Pool.%s of shielded value %q would recycle enclave memory; Scrub it instead", sel.Sel.Name, name))
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// shieldedName returns the first identifier mentioning "shield" inside the
+// expression, or "".
+func shieldedName(x ast.Expr) string {
+	name := ""
+	ast.Inspect(x, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "shield") {
+			name = id.Name
+		}
+		return name == ""
+	})
+	return name
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand package functions that BUILD a seeded
+// generator rather than consuming the ambient global one; they are the
+// sanctioned way to obtain randomness and stay legal.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 additions.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// checkSeededRand implements the seededrand rule: top-level math/rand (and
+// math/rand/v2) functions draw from unseeded, process-global state, which
+// destroys run-to-run reproducibility. All randomness inside internal/
+// must flow through a seeded *rand.Rand (see tensor.NewRNG).
+func checkSeededRand(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(pkg, sel.X)
+			if pn == nil {
+				return true
+			}
+			if p := pn.Imported().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			// Only package-level functions touch the global generator;
+			// types (rand.Rand, rand.Source) and constructors are fine.
+			if _, isFunc := pkg.Info.Uses[sel.Sel].(*types.Func); !isFunc || randConstructors[sel.Sel.Name] {
+				return true
+			}
+			diags = append(diags, diag(pkg, "seededrand", sel.Pos(),
+				"rand.%s draws from the process-global generator; thread a seeded *rand.Rand instead", sel.Sel.Name))
+			return true
+		})
+	}
+	return diags
+}

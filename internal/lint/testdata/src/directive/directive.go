@@ -1,0 +1,44 @@
+// Package directive is testdata for the //pelta:allow parser: well-formed
+// directives suppress, malformed ones are diagnostics and suppress nothing.
+// Exercised programmatically by directive_test.go rather than through the
+// golden want-comment harness, since the findings land on comment lines.
+package directive
+
+import "time"
+
+// Suppressed: well-formed trailing directive.
+func Suppressed() time.Time {
+	return time.Now() //pelta:allow noclock wall-clock stamp at the process edge
+}
+
+// SuppressedLeading: well-formed directive on the line above.
+func SuppressedLeading() time.Time {
+	//pelta:allow noclock wall-clock stamp at the process edge
+	return time.Now()
+}
+
+// MissingReason: the directive lacks a reason — it is itself a diagnostic
+// and the underlying noclock finding still fires.
+func MissingReason() time.Time {
+	//pelta:allow noclock
+	return time.Now()
+}
+
+// UnknownRule: the directive names a rule that does not exist.
+func UnknownRule() time.Time {
+	//pelta:allow nosuchrule because I said so
+	return time.Now()
+}
+
+// WrongRule: a well-formed allow for a different rule does not suppress a
+// noclock finding.
+func WrongRule() time.Time {
+	//pelta:allow maporder reasons belong to their own rule
+	return time.Now()
+}
+
+// Bare: no rule name at all.
+func Bare() time.Time {
+	//pelta:allow
+	return time.Now()
+}

@@ -1,0 +1,75 @@
+// Package intoerr is golden testdata for the intoerr rule. It models the
+// kernel layer's destination-passing contract: *Into/*Raw variants report
+// shape mismatches through an error result.
+package intoerr
+
+import "fmt"
+
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// CopyInto models an error-returning kernel.
+func CopyInto(dst, src *Tensor) error {
+	if len(dst.data) != len(src.data) {
+		return fmt.Errorf("intoerr: size mismatch %v vs %v", dst.shape, src.shape)
+	}
+	copy(dst.data, src.data)
+	return nil
+}
+
+// FillRaw models a Raw variant with a leading result before the error.
+func FillRaw(dst []float32, v float32) (int, error) {
+	for i := range dst {
+		dst[i] = v
+	}
+	return len(dst), nil
+}
+
+// ScaleInto is void: kernels without an error result are never findings.
+func ScaleInto(dst *Tensor, alpha float32) {
+	for i := range dst.data {
+		dst.data[i] *= alpha
+	}
+}
+
+func Bad(dst, src *Tensor) {
+	CopyInto(dst, src) // want `CopyInto returns an error that is discarded`
+}
+
+func BadBlank(dst, src *Tensor) {
+	_ = CopyInto(dst, src) // want `CopyInto returns an error that is assigned to _`
+}
+
+func BadBlankTuple(dst []float32) int {
+	n, _ := FillRaw(dst, 1) // want `FillRaw returns an error that is assigned to _`
+	return n
+}
+
+func BadDefer(dst, src *Tensor) {
+	defer CopyInto(dst, src) // want `CopyInto returns an error that is discarded`
+}
+
+func BadGo(dst, src *Tensor) {
+	go CopyInto(dst, src) // want `CopyInto returns an error that is discarded`
+}
+
+func Good(dst, src *Tensor) error {
+	if err := CopyInto(dst, src); err != nil {
+		return fmt.Errorf("intoerr: %w", err)
+	}
+	return nil
+}
+
+func GoodTuple(dst []float32) (int, error) {
+	return FillRaw(dst, 2)
+}
+
+func GoodVoid(dst *Tensor) {
+	ScaleInto(dst, 0.5)
+}
+
+func Allowed(dst, src *Tensor) {
+	CopyInto(dst, src) //pelta:allow intoerr shapes constructed equal three lines up; cannot mismatch
+}

@@ -1,0 +1,83 @@
+// Package maporder is golden testdata for the maporder rule.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+)
+
+// BadAppend returns keys in randomized iteration order.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is random but the body appends to a slice`
+		out = append(out, k)
+	}
+	return out
+}
+
+// BadWrite streams map entries to a Writer in randomized order.
+func BadWrite(w io.Writer, m map[string]int) {
+	for k := range m { // want `map iteration order is random but the body writes to a Writer`
+		w.Write([]byte(k))
+	}
+}
+
+// BadFormat renders rows through fmt in randomized order.
+func BadFormat(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order is random but the body formats output`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// BadString builds a string iteration by iteration.
+func BadString(m map[string]int) string {
+	s := ""
+	for k := range m { // want `map iteration order is random but the body builds a string`
+		s += k
+	}
+	return s
+}
+
+// GoodSorted is the collect-keys-then-sort idiom: the append inside the
+// map range is fine because the function sorts before the keys are used.
+func GoodSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// GoodSlicesSorted uses package slices for the ordering.
+func GoodSlicesSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// GoodCount performs an order-independent reduction.
+func GoodCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// AllowedUnordered documents an intentionally order-free accumulation.
+func AllowedUnordered(m map[string]int) []int {
+	var vals []int
+	//pelta:allow maporder values are summed by the caller; order never observable
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	return vals
+}

@@ -1,0 +1,62 @@
+// Package noclock is golden testdata for the noclock rule.
+package noclock
+
+import "time"
+
+// Clock is the injected-clock seam; calling through it is always legal.
+type Clock interface {
+	Now() time.Time
+}
+
+func Bad() time.Time {
+	return time.Now() // want `time\.Now reads the process wall clock`
+}
+
+func BadSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the process wall clock`
+}
+
+func BadUntil(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until reads the process wall clock`
+}
+
+func BadSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the process wall clock`
+}
+
+func BadAfter() <-chan time.Time {
+	return time.After(time.Second) // want `time\.After reads the process wall clock`
+}
+
+func BadTimer() bool {
+	t := time.NewTimer(time.Second) // want `time\.NewTimer reads the process wall clock`
+	return t.Stop()
+}
+
+func BadTicker() {
+	tk := time.NewTicker(time.Second) // want `time\.NewTicker reads the process wall clock`
+	tk.Stop()
+}
+
+// BadDefault is the fallback pattern `now = time.Now`: referencing the
+// function without calling it is still a wall-clock dependency.
+func BadDefault(now func() time.Time) func() time.Time {
+	if now == nil {
+		now = time.Now // want `time\.Now reads the process wall clock`
+	}
+	return now
+}
+
+func AllowedLeading() time.Time {
+	//pelta:allow noclock wall-clock stamp at the process edge by design
+	return time.Now()
+}
+
+func AllowedTrailing() time.Time {
+	return time.Now() //pelta:allow noclock wall-clock stamp at the process edge by design
+}
+
+// OKThroughClock uses only the injected seam and time's types/constants.
+func OKThroughClock(c Clock, d time.Duration) time.Time {
+	return c.Now().Add(d).Truncate(time.Millisecond)
+}

@@ -1,0 +1,81 @@
+// Package parallelsum is golden testdata for the parallelsum rule. It
+// models the kernel layer's parallelFor sharding helper.
+package parallelsum
+
+// parallelFor models tensor's worker-pool sharding: body may run
+// concurrently for disjoint [lo,hi) chunks.
+func parallelFor(n, work int, body func(lo, hi int)) {
+	body(0, n)
+}
+
+func BadSum(xs []float32) float32 {
+	var total float32
+	parallelFor(len(xs), len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += xs[i] // want `\+= on float total captured from outside the parallelFor closure`
+		}
+	})
+	return total
+}
+
+func BadSub(xs []float64) float64 {
+	residual := 1.0
+	parallelFor(len(xs), len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			residual -= xs[i] // want `-= on float residual captured from outside the parallelFor closure`
+		}
+	})
+	return residual
+}
+
+type stats struct {
+	sum float64
+}
+
+func BadField(xs []float64) float64 {
+	var s stats
+	parallelFor(len(xs), len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.sum += xs[i] // want `\+= on float s captured from outside the parallelFor closure`
+		}
+	})
+	return s.sum
+}
+
+// GoodPartials is the sanctioned pattern: chunk-local accumulation into a
+// per-chunk slot, reduced serially afterwards.
+func GoodPartials(xs []float32) float32 {
+	partials := make([]float32, 4)
+	parallelFor(4, len(xs), func(lo, hi int) {
+		var local float32
+		for i := lo; i < hi; i++ {
+			local += xs[i]
+		}
+		partials[lo] += local
+	})
+	var total float32
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// GoodIntCount: integer accumulation is a race but not a float
+// determinism hazard; this rule leaves it to the race detector.
+func GoodIntCount(xs []int) int {
+	n := 0
+	parallelFor(len(xs), len(xs), func(lo, hi int) {
+		n += hi - lo
+	})
+	return n
+}
+
+func AllowedApprox(xs []float32) float32 {
+	var approx float32
+	parallelFor(len(xs), len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			approx += xs[i] //pelta:allow parallelsum diagnostic-only running total; never compared bitwise
+		}
+	})
+	return approx
+}

@@ -1,0 +1,104 @@
+// Package poolsafety is golden testdata for the poolsafety rule. It
+// models the tensor.Pool / graph-arena ownership contract locally.
+package poolsafety
+
+type Tensor struct {
+	data []float32
+}
+
+func (t *Tensor) Data() []float32 { return t.data }
+func (t *Tensor) Scrub()          {}
+
+// Pool models tensor.Pool: Get borrows, Put returns, shielded buffers are
+// Scrubbed instead of recycled.
+type Pool struct {
+	free []*Tensor
+}
+
+func (p *Pool) Get(shape ...int) *Tensor     { return &Tensor{data: make([]float32, 1)} }
+func (p *Pool) GetZero(shape ...int) *Tensor { return &Tensor{data: make([]float32, 1)} }
+func (p *Pool) GetInts(n int) []int          { return make([]int, n) }
+func (p *Pool) Put(t *Tensor)                {}
+func (p *Pool) PutInts(buf []int)            {}
+
+// Graph models the pooled autograd arena.
+type Graph struct {
+	pool *Pool
+}
+
+func NewGraphWithPool(p *Pool) *Graph { return &Graph{pool: p} }
+func (g *Graph) Release()             {}
+func (g *Graph) Nodes() int           { return 0 }
+
+func BadLeak(p *Pool) float32 {
+	buf := p.Get(4, 4) // want `Pool\.Get acquired by "buf" is never Put/Released/Scrubbed`
+	return buf.Data()[0]
+}
+
+func BadLeakZero(p *Pool) float32 {
+	buf := p.GetZero(8) // want `Pool\.GetZero acquired by "buf" is never Put/Released/Scrubbed`
+	return buf.Data()[0]
+}
+
+func BadLeakInts(p *Pool) int {
+	idx := p.GetInts(8) // want `Pool\.GetInts acquired by "idx" is never Put/Released/Scrubbed`
+	return idx[0]
+}
+
+func BadGraphLeak(p *Pool) int {
+	g := NewGraphWithPool(p) // want `NewGraphWithPool acquired by "g" is never Put/Released/Scrubbed`
+	return g.Nodes()
+}
+
+func BadShieldedPut(p *Pool, shieldedBuf *Tensor) {
+	p.Put(shieldedBuf) // want `Pool\.Put of shielded value "shieldedBuf" would recycle enclave memory`
+}
+
+func GoodPut(p *Pool) float32 {
+	buf := p.Get(16)
+	v := buf.Data()[0]
+	p.Put(buf)
+	return v
+}
+
+func GoodDeferredRelease(p *Pool) int {
+	g := NewGraphWithPool(p)
+	defer g.Release()
+	return g.Nodes()
+}
+
+func GoodScrubbed(p *Pool) {
+	buf := p.Get(16)
+	buf.Scrub()
+}
+
+// GoodTransfer hands the buffer to the caller; the release obligation
+// moves with it.
+func GoodTransfer(p *Pool) *Tensor {
+	return transferInner(p)
+}
+
+func transferInner(p *Pool) *Tensor {
+	buf := p.Get(16)
+	return buf
+}
+
+// GoodStored stashes the buffer in a struct: ownership escapes.
+type holder struct {
+	scratch *Tensor
+}
+
+func (h *holder) GoodStored(p *Pool) {
+	buf := p.Get(16)
+	h.scratch = buf
+}
+
+func AllowedLeak(p *Pool) float32 {
+	//pelta:allow poolsafety warm-up buffer pinned for the process lifetime
+	warm := p.Get(1024)
+	return warm.Data()[0]
+}
+
+func AllowedShieldedPut(p *Pool, shieldedScratch *Tensor) {
+	p.Put(shieldedScratch) //pelta:allow poolsafety scratch only mirrors shielded shape; holds no enclave bytes
+}

@@ -1,0 +1,43 @@
+// Package seededrand is golden testdata for the seededrand rule.
+package seededrand
+
+import (
+	"math/rand"
+	rv2 "math/rand/v2"
+)
+
+func Bad() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global generator`
+}
+
+func BadFloat() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the process-global generator`
+}
+
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the process-global generator`
+}
+
+func BadPerm(n int) []int {
+	return rand.Perm(n) // want `rand\.Perm draws from the process-global generator`
+}
+
+func BadV2() int {
+	return rv2.IntN(3) // want `rand\.IntN draws from the process-global generator`
+}
+
+// OKSeeded builds a seeded generator through the sanctioned constructors
+// and draws from it; only the package-global entry points are banned.
+func OKSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// OKType references rand.Rand as a type, which is never a finding.
+func OKType(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+func Allowed() float64 {
+	return rand.Float64() //pelta:allow seededrand startup jitter at the process edge, outside any experiment
+}

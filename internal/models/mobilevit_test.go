@@ -44,7 +44,10 @@ func TestMobileViTTrains(t *testing.T) {
 	}
 	d := smallDataset(t, 4, 8, 64)
 	m := NewMobileViT(SmallMobileViT("mvit-train", 4, 8), tensor.NewRNG(3))
-	losses := Train(m, d.X, d.Y, TrainConfig{Epochs: 8, BatchSize: 16, LR: 2e-3, Seed: 1})
+	losses, err := Train(m, d.X, d.Y, TrainConfig{Epochs: 8, BatchSize: 16, LR: 2e-3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if losses[len(losses)-1] >= losses[0] {
 		t.Fatalf("loss did not decrease: %v", losses)
 	}

@@ -206,7 +206,10 @@ func TestTrainOverfitsSmallViT(t *testing.T) {
 	rng := tensor.NewRNG(9)
 	d := smallDataset(t, 4, 8, 64)
 	v := NewViT(SmallViT("vit-train", 4, 8, 4), rng)
-	losses := Train(v, d.X, d.Y, TrainConfig{Epochs: 8, BatchSize: 16, LR: 2e-3, Seed: 1})
+	losses, err := Train(v, d.X, d.Y, TrainConfig{Epochs: 8, BatchSize: 16, LR: 2e-3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if losses[len(losses)-1] >= losses[0] {
 		t.Fatalf("loss did not decrease: %v", losses)
 	}
@@ -222,7 +225,10 @@ func TestTrainOverfitsSmallResNet(t *testing.T) {
 	rng := tensor.NewRNG(10)
 	d := smallDataset(t, 4, 8, 64)
 	r := NewResNet(SmallResNet("rn-train", 4, 8), rng)
-	losses := Train(r, d.X, d.Y, TrainConfig{Epochs: 8, BatchSize: 16, LR: 2e-3, Seed: 1})
+	losses, err := Train(r, d.X, d.Y, TrainConfig{Epochs: 8, BatchSize: 16, LR: 2e-3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if losses[len(losses)-1] >= losses[0] {
 		t.Fatalf("loss did not decrease: %v", losses)
 	}
@@ -238,7 +244,10 @@ func TestTrainOverfitsSmallBiT(t *testing.T) {
 	rng := tensor.NewRNG(11)
 	d := smallDataset(t, 4, 8, 64)
 	b := NewBiT(SmallBiT("bit-train", 4, 8), rng)
-	losses := Train(b, d.X, d.Y, TrainConfig{Epochs: 8, BatchSize: 16, LR: 2e-3, Seed: 1})
+	losses, err := Train(b, d.X, d.Y, TrainConfig{Epochs: 8, BatchSize: 16, LR: 2e-3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if losses[len(losses)-1] >= losses[0] {
 		t.Fatalf("loss did not decrease: %v", losses)
 	}
@@ -270,7 +279,10 @@ func TestBatchGather(t *testing.T) {
 	rng := tensor.NewRNG(13)
 	x := rng.Uniform(0, 1, 5, 3, 4, 4)
 	y := []int{0, 1, 2, 3, 4}
-	bx, by := Batch(x, y, []int{4, 0})
+	bx, by, err := Batch(x, y, []int{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if bx.Dim(0) != 2 || by[0] != 4 || by[1] != 0 {
 		t.Fatalf("batch = %v %v", bx.Shape(), by)
 	}

@@ -26,11 +26,14 @@ func DefaultTrainConfig() TrainConfig {
 }
 
 // Train fits m on (x, y) with Adam + cross-entropy and returns the mean
-// loss of every epoch. x is [N,C,H,W]; y holds N labels.
-func Train(m Model, x *tensor.Tensor, y []int, cfg TrainConfig) []float64 {
+// loss of every epoch. x is [N,C,H,W]; y holds N labels. Mismatched
+// sample/label counts and out-of-range batch indices are reported as
+// errors, not panics: FL clients surface them through UpdateResponse so a
+// malformed shard fails its round loudly instead of corrupting the model.
+func Train(m Model, x *tensor.Tensor, y []int, cfg TrainConfig) ([]float64, error) {
 	n := x.Dim(0)
 	if n != len(y) {
-		panic(fmt.Sprintf("models: Train given %d samples but %d labels", n, len(y)))
+		return nil, fmt.Errorf("models: Train given %d samples but %d labels", n, len(y))
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 32
@@ -64,7 +67,10 @@ func Train(m Model, x *tensor.Tensor, y []int, cfg TrainConfig) []float64 {
 				bx = tensor.New(append([]int{len(idx)}, x.Shape()[1:]...)...)
 				by = make([]int, len(idx))
 			}
-			gatherBatchInto(bx, by, x, y, idx)
+			if err := gatherBatchInto(bx, by, x, y, idx); err != nil {
+				g.Release()
+				return losses, fmt.Errorf("models: Train epoch %d: %w", ep+1, err)
+			}
 			g.Release()
 			_, logits := m.Forward(g, g.Input(bx, "x"))
 			loss, _ := g.CrossEntropy(logits, by, autograd.ReduceMean)
@@ -79,27 +85,37 @@ func Train(m Model, x *tensor.Tensor, y []int, cfg TrainConfig) []float64 {
 		}
 	}
 	g.Release()
-	return losses
+	return losses, nil
 }
 
 // gatherBatch copies the samples at idx into a fresh batch tensor.
-func gatherBatch(x *tensor.Tensor, y []int, idx []int) (*tensor.Tensor, []int) {
+func gatherBatch(x *tensor.Tensor, y []int, idx []int) (*tensor.Tensor, []int, error) {
 	shape := append([]int{len(idx)}, x.Shape()[1:]...)
 	bx := tensor.New(shape...)
 	by := make([]int, len(idx))
-	gatherBatchInto(bx, by, x, y, idx)
-	return bx, by
+	if err := gatherBatchInto(bx, by, x, y, idx); err != nil {
+		return nil, nil, err
+	}
+	return bx, by, nil
 }
 
-// gatherBatchInto copies the samples at idx into pre-allocated buffers.
-func gatherBatchInto(bx *tensor.Tensor, by []int, x *tensor.Tensor, y []int, idx []int) {
+// gatherBatchInto copies the samples at idx into pre-allocated buffers,
+// reporting shape mismatches instead of panicking deep inside CopyFrom.
+func gatherBatchInto(bx *tensor.Tensor, by []int, x *tensor.Tensor, y []int, idx []int) error {
+	if bx.Dim(0) != len(idx) || len(by) != len(idx) {
+		return fmt.Errorf("models: batch buffers sized for %d/%d samples, want %d", bx.Dim(0), len(by), len(idx))
+	}
 	for i, j := range idx {
+		if j < 0 || j >= x.Dim(0) || j >= len(y) {
+			return fmt.Errorf("models: batch index %d out of range over %d samples / %d labels", j, x.Dim(0), len(y))
+		}
 		bx.Slice(i).CopyFrom(x.Slice(j))
 		by[i] = y[j]
 	}
+	return nil
 }
 
 // Batch exposes gatherBatch for evaluation code.
-func Batch(x *tensor.Tensor, y []int, idx []int) (*tensor.Tensor, []int) {
+func Batch(x *tensor.Tensor, y []int, idx []int) (*tensor.Tensor, []int, error) {
 	return gatherBatch(x, y, idx)
 }
