@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"pelta/internal/lint"
@@ -21,14 +22,22 @@ type jsonDiag struct {
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit the report as a JSON array on stdout (for CI artifacts)")
+	format := flag.String("fmt", "text", "output format: text (file:line:col lines) or github (::error workflow annotations)")
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all of "+strings.Join(lint.RuleNames, ",")+")")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: peltalint [-json] [-rules r1,r2] [packages]\n\n"+
-			"Checks the repo's determinism, clock and pool invariants.\n"+
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: peltalint [-json] [-fmt text|github] [-rules r1,r2] [packages]\n\n"+
+			"Checks the repo's determinism, clock, pool and shield-confidentiality\n"+
+			"invariants, including the flow-sensitive rules (shieldtaint, errpath,\n"+
+			"lockorder, clockcomplete) built on the CFG/dataflow engine.\n"+
 			"Exit status: 0 clean, 1 diagnostics found, 2 load failure.\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *format != "text" && *format != "github" {
+		fmt.Fprintf(os.Stderr, "peltalint: unknown -fmt %q (known: text, github)\n", *format)
+		os.Exit(2)
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -56,12 +65,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "peltalint:", err)
 		os.Exit(2)
 	}
-	var all []lint.Diagnostic
-	for _, pkg := range pkgs {
-		all = append(all, lint.Check(pkg, cfg)...)
-	}
+	// One CheckAll over every loaded package: the interprocedural rules
+	// (shieldtaint, lockorder) see cross-package summaries, and the
+	// output is globally (file, line, col, rule)-sorted.
+	all := lint.CheckAll(pkgs, cfg)
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		rows := make([]jsonDiag, 0, len(all))
 		for _, d := range all {
 			rows = append(rows, jsonDiag{Rule: d.Rule, File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column, Message: d.Message})
@@ -72,7 +82,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, "peltalint:", err)
 			os.Exit(2)
 		}
-	} else {
+	case *format == "github":
+		// GitHub workflow-command annotations: findings surface inline on
+		// the PR diff. Message text must keep to one line, and the file
+		// path must be workspace-relative or the annotation floats free of
+		// the diff.
+		wd, _ := os.Getwd()
+		for _, d := range all {
+			msg := strings.ReplaceAll(d.Message, "\n", " ")
+			file := d.Pos.Filename
+			if wd != "" {
+				if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+			}
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=peltalint %s::%s\n",
+				file, d.Pos.Line, d.Pos.Column, d.Rule, msg)
+		}
+	default:
 		for _, d := range all {
 			fmt.Println(d)
 		}

@@ -27,7 +27,10 @@
 //     registry behind the JSON and Prometheus text expositions
 //   - internal/lint     — the peltalint static analyzer: compile-time
 //     enforcement of the repo's determinism, clock-injection, and
-//     pool-hygiene invariants (cmd/peltalint is the CLI / CI gate)
+//     pool-hygiene invariants, plus a CFG/dataflow engine with
+//     interprocedural summaries backing the flow-sensitive rules
+//     (shieldtaint confidentiality tracking, errpath, lockorder,
+//     clockcomplete); cmd/peltalint is the CLI / CI gate
 //
 // bench_test.go regenerates every table and figure; cmd/peltabench is the
 // command-line entry point, cmd/flsim runs federations and scenario sweeps,
@@ -36,4 +39,4 @@
 package pelta
 
 // Version identifies this reproduction release.
-const Version = "1.8.0"
+const Version = "1.9.0"

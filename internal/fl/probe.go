@@ -40,6 +40,11 @@ func (p *probeOracle) oracle(round int) (attack.Oracle, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The oracle's query graphs borrow from a pool and Release them
+		// per pass, but buffers scrubbed into the enclave are withdrawn
+		// from the pool's ownership at Scrub time and never recycled —
+		// pinned by core.TestReleaseNeverRecyclesShieldedBuffers.
+		//pelta:allow shieldtaint Graph.Release never recycles scrubbed enclave buffers
 		so, err := attack.NewShieldedOracle(sm, seed)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,388 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// The control-flow layer: an intraprocedural CFG built directly from the
+// AST. Each function body becomes a graph of basic blocks whose nodes are
+// *simple* statements and branch-condition expressions — compound
+// statements (if/for/switch/select) are decomposed into their condition
+// and body blocks, so a dataflow walk over a block's nodes never descends
+// into a nested body twice. The flow-sensitive rules (shieldtaint,
+// errpath, lockorder) run forward may-analyses over this graph; see
+// dataflow.go.
+//
+// Defer semantics are handled per-rule rather than by cloning exit
+// blocks: a *ast.DeferStmt appears in the block where it executes (its
+// arguments are evaluated there, which is where taint is captured), and
+// the CFG records every defer in funcCFG.defers so a rule that cares
+// about exit-time effects (lockorder: `defer mu.Unlock()` keeps the lock
+// held to the end of the function) can treat them specially.
+
+// cfgBlock is one basic block: a straight-line run of simple statements
+// and condition expressions, ending in zero or more successor edges.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body. exit is a
+// synthetic empty block every return (and the natural fall-off-the-end)
+// flows into.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+	defers []*ast.DeferStmt
+}
+
+// edge links from src to dst unless src is nil (control never reaches).
+func edge(src, dst *cfgBlock) {
+	if src == nil || dst == nil {
+		return
+	}
+	src.succs = append(src.succs, dst)
+}
+
+// cfgBuilder carries the break/continue/goto context during construction.
+type cfgBuilder struct {
+	pkg *Package
+	c   *funcCFG
+	// breakTargets/continueTargets map a label ("" = innermost) to the
+	// block a break/continue jumps to. Entries are pushed per loop/switch
+	// and popped on the way out; innermost wins by stack order.
+	breaks    []labeledTarget
+	continues []labeledTarget
+	labels    map[string]*cfgBlock // goto targets
+	gotos     []pendingGoto
+}
+
+type labeledTarget struct {
+	label string
+	block *cfgBlock
+}
+
+type pendingGoto struct {
+	from  *cfgBlock
+	label string
+}
+
+// buildCFG constructs the CFG for one function body.
+func buildCFG(pkg *Package, body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{pkg: pkg, c: &funcCFG{}, labels: map[string]*cfgBlock{}}
+	b.c.entry = b.newBlock()
+	b.c.exit = b.newBlock()
+	last := b.stmts(body.List, b.c.entry)
+	edge(last, b.c.exit)
+	for _, g := range b.gotos {
+		if t := b.labels[g.label]; t != nil {
+			edge(g.from, t)
+		} else {
+			// Label not found (shouldn't type-check); be conservative.
+			edge(g.from, b.c.exit)
+		}
+	}
+	return b.c
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.c.blocks = append(b.c.blocks, blk)
+	return blk
+}
+
+// target resolves a break/continue target for label (last matching entry;
+// "" matches any, a named label must match exactly).
+func target(stack []labeledTarget, label string) *cfgBlock {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// stmts threads a statement list through cur, returning the block where
+// control continues (nil when control cannot fall through).
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *cfgBlock) *cfgBlock {
+	for i, s := range list {
+		cur = b.stmt(s, cur, "")
+		if cur == nil && i < len(list)-1 {
+			// Unreachable trailing statements still get blocks so their
+			// nodes are walkable (labels inside may be goto targets).
+			cur = b.newBlock()
+		}
+	}
+	return cur
+}
+
+// stmt adds s to the graph starting at cur; label is the pending label
+// naming this statement (for labeled for/switch). It returns the
+// fall-through block, or nil when control cannot continue.
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgBlock, label string) *cfgBlock {
+	if cur == nil {
+		cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur)
+
+	case *ast.LabeledStmt:
+		// A label is both a goto target and the name of the loop/switch it
+		// precedes for break/continue resolution.
+		lblBlock := b.newBlock()
+		edge(cur, lblBlock)
+		b.labels[s.Label.Name] = lblBlock
+		return b.stmt(s.Stmt, lblBlock, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, "")
+		}
+		cur.nodes = append(cur.nodes, s.Cond)
+		thenB := b.newBlock()
+		edge(cur, thenB)
+		thenEnd := b.stmts(s.Body.List, thenB)
+		merge := b.newBlock()
+		edge(thenEnd, merge)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			edge(cur, elseB)
+			edge(b.stmt(s.Else, elseB, ""), merge)
+		} else {
+			edge(cur, merge)
+		}
+		if !hasPred(b.c, merge) {
+			return nil // both arms terminated
+		}
+		return merge
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, "")
+		}
+		head := b.newBlock()
+		edge(cur, head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		after := b.newBlock()
+		body := b.newBlock()
+		edge(head, body)
+		if s.Cond != nil {
+			edge(head, after) // condition false
+		}
+		b.breaks = append(b.breaks, labeledTarget{label, after})
+		b.continues = append(b.continues, labeledTarget{label, head})
+		bodyEnd := b.stmts(s.Body.List, body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		if s.Post != nil {
+			post := b.newBlock()
+			edge(bodyEnd, post)
+			post = b.stmt(s.Post, post, "")
+			edge(post, head) // loop back edge
+		} else {
+			edge(bodyEnd, head) // loop back edge
+		}
+		if s.Cond == nil && !hasPred(b.c, after) {
+			return nil // for {} with no break never falls through
+		}
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		edge(cur, head)
+		// Key/value bindings and the ranged expression live in the header:
+		// they are (re)evaluated per iteration.
+		head.nodes = append(head.nodes, s)
+		after := b.newBlock()
+		body := b.newBlock()
+		edge(head, body)
+		edge(head, after) // range may be empty
+		b.breaks = append(b.breaks, labeledTarget{label, after})
+		b.continues = append(b.continues, labeledTarget{label, head})
+		bodyEnd := b.stmts(s.Body.List, body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		edge(bodyEnd, head) // loop back edge
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, "")
+		}
+		if s.Tag != nil {
+			cur.nodes = append(cur.nodes, s.Tag)
+		}
+		return b.switchBody(cur, s.Body, label)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, "")
+		}
+		// The assign carries the x.(type) expression (and binding).
+		cur.nodes = append(cur.nodes, s.Assign)
+		return b.switchBody(cur, s.Body, label)
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.breaks = append(b.breaks, labeledTarget{label, after})
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			caseB := b.newBlock()
+			edge(cur, caseB)
+			if comm.Comm != nil {
+				caseB = b.stmt(comm.Comm, caseB, "")
+			}
+			edge(b.stmts(comm.Body, caseB), after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if len(s.Body.List) == 0 {
+			edge(cur, after)
+		}
+		if !hasPred(b.c, after) {
+			return nil // select with no default and all arms terminating
+		}
+		return after
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		edge(cur, b.c.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		lbl := ""
+		if s.Label != nil {
+			lbl = s.Label.Name
+		}
+		switch s.Tok.String() {
+		case "break":
+			edge(cur, target(b.breaks, lbl))
+			return nil
+		case "continue":
+			edge(cur, target(b.continues, lbl))
+			return nil
+		case "goto":
+			b.gotos = append(b.gotos, pendingGoto{from: cur, label: lbl})
+			return nil
+		case "fallthrough":
+			// Handled by switchBody wiring; treat as fall-through marker.
+			cur.nodes = append(cur.nodes, s)
+			return cur
+		}
+		return cur
+
+	case *ast.DeferStmt:
+		b.c.defers = append(b.c.defers, s)
+		cur.nodes = append(cur.nodes, s)
+		return cur
+
+	case *ast.ExprStmt:
+		cur.nodes = append(cur.nodes, s)
+		if callTerminates(b.pkg, s.X) {
+			edge(cur, b.c.exit)
+			return nil
+		}
+		return cur
+
+	default:
+		// Assign, Decl, IncDec, Go, Send, Empty — simple statements.
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// switchBody wires the case clauses of a switch/type-switch: every clause
+// is a successor of the header (a may-analysis does not evaluate the
+// tag), fallthrough chains a case body into the next clause's body.
+func (b *cfgBuilder) switchBody(header *cfgBlock, body *ast.BlockStmt, label string) *cfgBlock {
+	after := b.newBlock()
+	b.breaks = append(b.breaks, labeledTarget{label, after})
+	clauses := body.List
+	caseBlocks := make([]*cfgBlock, len(clauses))
+	for i := range clauses {
+		caseBlocks[i] = b.newBlock()
+	}
+	hasDefault := len(clauses) == 0
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		// Case expressions are evaluated while deciding at the header.
+		for _, e := range cc.List {
+			header.nodes = append(header.nodes, e)
+		}
+		edge(header, caseBlocks[i])
+		end := b.stmts(cc.Body, caseBlocks[i])
+		if endsInFallthrough(cc.Body) && i+1 < len(clauses) {
+			edge(end, caseBlocks[i+1])
+		} else {
+			edge(end, after)
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if !hasDefault {
+		edge(header, after) // no case matched
+	}
+	if !hasPred(b.c, after) {
+		return nil
+	}
+	return after
+}
+
+// endsInFallthrough reports whether a case body's last statement is the
+// fallthrough branch.
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+// hasPred reports whether blk has any predecessor edge.
+func hasPred(c *funcCFG, blk *cfgBlock) bool {
+	for _, b := range c.blocks {
+		for _, s := range b.succs {
+			if s == blk {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callTerminates reports whether the expression statement is a call that
+// never returns: panic, os.Exit, log.Fatal*/Panic*, runtime.Goexit. Paths
+// ending in one of these are not "drops" for errpath and hold no locks
+// for lockorder's purposes beyond them.
+func callTerminates(pkg *Package, x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		pn := pkgNameOf(pkg, fn.X)
+		if pn == nil {
+			return false
+		}
+		switch pn.Imported().Path() {
+		case "os":
+			return fn.Sel.Name == "Exit"
+		case "log":
+			switch fn.Sel.Name {
+			case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+				return true
+			}
+		case "runtime":
+			return fn.Sel.Name == "Goexit"
+		}
+	}
+	return false
+}

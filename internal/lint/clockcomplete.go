@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// checkClockComplete is the completeness dual of noclock: noclock bans
+// ambient time.Now/time.Since calls inside clock-scoped packages, and
+// clockcomplete demands that the escape hatch actually exists — every
+// exported constructor returning a type that *holds* wall-clock state
+// (a time.Time field, directly or transitively) must offer a way to
+// inject that clock. Otherwise the type is only constructible on the
+// real clock and the fake-clock reproducibility story silently dies at
+// construction time.
+//
+// A constructor group (all exported New* functions returning the same
+// named type) is satisfied when ANY of:
+//   - some constructor in the group takes a clock-providing parameter:
+//     a `func() time.Time`, a `time.Time`, a named/interface type whose
+//     name contains "Clock", or an interface with a `Now() time.Time`
+//     method (NewMetrics/NewMetricsAt pairs count via the group);
+//   - some constructor takes a config struct with such a clock field;
+//   - the returned type has an exported clock-typed field callers can
+//     set after construction;
+//   - the type threads time explicitly instead of storing a clock: some
+//     exported method takes a time.Time parameter (detect.New's
+//     Observe(now, ...) idiom).
+func checkClockComplete(pkg *Package) []Diagnostic {
+	cc := &clockCompleteChecker{pkg: pkg, timeState: map[*types.Named]bool{}}
+
+	type group struct {
+		ctors    []*ast.FuncDecl
+		injected bool
+	}
+	groups := map[*types.Named]*group{}
+	var order []*types.Named
+
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !fd.Name.IsExported() || !isConstructorName(fd.Name.Name) {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			named := cc.constructedType(sig)
+			if named == nil {
+				continue
+			}
+			g := groups[named]
+			if g == nil {
+				g = &group{}
+				groups[named] = g
+				order = append(order, named)
+			}
+			g.ctors = append(g.ctors, fd)
+			if cc.signatureInjects(sig) {
+				g.injected = true
+			}
+		}
+	}
+
+	sort.Slice(order, func(i, j int) bool { return order[i].Obj().Name() < order[j].Obj().Name() })
+	var diags []Diagnostic
+	for _, named := range order {
+		g := groups[named]
+		if g.injected || !cc.holdsTime(named, 0) {
+			continue
+		}
+		if cc.exportedClockField(named) || cc.threadsNow(named) {
+			continue
+		}
+		for _, fd := range g.ctors {
+			diags = append(diags, diag(pkg, "clockcomplete", fd.Name.Pos(),
+				"exported constructor %s returns %s, which holds time.Time state, but provides no injectable clock (accept a Clock/func() time.Time/time.Time, expose a clock field, or thread `now` through exported methods)",
+				fd.Name.Name, named.Obj().Name()))
+		}
+	}
+	return diags
+}
+
+type clockCompleteChecker struct {
+	pkg       *Package
+	timeState map[*types.Named]bool // memoized holdsTime results
+}
+
+// isConstructorName matches the repo's constructor convention.
+func isConstructorName(name string) bool {
+	return name == "New" || (len(name) > 3 && name[:3] == "New")
+}
+
+// constructedType resolves the named struct type a constructor returns:
+// the first (pointer-to-)named-struct result declared in this package.
+func (cc *clockCompleteChecker) constructedType(sig *types.Signature) *types.Named {
+	for i := 0; i < sig.Results().Len(); i++ {
+		named, ok := derefType(sig.Results().At(i).Type()).(*types.Named)
+		if !ok || named.Obj().Pkg() != cc.pkg.Types {
+			continue
+		}
+		if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+			return named
+		}
+	}
+	return nil
+}
+
+// holdsTime reports whether a value of the named type carries a
+// time.Time field, looking through same-package struct fields and
+// embeddings to a small depth. time.Duration does not count: durations
+// are clock-free.
+func (cc *clockCompleteChecker) holdsTime(named *types.Named, depth int) bool {
+	if depth > 3 {
+		return false
+	}
+	if v, memoized := cc.timeState[named]; memoized && depth == 0 {
+		return v
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	holds := false
+	for i := 0; i < st.NumFields() && !holds; i++ {
+		ft := st.Field(i).Type()
+		if isTimeTime(ft) {
+			holds = true
+			break
+		}
+		switch t := derefType(ft).(type) {
+		case *types.Named:
+			if t.Obj().Pkg() == cc.pkg.Types || st.Field(i).Embedded() {
+				holds = cc.holdsTime(t, depth+1)
+			}
+		case *types.Slice:
+			if n, ok := derefType(t.Elem()).(*types.Named); ok && n.Obj().Pkg() == cc.pkg.Types {
+				holds = cc.holdsTime(n, depth+1)
+			}
+		case *types.Map:
+			if n, ok := derefType(t.Elem()).(*types.Named); ok && n.Obj().Pkg() == cc.pkg.Types {
+				holds = cc.holdsTime(n, depth+1)
+			}
+		}
+	}
+	if depth == 0 {
+		cc.timeState[named] = holds
+	}
+	return holds
+}
+
+// signatureInjects reports whether any parameter provides a clock,
+// directly or via a config struct.
+func (cc *clockCompleteChecker) signatureInjects(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		pt := params.At(i).Type()
+		if isClockish(pt) {
+			return true
+		}
+		// Config struct with a clock field (exported or not: the
+		// constructor itself copies it in).
+		if st, ok := derefType(pt).Underlying().(*types.Struct); ok {
+			if named, isNamed := derefType(pt).(*types.Named); !isNamed || named.Obj().Pkg() == cc.pkg.Types {
+				for j := 0; j < st.NumFields(); j++ {
+					if isClockish(st.Field(j).Type()) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// exportedClockField reports whether the type exposes a settable
+// exported clock field.
+func (cc *clockCompleteChecker) exportedClockField(named *types.Named) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Exported() && isClockish(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// threadsNow reports whether the type uses the threaded-now idiom: an
+// exported method taking an explicit time.Time parameter, making the
+// stored timestamps caller-controlled.
+func (cc *clockCompleteChecker) threadsNow(named *types.Named) bool {
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if !m.Exported() {
+			continue
+		}
+		sig := m.Type().(*types.Signature)
+		for j := 0; j < sig.Params().Len(); j++ {
+			if isTimeTime(sig.Params().At(j).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isTimeTime reports whether t is exactly time.Time.
+func isTimeTime(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "time" && n.Obj().Name() == "Time"
+}
+
+// isClockish reports whether t can deliver the current time under the
+// caller's control: time.Time itself, func() time.Time, a named type
+// whose name contains "Clock", or an interface with Now() time.Time.
+func isClockish(t types.Type) bool {
+	if isTimeTime(t) {
+		return true
+	}
+	if sig, ok := t.Underlying().(*types.Signature); ok {
+		return sig.Params().Len() == 0 && sig.Results().Len() == 1 && isTimeTime(sig.Results().At(0).Type())
+	}
+	if named, ok := derefType(t).(*types.Named); ok {
+		if containsClockName(named.Obj().Name()) {
+			return true
+		}
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		for i := 0; i < iface.NumMethods(); i++ {
+			m := iface.Method(i)
+			sig := m.Type().(*types.Signature)
+			if m.Name() == "Now" && sig.Params().Len() == 0 && sig.Results().Len() == 1 && isTimeTime(sig.Results().At(0).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func containsClockName(name string) bool {
+	for i := 0; i+5 <= len(name); i++ {
+		seg := name[i : i+5]
+		if seg == "Clock" || seg == "clock" {
+			return true
+		}
+	}
+	return false
+}

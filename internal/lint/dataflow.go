@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// The dataflow layer: a forward may-analysis over the CFG with a small
+// join-semilattice of facts. State maps a fact key (a types.Object, a
+// lock identity string, a definition position — whatever the rule tracks)
+// to a bitmask; join is pointwise OR, so a fact holds at a program point
+// iff it holds on SOME path reaching it. The engine computes block-entry
+// states to fixpoint; rules then make a reporting walk through each block
+// re-applying the transfer function node by node.
+
+// flowState maps fact keys to label bitmasks. The zero mask is never
+// stored (delete instead), so map length is the fact count.
+type flowState map[any]uint64
+
+func (s flowState) clone() flowState {
+	t := make(flowState, len(s))
+	for k, v := range s {
+		t[k] = v
+	}
+	return t
+}
+
+// joinInto ORs src into dst, reporting whether dst changed.
+func joinInto(dst, src flowState) bool {
+	changed := false
+	for k, v := range src {
+		if dst[k]&v != v {
+			dst[k] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// transferFn mutates st with the effect of one CFG node.
+type transferFn func(n ast.Node, st flowState)
+
+// forwardMay iterates the transfer function to fixpoint and returns the
+// entry state of every block. entry seeds the function's entry block
+// (parameter facts for taint summaries; nil otherwise).
+func forwardMay(c *funcCFG, entry flowState, tf transferFn) map[*cfgBlock]flowState {
+	in := make(map[*cfgBlock]flowState, len(c.blocks))
+	for _, b := range c.blocks {
+		in[b] = flowState{}
+	}
+	if entry != nil {
+		joinInto(in[c.entry], entry)
+	}
+	// Worklist seeded in construction order (roughly reverse post-order
+	// for the structured CFGs the builder emits).
+	work := make([]*cfgBlock, len(c.blocks))
+	copy(work, c.blocks)
+	queued := make(map[*cfgBlock]bool, len(c.blocks))
+	for _, b := range work {
+		queued[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := in[b].clone()
+		for _, n := range b.nodes {
+			tf(n, out)
+		}
+		for _, succ := range b.succs {
+			if joinInto(in[succ], out) && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// walkBlocks re-runs the transfer over every block from its fixpoint
+// entry state, invoking visit with the state holding *before* each node.
+// This is the reporting pass: visit sees exactly the facts that may reach
+// the node.
+func walkBlocks(c *funcCFG, in map[*cfgBlock]flowState, tf transferFn, visit func(n ast.Node, st flowState)) {
+	for _, b := range c.blocks {
+		st := in[b].clone()
+		for _, n := range b.nodes {
+			visit(n, st)
+			tf(n, st)
+		}
+	}
+}
+
+// exitState returns the fixpoint entry state of the synthetic exit block:
+// the facts that may hold when the function returns on some path.
+func exitState(c *funcCFG, in map[*cfgBlock]flowState) flowState {
+	return in[c.exit]
+}

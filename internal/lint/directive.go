@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"go/ast"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -13,19 +15,60 @@ type allowDirective struct {
 	reason string
 }
 
-// allowSet indexes well-formed allow directives by file and line.
-type allowSet map[string]map[int][]allowDirective
+// allowRange extends a directive's reach over a multi-line statement:
+// a //pelta:allow on any line of the statement (or the line above it)
+// covers diagnostics anywhere in the statement's line span. Statements
+// containing function literals are excluded — a directive on a `defer
+// func() {` line must not blanket the whole closure body; directives
+// inside the body attach to the body's own statements instead.
+type allowRange struct {
+	start, end int
+	rule       string
+}
+
+// allowSet indexes well-formed allow directives by file: exact lines for
+// the single-line case, statement extents for multi-line statements.
+type allowSet struct {
+	lines  map[string]map[int][]allowDirective
+	ranges map[string][]allowRange
+}
+
+func newAllowSet() allowSet {
+	return allowSet{lines: map[string]map[int][]allowDirective{}, ranges: map[string][]allowRange{}}
+}
+
+// merge folds other's directives into s (the per-package → global step;
+// filenames are absolute, so there are no collisions to resolve).
+func (s allowSet) merge(other allowSet) {
+	for file, lines := range other.lines {
+		s.lines[file] = lines
+	}
+	files := make([]string, 0, len(other.ranges))
+	for file := range other.ranges {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		s.ranges[file] = append(s.ranges[file], other.ranges[file]...)
+	}
+}
 
 // suppresses reports whether d carries a matching directive: an allow for
-// the same rule on the diagnostic's own line (trailing comment) or on the
-// line directly above it (leading comment).
+// the same rule on the diagnostic's own line (trailing comment), on the
+// line directly above it (leading comment), or anywhere on a multi-line
+// statement enclosing the diagnostic.
 func (s allowSet) suppresses(d Diagnostic) bool {
-	lines := s[d.Pos.Filename]
+	lines := s.lines[d.Pos.Filename]
 	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
 		for _, a := range lines[ln] {
 			if a.rule == d.Rule {
 				return true
 			}
+		}
+	}
+	for _, r := range s.ranges[d.Pos.Filename] {
+		if r.rule == d.Rule && d.Pos.Line >= r.start && d.Pos.Line <= r.end {
+			return true
 		}
 	}
 	return false
@@ -38,7 +81,7 @@ const allowPrefix = "//pelta:allow"
 // returned as "directive" diagnostics and do NOT suppress anything: an
 // opt-out must always say which rule it disarms and why.
 func collectDirectives(pkg *Package) (allowSet, []Diagnostic) {
-	allows := allowSet{}
+	allows := newAllowSet()
 	var diags []Diagnostic
 	known := map[string]bool{}
 	for _, r := range RuleNames {
@@ -80,10 +123,10 @@ func collectDirectives(pkg *Package) (allowSet, []Diagnostic) {
 					})
 					continue
 				}
-				file := allows[pos.Filename]
+				file := allows.lines[pos.Filename]
 				if file == nil {
 					file = map[int][]allowDirective{}
-					allows[pos.Filename] = file
+					allows.lines[pos.Filename] = file
 				}
 				file[pos.Line] = append(file[pos.Line], allowDirective{
 					file: pos.Filename, line: pos.Line, rule: rule, reason: reason,
@@ -91,5 +134,48 @@ func collectDirectives(pkg *Package) (allowSet, []Diagnostic) {
 			}
 		}
 	}
+	collectRanges(pkg, allows)
 	return allows, diags
+}
+
+// collectRanges widens directives attached to multi-line simple
+// statements into statement-extent ranges. A diagnostic anchored on,
+// say, the third line of a wrapped call is still covered by the allow on
+// the statement's first line or the line above it.
+func collectRanges(pkg *Package, allows allowSet) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.DeclStmt,
+				*ast.SendStmt, *ast.IncDecStmt, *ast.DeferStmt, *ast.GoStmt:
+			default:
+				return true
+			}
+			pos := pkg.Fset.Position(n.Pos())
+			end := pkg.Fset.Position(n.End()).Line
+			if end <= pos.Line || containsFuncLit(n) {
+				return true
+			}
+			fileLines := allows.lines[pos.Filename]
+			for ln := pos.Line - 1; ln <= end; ln++ {
+				for _, a := range fileLines[ln] {
+					allows.ranges[pos.Filename] = append(allows.ranges[pos.Filename],
+						allowRange{start: pos.Line, end: end, rule: a.rule})
+				}
+			}
+			return true
+		})
+	}
+}
+
+// containsFuncLit reports whether the statement nests a function literal.
+func containsFuncLit(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
 }

@@ -26,8 +26,14 @@ func (d Diagnostic) String() string {
 
 // RuleNames lists every rule in the order reports group them. "directive"
 // is not listed: it guards the opt-out mechanism itself and cannot be
-// disabled or suppressed.
-var RuleNames = []string{"noclock", "seededrand", "maporder", "intoerr", "poolsafety", "parallelsum"}
+// disabled or suppressed. The first six are the syntactic (per-statement)
+// rules; shieldtaint, errpath, lockorder and clockcomplete are the
+// flow-sensitive rules built on the CFG/dataflow engine (cfg.go,
+// dataflow.go, summary.go).
+var RuleNames = []string{
+	"noclock", "seededrand", "maporder", "intoerr", "poolsafety", "parallelsum",
+	"shieldtaint", "errpath", "lockorder", "clockcomplete",
+}
 
 // Default scopes: which package paths each scoped rule applies to. A scope
 // entry matches a package whose import path equals it, starts with it, or
@@ -45,6 +51,14 @@ var (
 	// DefaultIntoScope lists the packages whose *Into/*Raw kernel calls
 	// must not discard error results.
 	DefaultIntoScope = []string{"internal/tensor", "internal/autograd", "internal/nn", "internal/models"}
+	// DefaultTaintScope lists the packages shieldtaint audits: everywhere
+	// shielded buffers are produced (core, tee), recycled (via tensor
+	// pools used from core/fl), or could leak (serve, fl, obs).
+	DefaultTaintScope = []string{"internal/core", "internal/tee", "internal/serve", "internal/fl", "internal/obs"}
+	// DefaultLockScope lists the packages lockorder audits for AB/BA
+	// mutex cycles: the concurrent serving, FL-transport and detection
+	// layers.
+	DefaultLockScope = []string{"internal/serve", "internal/fl", "internal/detect"}
 )
 
 // Config selects rules and scopes. The zero value enables every rule with
@@ -53,11 +67,16 @@ type Config struct {
 	// Rules enables a subset by name; nil enables all rules.
 	Rules map[string]bool
 	// ClockScope/RandScope/IntoScope override the package scopes of the
-	// noclock, seededrand and intoerr rules (nil = defaults). The other
-	// three rules apply to every checked package.
+	// noclock, seededrand and intoerr rules (nil = defaults). TaintScope
+	// and LockScope do the same for shieldtaint and lockorder;
+	// clockcomplete shares ClockScope with noclock. The remaining rules
+	// (maporder, poolsafety, parallelsum, errpath) apply to every
+	// checked package.
 	ClockScope []string
 	RandScope  []string
 	IntoScope  []string
+	TaintScope []string
+	LockScope  []string
 }
 
 func (c *Config) enabled(rule string) bool {
@@ -88,6 +107,20 @@ func (c *Config) intoScope() []string {
 	return c.IntoScope
 }
 
+func (c *Config) taintScope() []string {
+	if c == nil || c.TaintScope == nil {
+		return DefaultTaintScope
+	}
+	return c.TaintScope
+}
+
+func (c *Config) lockScope() []string {
+	if c == nil || c.LockScope == nil {
+		return DefaultLockScope
+	}
+	return c.LockScope
+}
+
 // inScope reports whether importPath falls under any scope entry.
 func inScope(importPath string, scope []string) bool {
 	for _, s := range scope {
@@ -99,32 +132,70 @@ func inScope(importPath string, scope []string) bool {
 	return false
 }
 
-// Check runs every enabled rule over pkg and returns the surviving
-// diagnostics sorted by position. Diagnostics carrying a matching
-// //pelta:allow directive (same line or the line above) are suppressed;
-// malformed directives are themselves reported and never suppress.
+// Check runs every enabled rule over one package. It is CheckAll
+// restricted to a single-package universe: interprocedural summaries
+// only cover pkg itself, so cross-package taint/lock flows need CheckAll.
 func Check(pkg *Package, cfg *Config) []Diagnostic {
-	var diags []Diagnostic
-	allows, dirDiags := collectDirectives(pkg)
-	diags = append(diags, dirDiags...)
+	return CheckAll([]*Package{pkg}, cfg)
+}
 
-	if cfg.enabled("noclock") && inScope(pkg.ImportPath, cfg.clockScope()) {
-		diags = append(diags, checkNoClock(pkg)...)
+// CheckAll runs every enabled rule over the loaded packages and returns
+// the surviving diagnostics in the global (file, line, col, rule) order.
+// Function summaries for the interprocedural rules (shieldtaint,
+// lockorder) are computed bottom-up over the whole package set first, so
+// a flow through a helper in another checked package is still caught.
+// Diagnostics carrying a matching //pelta:allow directive are
+// suppressed; malformed directives are themselves reported and never
+// suppress.
+func CheckAll(pkgs []*Package, cfg *Config) []Diagnostic {
+	var idx *summaryIndex
+	if cfg.enabled("shieldtaint") || cfg.enabled("lockorder") {
+		idx = buildSummaries(pkgs)
 	}
-	if cfg.enabled("seededrand") && inScope(pkg.ImportPath, cfg.randScope()) {
-		diags = append(diags, checkSeededRand(pkg)...)
+
+	var diags []Diagnostic
+	allows := newAllowSet()
+	for _, pkg := range pkgs {
+		pkgAllows, dirDiags := collectDirectives(pkg)
+		allows.merge(pkgAllows)
+		diags = append(diags, dirDiags...)
+
+		if cfg.enabled("noclock") && inScope(pkg.ImportPath, cfg.clockScope()) {
+			diags = append(diags, checkNoClock(pkg)...)
+		}
+		if cfg.enabled("seededrand") && inScope(pkg.ImportPath, cfg.randScope()) {
+			diags = append(diags, checkSeededRand(pkg)...)
+		}
+		if cfg.enabled("maporder") {
+			diags = append(diags, checkMapOrder(pkg)...)
+		}
+		if cfg.enabled("intoerr") && inScope(pkg.ImportPath, cfg.intoScope()) {
+			diags = append(diags, checkIntoErr(pkg)...)
+		}
+		if cfg.enabled("poolsafety") {
+			diags = append(diags, checkPoolSafety(pkg)...)
+		}
+		if cfg.enabled("parallelsum") {
+			diags = append(diags, checkParallelSum(pkg)...)
+		}
+		if cfg.enabled("shieldtaint") && inScope(pkg.ImportPath, cfg.taintScope()) {
+			diags = append(diags, checkShieldTaint(pkg, idx)...)
+		}
+		if cfg.enabled("errpath") {
+			diags = append(diags, checkErrPath(pkg)...)
+		}
+		if cfg.enabled("clockcomplete") && inScope(pkg.ImportPath, cfg.clockScope()) {
+			diags = append(diags, checkClockComplete(pkg)...)
+		}
 	}
-	if cfg.enabled("maporder") {
-		diags = append(diags, checkMapOrder(pkg)...)
-	}
-	if cfg.enabled("intoerr") && inScope(pkg.ImportPath, cfg.intoScope()) {
-		diags = append(diags, checkIntoErr(pkg)...)
-	}
-	if cfg.enabled("poolsafety") {
-		diags = append(diags, checkPoolSafety(pkg)...)
-	}
-	if cfg.enabled("parallelsum") {
-		diags = append(diags, checkParallelSum(pkg)...)
+	if cfg.enabled("lockorder") {
+		var scoped []*Package
+		for _, pkg := range pkgs {
+			if inScope(pkg.ImportPath, cfg.lockScope()) {
+				scoped = append(scoped, pkg)
+			}
+		}
+		diags = append(diags, checkLockOrder(scoped, idx)...)
 	}
 
 	kept := diags[:0]
@@ -134,8 +205,15 @@ func Check(pkg *Package, cfg *Config) []Diagnostic {
 		}
 		kept = append(kept, d)
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i].Pos, kept[j].Pos
+	SortDiagnostics(kept)
+	return kept
+}
+
+// SortDiagnostics orders diagnostics by (file, line, column, rule, message)
+// so output is byte-stable across runs and package-load order.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -145,9 +223,11 @@ func Check(pkg *Package, cfg *Config) []Diagnostic {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return kept[i].Rule < kept[j].Rule
+		if diags[i].Rule != diags[j].Rule {
+			return diags[i].Rule < diags[j].Rule
+		}
+		return diags[i].Message < diags[j].Message
 	})
-	return kept
 }
 
 // diag builds a Diagnostic for a node position.

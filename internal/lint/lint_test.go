@@ -18,6 +18,10 @@ var ruleCases = []struct {
 	{"intoerr", &Config{Rules: map[string]bool{"intoerr": true}, IntoScope: []string{"intoerr"}}},
 	{"poolsafety", &Config{Rules: map[string]bool{"poolsafety": true}}},
 	{"parallelsum", &Config{Rules: map[string]bool{"parallelsum": true}}},
+	{"shieldtaint", &Config{Rules: map[string]bool{"shieldtaint": true}, TaintScope: []string{"shieldtaint"}}},
+	{"errpath", &Config{Rules: map[string]bool{"errpath": true}}},
+	{"lockorder", &Config{Rules: map[string]bool{"lockorder": true}, LockScope: []string{"lockorder"}}},
+	{"clockcomplete", &Config{Rules: map[string]bool{"clockcomplete": true}, ClockScope: []string{"clockcomplete"}}},
 }
 
 // TestGoldenDiagnostics runs every rule against its testdata package and
@@ -34,6 +38,16 @@ func TestGoldenDiagnostics(t *testing.T) {
 	}
 }
 
+// TestAllowStatementExtent pins //pelta:allow attachment on multi-line
+// statements and inside defer/closure bodies (testdata/src/allowext):
+// a directive anywhere on a wrapped statement — or the line above it —
+// covers diagnostics across the statement's extent, while a directive on
+// a defer header does NOT blanket the closure body.
+func TestAllowStatementExtent(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "src", "allowext"),
+		&Config{Rules: map[string]bool{"noclock": true}, ClockScope: []string{"allowext"}})
+}
+
 // TestRuleDisabled proves the config wiring: with the rule switched off,
 // the same testdata produces zero diagnostics.
 func TestRuleDisabled(t *testing.T) {
@@ -48,6 +62,8 @@ func TestRuleDisabled(t *testing.T) {
 				ClockScope: tc.cfg.ClockScope,
 				RandScope:  tc.cfg.RandScope,
 				IntoScope:  tc.cfg.IntoScope,
+				TaintScope: tc.cfg.TaintScope,
+				LockScope:  tc.cfg.LockScope,
 			}
 			if diags := Check(pkg, off); len(diags) != 0 {
 				t.Fatalf("rule %s disabled but produced %d diagnostics, first: %s", tc.rule, len(diags), diags[0])
@@ -151,6 +167,39 @@ func runGolden(t *testing.T, dir string, cfg *Config) {
 	}
 }
 
+// TestSortDiagnosticsStable pins the global report order: (file, line,
+// column, rule, message), independent of production order — so -json
+// output is byte-stable across runs and package-load order.
+func TestSortDiagnosticsStable(t *testing.T) {
+	mk := func(file string, line, col int, rule, msg string) Diagnostic {
+		d := Diagnostic{Rule: rule, Message: msg}
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column = file, line, col
+		return d
+	}
+	want := []Diagnostic{
+		mk("a.go", 1, 1, "errpath", "x"),
+		mk("a.go", 1, 1, "noclock", "x"),
+		mk("a.go", 1, 2, "noclock", "x"),
+		mk("a.go", 2, 1, "maporder", "a"),
+		mk("a.go", 2, 1, "maporder", "b"),
+		mk("b.go", 1, 1, "lockorder", "x"),
+	}
+	// Three adversarial production orders, including reversed.
+	perms := [][]int{{5, 4, 3, 2, 1, 0}, {2, 0, 5, 1, 4, 3}, {3, 5, 0, 4, 2, 1}}
+	for _, perm := range perms {
+		got := make([]Diagnostic, len(want))
+		for i, j := range perm {
+			got[i] = want[j]
+		}
+		SortDiagnostics(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("perm %v: position %d = %v, want %v", perm, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // TestDiagnosticString pins the report line format CI greps.
 func TestDiagnosticString(t *testing.T) {
 	d := Diagnostic{Rule: "noclock", Message: "boom"}
@@ -179,5 +228,18 @@ func TestDefaultScopes(t *testing.T) {
 	}
 	if inScope("pelta/cmd/peltaserve", DefaultClockScope) {
 		t.Error("cmd/ must stay outside the clock scope: process edges stamp wall time")
+	}
+	for _, p := range []string{"internal/core", "internal/tee", "internal/serve", "internal/fl", "internal/obs"} {
+		if !inScope("pelta/"+p, DefaultTaintScope) {
+			t.Errorf("taint scope lost %s", p)
+		}
+	}
+	for _, p := range []string{"internal/serve", "internal/fl", "internal/detect"} {
+		if !inScope("pelta/"+p, DefaultLockScope) {
+			t.Errorf("lock scope lost %s", p)
+		}
+	}
+	if inScope("pelta/internal/attack", DefaultTaintScope) {
+		t.Error("attack stays outside the taint scope: the attacker-side oracle is MEANT to study shielded outputs")
 	}
 }

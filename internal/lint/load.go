@@ -28,6 +28,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Imports lists the package's direct imports, for the bottom-up
+	// summary sweep's topological order. Empty for LoadDir packages
+	// (testdata fixtures import at most the standard library).
+	Imports []string
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -36,6 +40,7 @@ type listPkg struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	DepOnly    bool
 	Error      *struct{ Err string }
 }
@@ -93,6 +98,7 @@ func Load(patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.Imports = t.Imports
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil

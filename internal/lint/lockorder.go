@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkLockOrder enforces pairwise mutex acquisition-order consistency
+// across the lock-scoped packages (internal/{serve,fl,detect}): if some
+// path acquires lock A while holding B and another path acquires B while
+// holding A, the two can deadlock. The rule runs the held-lock
+// may-analysis over every function's CFG, records every ordered
+// acquisition edge (held → acquired), extends edges through callees via
+// the acquires summaries, and reports every AB/BA cycle at both sites.
+//
+// `defer mu.Unlock()` is deliberately ignored by the transfer: the lock
+// stays held until the function exits, which is exactly when deferred
+// unlocks run.
+func checkLockOrder(pkgs []*Package, idx *summaryIndex) []Diagnostic {
+	lc := &lockChecker{idx: idx, edges: map[lockEdge]lockSite{}}
+	for _, pkg := range pkgs {
+		lc.pkg = pkg
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				c := buildCFG(pkg, fd.Body)
+				in := forwardMay(c, nil, lc.transfer)
+				walkBlocks(c, in, lc.transfer, func(ast.Node, flowState) {})
+			}
+		}
+	}
+	return lc.cycles()
+}
+
+// lockEdge is one observed ordering: `to` acquired while `from` is held.
+type lockEdge struct{ from, to string }
+
+// lockSite remembers where an edge was first observed.
+type lockSite struct {
+	pkg *Package
+	pos token.Pos
+}
+
+type lockChecker struct {
+	pkg   *Package
+	idx   *summaryIndex
+	edges map[lockEdge]lockSite
+}
+
+// transfer updates the held-lock set for one CFG node and records
+// ordering edges as acquisitions happen. With a may-analysis the held
+// set at a point is the union over paths, which over-approximates —
+// exactly what a deadlock check wants.
+func (lc *lockChecker) transfer(n ast.Node, st flowState) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return // deferred unlocks keep the lock held to exit
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false // closure bodies run elsewhere
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		lc.call(call, st)
+		return true
+	})
+}
+
+// call applies one call's lock effect.
+func (lc *lockChecker) call(call *ast.CallExpr, st flowState) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id := lockIdent(lc.pkg, sel); id != "" {
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				lc.acquire(id, call.Pos(), st)
+				return
+			case "Unlock", "RUnlock":
+				delete(st, lockKey(id))
+				return
+			}
+		}
+	}
+	// A callee that (transitively) acquires locks imposes held → callee
+	// orderings at the call site. The callee releases before returning
+	// (or its own analysis flags it), so the held set is unchanged.
+	fn := calleeFunc(lc.pkg, call)
+	if fn == nil {
+		return
+	}
+	acq := lc.idx.acquires[summaryKey(fn)]
+	for inner := range acq {
+		for k := range st {
+			held, ok := k.(lockKey)
+			if !ok || string(held) == inner {
+				continue
+			}
+			lc.record(lockEdge{from: string(held), to: inner}, call.Pos())
+		}
+	}
+}
+
+func (lc *lockChecker) acquire(id string, pos token.Pos, st flowState) {
+	for k := range st {
+		if held, ok := k.(lockKey); ok && string(held) != id {
+			lc.record(lockEdge{from: string(held), to: id}, pos)
+		}
+	}
+	st[lockKey(id)] = 1
+}
+
+func (lc *lockChecker) record(e lockEdge, pos token.Pos) {
+	if _, seen := lc.edges[e]; !seen {
+		lc.edges[e] = lockSite{pkg: lc.pkg, pos: pos}
+	}
+}
+
+// cycles reports every AB/BA pair among the recorded edges, at both
+// acquisition sites.
+func (lc *lockChecker) cycles() []Diagnostic {
+	var diags []Diagnostic
+	keys := make([]lockEdge, 0, len(lc.edges))
+	for e := range lc.edges {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, e := range keys {
+		rev := lockEdge{from: e.to, to: e.from}
+		revSite, ok := lc.edges[rev]
+		if !ok || e.from >= e.to {
+			continue // report each pair once, from the lexically smaller edge
+		}
+		site := lc.edges[e]
+		diags = append(diags,
+			diag(site.pkg, "lockorder", site.pos,
+				"%s acquired while holding %s, but the opposite order occurs at %s (AB/BA deadlock risk)",
+				e.to, e.from, shortPos(revSite.pkg, revSite.pos)),
+			diag(revSite.pkg, "lockorder", revSite.pos,
+				"%s acquired while holding %s, but the opposite order occurs at %s (AB/BA deadlock risk)",
+				e.from, e.to, shortPos(site.pkg, site.pos)),
+		)
+	}
+	return diags
+}
+
+// shortPos renders a cross-reference position as base-file:line.
+func shortPos(pkg *Package, pos token.Pos) string {
+	p := pkg.Fset.Position(pos)
+	file := p.Filename
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}
+
+// lockKey distinguishes held-lock facts from other rules' fact keys.
+type lockKey string
+
+// lockIdent names the mutex a Lock/Unlock selector targets, as a stable
+// string identity: "pkg.Type.field" for a struct-owned mutex,
+// "pkg.name" for a package-level one. Returns "" when the receiver is
+// not a mutex or its identity is dynamic.
+func lockIdent(pkg *Package, sel *ast.SelectorExpr) string {
+	recv := ast.Unparen(sel.X)
+	if u, ok := recv.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		recv = ast.Unparen(u.X)
+	}
+	tv, ok := pkg.Info.Types[recv]
+	if !ok {
+		return ""
+	}
+	switch name := namedTypeName(tv.Type); name {
+	case "Mutex", "RWMutex":
+	default:
+		return ""
+	}
+	switch r := recv.(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[r]
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return lastSeg(obj.Pkg().Path()) + "." + r.Name
+		}
+		// A local or parameter mutex has no stable cross-function
+		// identity worth ordering.
+		return ""
+	case *ast.SelectorExpr:
+		// s.mu, s.metrics.mu, ... — identity is the owner's named type
+		// plus the field name, so every method of the type agrees on it.
+		ownerTv, ok := pkg.Info.Types[r.X]
+		if !ok {
+			return ""
+		}
+		named, ok := derefType(ownerTv.Type).(*types.Named)
+		if !ok {
+			return ""
+		}
+		pkgSeg := ""
+		if named.Obj().Pkg() != nil {
+			pkgSeg = lastSeg(named.Obj().Pkg().Path()) + "."
+		}
+		return pkgSeg + named.Obj().Name() + "." + r.Sel.Name
+	}
+	return ""
+}
+
+// lastSeg returns the final path segment.
+func lastSeg(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// updateLockSummary recomputes fd's transitive lock-acquisition set —
+// every mutex a call to fd may take — reporting whether it changed. The
+// summary is flow-insensitive (a set, not an order): ordering is imposed
+// at call sites by the caller's held set.
+func updateLockSummary(pkg *Package, idx *summaryIndex, fd *ast.FuncDecl) bool {
+	obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	key := summaryKey(obj)
+	acq := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				if id := lockIdent(pkg, sel); id != "" {
+					acq[id] = true
+					return true
+				}
+			}
+		}
+		if fn := calleeFunc(pkg, call); fn != nil {
+			for inner := range idx.acquires[summaryKey(fn)] {
+				acq[inner] = true
+			}
+		}
+		return true
+	})
+	old := idx.acquires[key]
+	if len(old) == len(acq) {
+		same := true
+		for k := range acq {
+			if !old[k] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return false
+		}
+	}
+	idx.acquires[key] = acq
+	return true
+}

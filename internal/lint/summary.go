@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The interprocedural layer: bottom-up function summaries computed over
+// the package graph `go list -export -deps` already supplies to the
+// loader. A summary abstracts one function for its callers:
+//
+//   - taint flow: which result positions carry taint given tainted
+//     parameters (and which are tainted unconditionally, e.g. a wrapper
+//     returning Enclave.Load output), and which parameters reach a
+//     confidentiality sink inside the function;
+//   - lock acquisition: the set of mutexes the function may (transitively)
+//     acquire, so a caller holding lock A that dials into it records the
+//     A→B ordering edges lockorder needs.
+//
+// Packages are processed in dependency order (imports before importers),
+// so a callee in another loaded package is summarized before its callers.
+// Within one package, summary computation iterates a bounded number of
+// rounds (summaryRounds) to let intra-package call chains converge; calls
+// into functions never loaded from source (the standard library, export-
+// data-only deps) fall back to the conservative default — every argument
+// may flow to every result.
+
+// Taint label bits: bitSource marks real shielded/enclave data; bitRecv
+// and paramBit(i) are the symbolic labels summaries are computed over.
+const (
+	bitSource uint64 = 1 << 0
+	bitRecv   uint64 = 1 << 1
+)
+
+// paramBit returns the label bit of parameter i, or 0 when the function
+// has more parameters than the lattice has bits (excess parameters are
+// untracked — conservative only for 60+-ary functions, which do not
+// exist in this repo).
+func paramBit(i int) uint64 {
+	if i > 61 {
+		return 0
+	}
+	return 1 << (2 + uint(i))
+}
+
+// paramMask is every symbolic label: the receiver plus all parameters.
+const paramMask = ^bitSource
+
+// funcSummary abstracts one function body for taint purposes.
+type funcSummary struct {
+	// results holds one label mask per result position: which entry
+	// labels (bitRecv/paramBit) and/or bitSource may flow into it,
+	// merged over every return statement.
+	results []uint64
+	// sinks is the set of entry labels observed reaching a sink inside
+	// the function body (directly or through a callee summary).
+	sinks uint64
+	// sinkWhat names the first sink class observed, for call-site
+	// diagnostics ("fmt output", "Pool.Put", ...).
+	sinkWhat string
+}
+
+// summaryIndex holds every computed summary, keyed by summaryKey. Lock
+// acquisition sets live beside the taint summaries.
+type summaryIndex struct {
+	taint    map[string]*funcSummary
+	acquires map[string]map[string]bool
+}
+
+// summaryRounds bounds the per-package fixpoint iteration for
+// intra-package call chains (cross-package order is handled by the
+// topological sweep).
+const summaryRounds = 3
+
+// summaryKey names a function across type-checker instances. Objects for
+// the same function differ between a source-checked package and its
+// export-data image in a dependent's checker, so summaries are keyed by
+// path+receiver+name instead of object identity.
+func summaryKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv = namedTypeName(sig.Recv().Type())
+	}
+	return pkg + "." + recv + "." + fn.Name()
+}
+
+// namedTypeName returns the bare name of a (possibly pointered) named
+// type, or "".
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// calleeFunc resolves a call's static callee to its *types.Func (method
+// or package function), or nil for anonymous/builtin/computed callees.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := pkg.Info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pkg.Info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// topoOrder sorts pkgs so that every package follows the packages it
+// imports (restricted to the given set). Ties and cycles fall back to
+// import-path order, keeping the result deterministic.
+func topoOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	ordered := make([]*Package, 0, len(pkgs))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.ImportPath] {
+		case 1, 2:
+			return
+		}
+		state[p.ImportPath] = 1
+		imps := append([]string(nil), p.Imports...)
+		sort.Strings(imps)
+		for _, im := range imps {
+			if dep, ok := byPath[im]; ok {
+				visit(dep)
+			}
+		}
+		state[p.ImportPath] = 2
+		ordered = append(ordered, p)
+	}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	for _, p := range sorted {
+		visit(p)
+	}
+	return ordered
+}
+
+// buildSummaries computes taint and lock summaries for every function in
+// every loaded package, bottom-up over the import graph.
+func buildSummaries(pkgs []*Package) *summaryIndex {
+	idx := &summaryIndex{taint: map[string]*funcSummary{}, acquires: map[string]map[string]bool{}}
+	for _, pkg := range topoOrder(pkgs) {
+		for round := 0; round < summaryRounds; round++ {
+			changed := false
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					if updateTaintSummary(pkg, idx, fd) {
+						changed = true
+					}
+					if updateLockSummary(pkg, idx, fd) {
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return idx
+}
+
+// updateTaintSummary recomputes fd's taint summary against the current
+// index, reporting whether it changed.
+func updateTaintSummary(pkg *Package, idx *summaryIndex, fd *ast.FuncDecl) bool {
+	obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	key := summaryKey(obj)
+	tc := newTaintChecker(pkg, idx, fd, false)
+	tc.run()
+	old := idx.taint[key]
+	if old != nil && summariesEqual(old, tc.summary) {
+		return false
+	}
+	idx.taint[key] = tc.summary
+	return true
+}
+
+func summariesEqual(a, b *funcSummary) bool {
+	if a.sinks != b.sinks || a.sinkWhat != b.sinkWhat || len(a.results) != len(b.results) {
+		return false
+	}
+	for i := range a.results {
+		if a.results[i] != b.results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// substitute rewrites a callee-side label mask into caller-side labels:
+// the callee's receiver/parameter bits are replaced by the caller's
+// masks for the corresponding receiver/argument expressions; bitSource
+// passes through unchanged.
+func substitute(mask uint64, recvMask uint64, argMasks []uint64, nParams int, variadic bool) uint64 {
+	out := mask & bitSource
+	if mask&bitRecv != 0 {
+		out |= recvMask
+	}
+	for i, am := range argMasks {
+		pi := i
+		if variadic && pi >= nParams-1 {
+			pi = nParams - 1
+		}
+		if pi >= 0 && mask&paramBit(pi) != 0 {
+			out |= am
+		}
+	}
+	return out
+}
+
+// pkgPathEndsWith reports whether a package path's last segment equals
+// name (matching both "pelta/internal/obs" and a bare "obs").
+func pkgPathEndsWith(p *types.Package, name string) bool {
+	if p == nil {
+		return false
+	}
+	path := p.Path()
+	return path == name || strings.HasSuffix(path, "/"+name)
+}

@@ -1,0 +1,64 @@
+// Package allowext pins //pelta:allow attachment beyond the single-line
+// cases: directives on multi-line statements and inside defer/closure
+// bodies. Suppressed violations carry no want comment — the golden
+// harness is bidirectional, so a suppression regression shows up as an
+// unexpected diagnostic.
+package allowext
+
+import "time"
+
+func sink(...any) {}
+
+// Control: an unsuppressed violation proving the rule runs here at all.
+func Control() time.Time {
+	return time.Now() // want `time\.Now reads the process wall clock`
+}
+
+// LeadingOnWrappedCall: the diagnostic anchors two lines below the
+// directive, inside the wrapped statement's extent.
+func LeadingOnWrappedCall() {
+	//pelta:allow noclock fixture pins statement-extent attachment
+	sink(
+		time.Now(),
+		1,
+	)
+}
+
+// TrailingInsideWrappedCall: the directive sits on a later line of the
+// same statement than the diagnostic.
+func TrailingInsideWrappedCall() {
+	sink(
+		time.Now(),
+		//pelta:allow noclock fixture pins in-statement attachment
+	)
+}
+
+// InsideDeferBody: directives attach to the closure body's own
+// statements, same as top-level code.
+func InsideDeferBody() {
+	defer func() {
+		//pelta:allow noclock fixture pins defer-body attachment
+		sink(time.Now())
+	}()
+}
+
+// InsideClosureTrailing: trailing same-line form inside a goroutine
+// closure.
+func InsideClosureTrailing() {
+	go func() {
+		sink(time.Now()) //pelta:allow noclock fixture pins closure attachment
+	}()
+}
+
+// DeferHeaderDoesNotBlanketBody: a directive on the defer line must NOT
+// cover violations inside the closure body — only the body's own
+// directives do.
+func DeferHeaderDoesNotBlanketBody() {
+	//pelta:allow noclock covers nothing: funclit statements are excluded
+	defer func() {
+		sink(
+			1,
+			time.Now(), // want `time\.Now reads the process wall clock`
+		)
+	}()
+}

@@ -1,0 +1,81 @@
+// Package clockcomplete is the golden fixture for the clockcomplete
+// rule: every exported constructor of a type holding time.Time state
+// must offer an injectable clock (parameter, config field, exported
+// field, or threaded-now methods).
+package clockcomplete
+
+import "time"
+
+// Tracker holds wall-clock state with no way to inject it: flagged.
+type Tracker struct{ start time.Time }
+
+func NewTracker() *Tracker { // want `exported constructor NewTracker returns Tracker`
+	return &Tracker{}
+}
+
+// Sampler injects through a func() time.Time parameter: clean.
+type Sampler struct{ at time.Time }
+
+func NewSampler(now func() time.Time) *Sampler { return &Sampler{at: now()} }
+
+// Meter is clean through its constructor group: NewMeter alone would be
+// flagged, but NewMeterAt gives callers the injection path.
+type Meter struct{ at time.Time }
+
+func NewMeter() *Meter               { return &Meter{} }
+func NewMeterAt(at time.Time) *Meter { return &Meter{at: at} }
+
+// Window threads `now` through its exported methods instead of storing a
+// clock: clean.
+type Window struct{ last time.Time }
+
+func NewWindow() *Window                { return &Window{} }
+func (w *Window) Observe(now time.Time) { w.last = now }
+
+// Poller takes a config struct carrying a clock field: clean.
+type Config struct{ Clock func() time.Time }
+
+type Poller struct{ at time.Time }
+
+func NewPoller(c Config) *Poller { return &Poller{} }
+
+// Gauge exposes an exported clock field callers can set: clean.
+type Gauge struct {
+	Now func() time.Time
+	at  time.Time
+}
+
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Ticker takes a Now()-method interface: clean.
+type Clock interface{ Now() time.Time }
+
+type Ticker struct{ at time.Time }
+
+func NewTicker(c Clock) *Ticker { return &Ticker{} }
+
+// Counter holds no wall-clock state at all: out of the rule's reach.
+type Counter struct{ n int }
+
+func NewCounter() *Counter { return &Counter{} }
+
+// Span only stores a Duration — durations are clock-free: clean.
+type Span struct{ d time.Duration }
+
+func NewSpan() *Span { return &Span{} }
+
+// Outer holds time.Time transitively through an unexported same-package
+// struct field: still flagged.
+type inner struct{ at time.Time }
+
+type Outer struct{ in inner }
+
+func NewOuter() *Outer { // want `exported constructor NewOuter returns Outer`
+	return &Outer{}
+}
+
+// Legacy is flagged but carries a reasoned opt-out.
+type Legacy struct{ born time.Time }
+
+//pelta:allow clockcomplete construction time is cosmetic metadata only
+func NewLegacy() *Legacy { return &Legacy{} }

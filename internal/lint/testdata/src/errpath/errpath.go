@@ -1,0 +1,113 @@
+// Package errpath is the golden fixture for the errpath rule: error
+// values consumed on one CFG path but dropped on another.
+package errpath
+
+import "errors"
+
+func step() error { return errors.New("boom") }
+
+func report(error) {}
+
+// DroppedOnFast: the classic shape — err is checked on the slow path but
+// the fast path returns before ever looking at it.
+func DroppedOnFast(fast bool) error {
+	err := step() // want `error "err" is checked on some paths but dropped on others`
+	if fast {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// CheckedEverywhere: the immediate check consumes the value on all paths.
+func CheckedEverywhere() error {
+	err := step()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// ExplicitDrop: assigning to _ is a deliberate, visible drop — not a
+// path asymmetry.
+func ExplicitDrop() {
+	_ = step()
+}
+
+// SwitchDrop: one case returns the error, another silently succeeds.
+func SwitchDrop(mode int) error {
+	err := step() // want `error "err" is checked on some paths but dropped on others`
+	switch mode {
+	case 0:
+		return err
+	case 1:
+		return nil
+	}
+	return err
+}
+
+// DroppedOnContinue: the loop skips the check for positive inputs, so
+// those iterations drop the error into the next round.
+func DroppedOnContinue(xs []int) error {
+	for _, x := range xs {
+		err := step() // want `error "err" is checked on some paths but dropped on others`
+		if x > 0 {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoopOverwriteChecked: reassigning in the loop is fine when every exit
+// still reads the latest value.
+func LoopOverwriteChecked(xs []int) error {
+	var last error
+	for range xs {
+		last = step()
+	}
+	return last
+}
+
+// CapturedByClosure: a closure may consume the error after this frame's
+// CFG ends; captured objects are out of scope for the rule.
+func CapturedByClosure(fast bool) error {
+	err := step()
+	go func() { report(err) }()
+	if fast {
+		return nil
+	}
+	return err
+}
+
+// DeferConsumes: the deferred call reads err when the defer statement
+// executes, consuming it on every path through the function.
+func DeferConsumes(fast bool) error {
+	err := step()
+	defer report(err)
+	if fast {
+		return nil
+	}
+	return err
+}
+
+// BareReturnNamed: a bare return hands the named result to the caller —
+// nothing is dropped.
+func BareReturnNamed() (err error) {
+	err = step()
+	return
+}
+
+// AllowedDrop: a reasoned opt-out for a best-effort path.
+func AllowedDrop(fast bool) error {
+	//pelta:allow errpath fast path is best-effort by design
+	err := step()
+	if fast {
+		return nil
+	}
+	return err
+}

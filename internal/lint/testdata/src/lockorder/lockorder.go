@@ -1,0 +1,84 @@
+// Package lockorder is the golden fixture for the lockorder rule:
+// pairwise mutex acquisition-order consistency. Each AB/BA cycle is
+// reported at both acquisition sites.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// ABPath acquires A before B ...
+func ABPath(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lockorder.B.mu acquired while holding lockorder.A.mu`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// ... and BAPath acquires B before A: together they can deadlock.
+func BAPath(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lockorder.A.mu acquired while holding lockorder.B.mu`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+// lockD takes D's lock; its acquisition summary makes any call to it an
+// ordering edge for whatever the caller holds.
+func lockD(d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// TransitiveCD imposes C→D through the callee ...
+func TransitiveCD(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d) // want `lockorder.D.mu acquired while holding lockorder.C.mu`
+	c.mu.Unlock()
+}
+
+// ... while DirectDC imposes D→C directly: an AB/BA cycle through a
+// function summary.
+func DirectDC(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock() // want `lockorder.C.mu acquired while holding lockorder.D.mu`
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+type E struct{ mu sync.Mutex }
+
+type F struct{ mu sync.RWMutex }
+
+// ConsistentOne and ConsistentTwo always take E before F — one order,
+// no cycle, nothing to report. Deferred unlocks keep both locks held to
+// the end of the function, which is exactly the conservative view the
+// rule wants.
+func ConsistentOne(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.RLock()
+	f.mu.RUnlock()
+	e.mu.Unlock()
+}
+
+func ConsistentTwo(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}
+
+// ReleasedBetween: B-then-A is fine here because A's lock is already
+// released — no overlap, no ordering edge.
+func ReleasedBetween(e *E, f *F) {
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}
